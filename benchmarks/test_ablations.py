@@ -1,0 +1,11 @@
+"""Ablations — which analysis ingredient (purity, windows, Thm 5.5,
+uniqueness, LL-agreement) carries which §6 example."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    ok, total = result.score("full analysis")
+    assert ok == total
+    report_sink("ablations", ablations.main())

@@ -1,0 +1,12 @@
+"""§2 baseline — lock-based runtime checking vs. the static analysis."""
+
+from repro.experiments import baseline_runtime
+
+
+def test_baseline_runtime(benchmark, report_sink):
+    rows = benchmark.pedantic(baseline_runtime.run, rounds=1,
+                              iterations=1)
+    non_blocking = [r for r in rows if r.program != "Locked register"]
+    assert all(r.static_atomic and not r.runtime_atomic
+               for r in non_blocking)
+    report_sink("baseline_runtime", baseline_runtime.main())

@@ -1,0 +1,9 @@
+"""Figure 3 — per-line atomicity types of NFQ' exceptional variants."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, report_sink):
+    result = benchmark.pedantic(figure3.run, rounds=3, iterations=1)
+    assert result.matches_paper
+    report_sink("figure3", figure3.main())

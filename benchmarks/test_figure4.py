@@ -1,0 +1,9 @@
+"""Figure 4 — Herlihy small objects: variant labels and verdict."""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, report_sink):
+    result = benchmark.pedantic(figure4.run, rounds=3, iterations=1)
+    assert result.matches_paper
+    report_sink("figure4", figure4.main())

@@ -1,0 +1,11 @@
+"""Figures 5–7 — Gao-Hesselink: verdicts plus the operational
+equivalence check (including the Fig. 7 version-reset finding)."""
+
+from repro.experiments import figure567
+
+
+def test_figure567(benchmark, report_sink):
+    result = benchmark.pedantic(figure567.run, rounds=1, iterations=1)
+    assert result.matches_paper
+    assert not result.full_equivalent and result.fixed_equivalent
+    report_sink("figure567", figure567.main())

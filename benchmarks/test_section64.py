@@ -1,0 +1,10 @@
+"""§6.4 — Michael's allocator: 74 pseudocode lines → 15 atomic blocks."""
+
+from repro.experiments import section64
+
+
+def test_section64(benchmark, report_sink):
+    result = benchmark.pedantic(section64.run, rounds=3, iterations=1)
+    assert result.matches_paper
+    assert (result.lines, result.blocks) == (74, 15)
+    report_sink("section64", section64.main())

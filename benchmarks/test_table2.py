@@ -1,0 +1,16 @@
+"""Table 2 — model checking NFQ' with and without the inferred atomic
+blocks (TVLA replaced by our explicit-state checker; see DESIGN.md)."""
+
+from repro.experiments import table2
+
+N_THREADS = 2
+MAX_STATES = 400_000
+
+
+def test_table2(benchmark, report_sink):
+    result = benchmark.pedantic(
+        table2.run, kwargs=dict(n_threads=N_THREADS,
+                                max_states=MAX_STATES),
+        rounds=1, iterations=1)
+    assert result.matches_paper
+    report_sink("table2", table2.main(N_THREADS, MAX_STATES))

@@ -1,0 +1,33 @@
+"""Atomic-block annotation of Michael's lock-free allocator (§6.4).
+
+When whole procedures are not atomic, the analysis still partitions the
+code into maximal atomic blocks — each CAS retry window plus the local
+glue around it.  The paper's headline: 74 lines of malloc pseudocode,
+15 atomic blocks.  This prints every block of every routine.
+
+Run:  python examples/annotate_allocator.py
+"""
+
+from repro.analysis import analyze_program
+from repro.analysis.blocks import partition_procedure
+from repro.corpus import ALLOCATOR
+from repro.experiments.section64 import count_routine_lines
+
+
+def main() -> None:
+    result = analyze_program(ALLOCATOR)
+    total = 0
+    for name in result.verdicts:
+        partitions = partition_procedure(result, name)
+        best = max(partitions, key=lambda p: p.n_blocks)
+        total += best.n_blocks
+        print(best.render())
+        print()
+    print(f"routines: {len(result.verdicts)}   "
+          f"pseudocode lines: {count_routine_lines()}   "
+          f"atomic blocks (longest paths): {total}")
+    print("paper: 74 lines of pseudo-code -> 15 atomic blocks")
+
+
+if __name__ == "__main__":
+    main()

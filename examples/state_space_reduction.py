@@ -1,0 +1,43 @@
+"""State-space reduction from inferred atomicity (§6.3).
+
+Explores Gao & Hesselink's large-object algorithm under the four
+configurations of the paper's SPIN experiment: full interleaving, a
+classic partial-order reduction, atomic procedure bodies (the reduction
+the paper's analysis licenses), and both.  The ordering
+no-opt ≫ POR ≫ atomic ≥ both is the paper's result.
+
+Run:  python examples/state_space_reduction.py        (2 threads, fast)
+      python examples/state_space_reduction.py 3      (paper's driver)
+"""
+
+import sys
+
+from repro.corpus import GH_PROGRAM1
+from repro.experiments.section63 import commutes
+from repro.interp import Interp, ThreadSpec
+from repro.mc import Explorer
+
+
+def main(n_threads: int = 2) -> None:
+    interp = Interp(GH_PROGRAM1)
+    specs = [ThreadSpec.of(("Apply", g + 1)) for g in range(n_threads)]
+    print(f"Gao-Hesselink large objects, {n_threads} threads, "
+          f"one field group each\n")
+    results = {}
+    for mode, kwargs in (
+            ("full", {}),
+            ("por", {}),
+            ("atomic", {}),
+            ("both", {"commutes": commutes})):
+        result = Explorer(interp, specs, mode=mode,
+                          max_states=2_000_000, **kwargs).run()
+        results[mode] = result
+        print(f"  {mode:<7} {result.states:>9} states   "
+              f"{result.elapsed:7.2f}s")
+    print(f"\n  atomicity beats the classic POR by "
+          f"{results['por'].states / results['atomic'].states:.0f}x "
+          f"(paper: 452,043 vs 69,215 under SPIN)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2)

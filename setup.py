@@ -1,0 +1,7 @@
+"""Legacy setup shim: the sandbox has setuptools without `wheel`, so the
+PEP-517 editable path (`bdist_wheel`) is unavailable; `pip install -e .
+--no-use-pep517` uses this file instead."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""repro — reproduction of Wang & Stoller, *Static Analysis of Atomicity
+for Programs with Non-Blocking Synchronization* (PPoPP 2005).
+
+Public API highlights
+---------------------
+* :func:`repro.synl.load_program` — parse + resolve SYNL source.
+* :func:`repro.analysis.analyze_program` — run the full atomicity
+  inference (§5.4 steps 1–7) and get per-procedure verdicts.
+* :class:`repro.mc.Explorer` — explicit-state model checker with
+  partial-order and atomic-block reductions.
+* :mod:`repro.lin` — linearizability checking of recorded histories.
+* :mod:`repro.corpus` — the paper's example programs in SYNL.
+* :mod:`repro.experiments` — regenerate every table/figure of §6.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,72 @@
+"""Alias analysis over syntactic targets (§5.4, step 4).
+
+The paper's alias analysis "just checks whether the references have the
+same type and whether the same field is being accessed".  We implement
+exactly that on top of the class inference in
+:mod:`repro.analysis.typing`:
+
+* two global variables alias iff they are the same name;
+* two field accesses may alias iff the field names are equal and the
+  base reference class sets overlap;
+* a field access and a global variable never alias (globals are
+  variables, not heap cells);
+* array element regions may alias under the same conditions as fields.
+
+``must_alias`` holds when the two targets are syntactically the same
+location through the same binding — used when two actions of the *same*
+variant access the same variable (e.g. the matching LL and its SC).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.actions import Target
+from repro.analysis.typing import ClassEnv
+from repro.synl import ast as A
+
+
+class AliasAnalysis:
+    def __init__(self, program: A.Program, env: ClassEnv):
+        self.program = program
+        self.env = env
+
+    def _base_classes(self, t: Target) -> frozenset[str]:
+        if t.binding is not None:
+            return self.env.of_binding(t.binding)
+        if t.name is not None:
+            # field access whose base is named directly by a global
+            return self.env.of_global(t.name)
+        return frozenset()
+
+    def may_alias(self, a: Target, b: Target) -> bool:
+        """Could the two targets denote the same memory cell?"""
+        if a.kind == "global" or b.kind == "global":
+            return a.kind == b.kind and a.name == b.name
+        if a.kind == "var" or b.kind == "var":
+            return a.kind == b.kind and a.binding == b.binding
+        if a.kind != b.kind:
+            return False  # a field cell is never an element cell
+        if a.field != b.field:
+            return False
+        ca, cb = self._base_classes(a), self._base_classes(b)
+        if not ca or not cb:
+            # unknown types: be conservative
+            return True
+        return bool(ca & cb)
+
+    def must_alias(self, a: Target, b: Target) -> bool:
+        """The two targets certainly denote the same cell (within one
+        thread's execution of one variant, with no intervening write to
+        the base binding)."""
+        if a.kind != b.kind:
+            return False
+        if a.kind == "global":
+            return a.name == b.name
+        if a.kind == "var":
+            return a.binding == b.binding
+        return (a.binding is not None and a.binding == b.binding
+                and a.field == b.field)
+
+    def same_region(self, a: Target, b: Target) -> bool:
+        """Targets belong to the same abstract region (class+field) —
+        the granularity at which step 4 looks for conflicting accesses."""
+        return self.may_alias(a, b)

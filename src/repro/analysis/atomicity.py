@@ -1,0 +1,126 @@
+"""Atomicity types and their calculus (§3.3 of the paper, after
+Flanagan & Qadeer's *Types for Atomicity*).
+
+The five types are ordered ``B ⊏ L, R ⊏ A ⊏ N`` (smaller = stronger
+guarantee).  Three operations combine them:
+
+* :func:`join` — least upper bound in the partial order;
+* :func:`seq` — sequential composition ``a; b`` (the 5×5 table in §3.3);
+* :func:`iter_closure` — atomicity of repeatedly executing a statement:
+  ``B*=B, R*=R, L*=L, A*=N, N*=N``.
+
+All three are property-tested against the algebraic laws in
+``tests/test_atomicity_lattice.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+
+
+class Atomicity(enum.Enum):
+    """Atomicity type of an action, expression, or statement."""
+
+    B = "B"  #: both-mover
+    R = "R"  #: right-mover
+    L = "L"  #: left-mover
+    A = "A"  #: atomic
+    N = "N"  #: non-atomic ("compound" in Flanagan & Qadeer)
+
+    def __str__(self) -> str:
+        return self.value
+
+    # ``B ⊑ L ⊑ A``, ``B ⊑ R ⊑ A``, ``A ⊑ N``; L and R are incomparable.
+    def __le__(self, other: "Atomicity") -> bool:
+        if self is other:
+            return True
+        return other in _ABOVE[self]
+
+    def __lt__(self, other: "Atomicity") -> bool:
+        return self is not other and self <= other
+
+
+B, R, L, A, N = (Atomicity.B, Atomicity.R, Atomicity.L, Atomicity.A,
+                 Atomicity.N)
+
+_ABOVE = {
+    B: {L, R, A, N},
+    L: {A, N},
+    R: {A, N},
+    A: {N},
+    N: set(),
+}
+
+
+def join(a: Atomicity, b: Atomicity) -> Atomicity:
+    """Least upper bound.  ``join(L, R) = A`` (their only common upper
+    bounds are A and N)."""
+    if a <= b:
+        return b
+    if b <= a:
+        return a
+    # the only incomparable pair is {L, R}
+    return A
+
+
+def meet(a: Atomicity, b: Atomicity) -> Atomicity:
+    """Greatest lower bound — used by step 4 of the inference to combine
+    a type from an earlier step with a (possibly stronger) reclassified
+    type ("use the minimum of the atomicities", §5.4)."""
+    if a <= b:
+        return a
+    if b <= a:
+        return b
+    return B  # glb of {L, R}
+
+
+# Sequential composition table from §3.3.  Rows = first argument,
+# columns = second argument, order B, R, L, A, N.
+#
+# Deviation from the paper as printed: the paper's table shows A;A = A,
+# which is inconsistent with Lipton reduction (two atomic actions in
+# sequence are not atomic) and with every other entry — all others encode
+# the fold of the R*;(A|ε);L* reducible pattern, under which A;A = N.
+# We use N (the Flanagan–Qadeer value); none of the paper's examples
+# exercises this entry, so all Fig. 3/4 labels are unaffected.
+_SEQ_TABLE: dict[tuple[Atomicity, Atomicity], Atomicity] = {}
+_rows = {
+    B: [B, R, L, A, N],
+    R: [R, R, A, A, N],
+    L: [L, N, L, N, N],
+    A: [A, N, A, N, N],
+    N: [N, N, N, N, N],
+}
+for _row, _vals in _rows.items():
+    for _col, _val in zip([B, R, L, A, N], _vals):
+        _SEQ_TABLE[(_row, _col)] = _val
+
+
+def seq(a: Atomicity, b: Atomicity) -> Atomicity:
+    """Sequential composition ``a; b`` (table in §3.3)."""
+    return _SEQ_TABLE[(a, b)]
+
+
+def seq_all(types: list[Atomicity]) -> Atomicity:
+    """Compose a sequence of atomicities left to right (identity: B)."""
+    return functools.reduce(seq, types, B)
+
+
+def iter_closure(a: Atomicity) -> Atomicity:
+    """Iterative closure ``a*``: atomicity of a statement that repeatedly
+    executes a sub-statement of atomicity ``a``."""
+    if a in (B, R, L):
+        return a
+    return N
+
+
+def is_atomic(a: Atomicity) -> bool:
+    """True when the type guarantees atomicity (anything but N: a single
+    mover or atomic block executes equivalently without interruption)."""
+    return a is not N
+
+
+def parse_atomicity(text: str) -> Atomicity:
+    """Parse a one-letter atomicity label (as used in Fig. 3)."""
+    return Atomicity(text.strip().upper())

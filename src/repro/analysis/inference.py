@@ -1,0 +1,802 @@
+"""The atomicity inference algorithm (§5.4, steps 1–7).
+
+Pipeline
+--------
+1. Parse/resolve the program; build CFGs; run escape, uniqueness and
+   purity analyses on the original procedures.
+2. Replace each procedure by its exceptional variants (§5.2,
+   :mod:`repro.analysis.variants`).
+3. On the variant program: re-run escape/uniqueness, infer classes,
+   build locksets, dominators, windows (Thm 5.3/5.4) and local-condition
+   blocks (Thm 5.5).
+4. Classify every action:
+
+   * **step 1** — local actions are B (Thm 3.1); acquires R, releases L
+     (Thm 3.2);
+   * **step 2** — successful SC/VL on SC-only variables are L, their
+     matching LLs are R (Thm 5.3); CAS analogues under the versioned
+     (ABA-free) discipline;
+   * **steps 3–4** — for each global read/write, search all variants for
+     conflicting accesses and test whether each can occur immediately
+     before/after it.  Adjacency is *excluded* by: a common lock
+     (Thm 5.1), the window rules (Thm 5.3/5.4), the local-condition rule
+     (Thm 5.5), or — in the not-aliased branch of a case split — the
+     LL-agreement argument (two overlapping windows on the same variable
+     read the same value, so their bindings must alias; this is the
+     paper's "t_a ≠ t_u implies the SC would fail" reasoning for a6).
+     The engine does a case split on alias pairs (§5.4) and combines a
+     per-step-4 mover type with earlier steps by taking the minimum;
+   * **step 5** — unclassified global actions are A;
+   * **step 6** — propagate through the AST with the §3.3 calculus;
+   * **step 7** — a procedure is atomic iff all its exceptional variants
+     have body atomicity ≤ A (Thm 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import atomicity as AT
+from repro.analysis.actions import RawAction, Target, node_actions
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.atomicity import Atomicity
+from repro.analysis.conditions import (BlockInfo, blocks_of_program,
+                                       condition_excludes)
+from repro.analysis.escape import EscapeResult, escape_analysis
+from repro.analysis.locks import LocksetResult, common_lock, lockset_analysis
+from repro.analysis.purity import PurityInfo, pure_loops, target_region
+from repro.analysis.typing import ClassEnv, infer_classes
+from repro.analysis.uniqueness import UniquenessResult, uniqueness_analysis
+from repro.analysis.variants import Variant, VariantSet, make_variants
+from repro.analysis.windows import Window, WindowIndex
+from repro.cfg.builder import build_cfg
+from repro.cfg.dominators import Dominators
+from repro.cfg.graph import CFGNode, NodeKind, ProcCFG
+from repro.synl import ast as A
+from repro.synl.resolve import load_program
+
+
+@dataclass
+class InferenceOptions:
+    """Feature switches (used by the ablation benchmarks)."""
+
+    enable_purity: bool = True       # §4: pure loops + variants
+    enable_uniqueness: bool = True   # working-copy uniqueness (Thm 3.1)
+    enable_windows: bool = True      # Thm 5.3 / 5.4 window rules
+    enable_conditions: bool = True   # Thm 5.5 local-condition rule
+    enable_locks: bool = True        # Thm 5.1
+    enable_agreement: bool = True    # LL-agreement case split
+
+
+#: sentinel pair key for the conflict pair itself (see ``_excluded``)
+_P0 = ("#conflict",)
+
+
+@dataclass
+class Site:
+    """One action occurrence in one variant."""
+
+    ctx: "VariantContext"
+    node: CFGNode
+    action: RawAction
+    is_local: bool = False
+    atomicity: Atomicity = Atomicity.A
+    steps: list[str] = field(default_factory=list)  # which rules fired
+
+
+class VariantContext:
+    """Per-variant analysis state."""
+
+    def __init__(self, variant: Variant, cfg: ProcCFG,
+                 escape: EscapeResult, lockset: LocksetResult,
+                 dom: Dominators, windows: WindowIndex,
+                 blocks: list[BlockInfo]):
+        self.variant = variant
+        self.name = variant.name
+        self.cfg = cfg
+        self.escape = escape
+        self.lockset = lockset
+        self.dom = dom
+        self.windows = windows
+        self.blocks = blocks
+        self.sites: list[Site] = []
+        self.stmt_nodes: dict[int, list[CFGNode]] = {}
+        for node in cfg.nodes:
+            if node.stmt is not None:
+                self.stmt_nodes.setdefault(node.stmt.nid, []).append(node)
+        self._block_nodes: dict[int, set[CFGNode]] = {}
+        self._block_bind: dict[int, CFGNode | None] = {}
+        self._block_sc: dict[int, CFGNode | None] = {}
+        for b in blocks:
+            members = {n for n in cfg.nodes
+                       if n.stmt is not None
+                       and n.stmt.nid in b.member_nids}
+            self._block_nodes[b.decl.nid] = members
+            bind = next((n for n in members if n.kind is NodeKind.BIND
+                         and n.stmt is b.decl), None)
+            self._block_bind[b.decl.nid] = bind
+            sc_node = None
+            if b.sc_exprs:
+                sc_nids = {e.nid for e in b.sc_exprs}
+                for n in members:
+                    if isinstance(n.stmt, A.Assume) and any(
+                            x.nid in sc_nids for x in n.stmt.cond.walk()):
+                        sc_node = n
+                        break
+            self._block_sc[b.decl.nid] = sc_node
+            if b.kind == "llsc" and bind is not None \
+                    and sc_node is not None:
+                # Theorem 5.5's protection for an LL-SC block spans from
+                # the LL to its successful SC: after the SC, svar has
+                # changed and p(svar) may no longer hold.
+                members = {n for n in members
+                           if dom.dominates(bind, n)
+                           and dom.postdominates(sc_node, n)}
+                self._block_nodes[b.decl.nid] = members
+
+    def block_nodes(self, b: BlockInfo) -> set[CFGNode]:
+        return self._block_nodes[b.decl.nid]
+
+    def node_in_block(self, b: BlockInfo, node: CFGNode) -> bool:
+        return node in self._block_nodes[b.decl.nid]
+
+    def adjacency_inside_block(self, b: BlockInfo, node: CFGNode,
+                               side: str) -> bool:
+        """Is the adjacent execution slot on ``side`` of ``node`` still
+        inside block ``b``?  The slot before the block's first transition
+        (the bind) is outside; for LL-SC blocks the slot after the
+        successful SC is outside; for plain local blocks the slots after
+        its last transitions are outside."""
+        members = self._block_nodes[b.decl.nid]
+        if node not in members:
+            return False
+        if side == "before":
+            return node is not self._block_bind[b.decl.nid]
+        if b.kind == "llsc":
+            return node is not self._block_sc[b.decl.nid]
+        # after: inside unless control can leave the block right after
+        return all(succ in members for succ in self.cfg.successors(node))
+
+
+@dataclass
+class VariantReport:
+    variant: Variant
+    ctx: VariantContext
+    body_atomicity: Atomicity
+    stmt_atoms: dict[int, Atomicity]
+    #: True when the variant performs no visible update (no writes to
+    #: globals, shared heap, or thread-local variables).  Such variants
+    #: are exempt from the Theorem 5.2 requirement: a read-only
+    #: completion leaves the global and persistent thread state
+    #: untouched, so — under the state-based atomicity definition of
+    #: §3.2, where the atomic witness execution may use a different set
+    #: of environment invocations — the invocation can be dropped the
+    #: same way Theorem 4.1 drops normally-terminating pure iterations.
+    #: This covers the failure branch of a bare ``SC(v, e);`` statement
+    #: (e.g. UpdateTail's SC), which the paper's Fig. 3 silently treats
+    #: as successful.
+    read_only: bool = False
+
+
+@dataclass
+class ProcVerdict:
+    name: str
+    atomic: bool
+    variants: list[VariantReport]
+
+
+@dataclass
+class AnalysisResult:
+    program: A.Program
+    options: InferenceOptions
+    purity: dict[str, dict[A.Loop, PurityInfo]]
+    variant_set: VariantSet
+    verdicts: dict[str, ProcVerdict]
+    contexts: dict[str, VariantContext]
+    uniqueness: UniquenessResult
+    diagnostics: list[str] = field(default_factory=list)
+
+    def is_atomic(self, proc_name: str) -> bool:
+        return self.verdicts[proc_name].atomic
+
+    @property
+    def all_atomic(self) -> bool:
+        return all(v.atomic for v in self.verdicts.values())
+
+    def atomic_procedures(self) -> list[str]:
+        return [n for n, v in self.verdicts.items() if v.atomic]
+
+
+# -- helpers --------------------------------------------------------------------
+
+def _failing_sync_exprs(cond: A.Expr, negated: bool = False):
+    """SC/CAS expressions asserted to FAIL by a TRUE(...) condition."""
+    if isinstance(cond, (A.SCExpr, A.CASExpr)):
+        if negated:
+            yield cond
+    elif isinstance(cond, A.Unary) and cond.op == "!":
+        yield from _failing_sync_exprs(cond.operand, not negated)
+    elif isinstance(cond, A.Binary) and cond.op == "&&":
+        yield from _failing_sync_exprs(cond.left, negated)
+        yield from _failing_sync_exprs(cond.right, negated)
+
+
+class AtomicityChecker:
+    """Run the full inference on a SYNL program (source text or AST)."""
+
+    def __init__(self, program: A.Program | str,
+                 options: InferenceOptions | None = None):
+        if isinstance(program, str):
+            program = load_program(program)
+        self.program = program
+        self.options = options or InferenceOptions()
+        self.diagnostics: list[str] = []
+
+    # -- pipeline -----------------------------------------------------------
+    def _purity_of(self, program: A.Program,
+                   cfgs: dict[str, ProcCFG]
+                   ) -> dict[str, dict[A.Loop, PurityInfo]]:
+        escapes = {name: escape_analysis(cfg) for name, cfg in cfgs.items()}
+        unique = uniqueness_analysis(program, cfgs) \
+            if self.options.enable_uniqueness else UniquenessResult()
+        purity: dict[str, dict[A.Loop, PurityInfo]] = {}
+        for proc in program.procs:
+            if self.options.enable_purity:
+                purity[proc.name] = pure_loops(
+                    cfgs[proc.name], program, escapes[proc.name],
+                    unique.unique_bindings())
+            else:
+                purity[proc.name] = {}
+        return purity
+
+    def _expand_variants(self) -> tuple[
+            VariantSet, dict[str, dict[A.Loop, PurityInfo]]]:
+        """Iterate variant expansion until no pure loops remain —
+        needed when pure loops nest (e.g. the allocator's anchor-pop
+        CAS loop inside the credit-reservation CAS loop)."""
+        current = self.program
+        purity0: dict[str, dict[A.Loop, PurityInfo]] | None = None
+        source_of: dict[str, str] | None = None
+        for _ in range(10):
+            cfgs = {p.name: build_cfg(p) for p in current.procs}
+            purity = self._purity_of(current, cfgs)
+            if purity0 is None:
+                purity0 = purity
+            vs = make_variants(current, cfgs, purity)
+            if source_of is None:
+                source_of = {v.name: v.source for v in vs.variants}
+            else:
+                prev = {v.name: v for v in final_vs.variants}
+                for v in vs.variants:
+                    # carry exit selections across expansion rounds
+                    v.exits = {**prev[v.source].exits, **v.exits}
+                source_of = {v.name: source_of[v.source]
+                             for v in vs.variants}
+            final_vs = vs
+            if not any(info.pure for per in purity.values()
+                       for info in per.values()):
+                break
+            current = vs.program
+        else:
+            self.diagnostics.append(
+                "variant expansion did not converge in 10 rounds")
+        for v in final_vs.variants:
+            v.source = source_of[v.name]
+        by_source: dict[str, list[Variant]] = {}
+        for v in final_vs.variants:
+            by_source.setdefault(v.source, []).append(v)
+        final_vs.by_source = by_source
+        assert purity0 is not None
+        return final_vs, purity0
+
+    def run(self) -> AnalysisResult:
+        opts = self.options
+        variant_set, purity = self._expand_variants()
+        vprog = variant_set.program
+        self.env: ClassEnv = infer_classes(vprog)
+        self.alias = AliasAnalysis(vprog, self.env)
+        v_cfgs = {p.name: build_cfg(p) for p in vprog.procs}
+        self.unique = uniqueness_analysis(vprog, v_cfgs) \
+            if opts.enable_uniqueness else UniquenessResult()
+        blocks = blocks_of_program(vprog) if opts.enable_conditions else {}
+
+        self.contexts: dict[str, VariantContext] = {}
+        for variant in variant_set.variants:
+            cfg = v_cfgs[variant.name]
+            dom = Dominators(cfg)
+            windows = WindowIndex(cfg, dom, self._cas_root_ok)
+            if not opts.enable_windows:
+                windows.windows = []
+            ctx = VariantContext(
+                variant, cfg, escape_analysis(cfg),
+                lockset_analysis(cfg), dom, windows,
+                blocks.get(variant.name, []))
+            for diag in windows.diagnostics:
+                self.diagnostics.append(f"{variant.name}: {diag.message}")
+            self.contexts[variant.name] = ctx
+
+        self._collect_sites()
+        self._classify_sites()
+        verdicts = self._verdicts(variant_set)
+        return AnalysisResult(
+            program=self.program, options=opts, purity=purity,
+            variant_set=variant_set, verdicts=verdicts,
+            contexts=self.contexts, uniqueness=self.unique,
+            diagnostics=self.diagnostics)
+
+    # -- discipline queries ---------------------------------------------------
+    def _versioned(self, target: Target) -> bool:
+        if target.kind == "global" or target.binding is None:
+            # plain global, or an element/field of an object named
+            # directly by a global: use the global's declaration flag
+            for decl in self.program.globals:
+                if decl.name == target.name:
+                    return decl.versioned
+            return False
+        if target.kind in ("field", "elem") and target.binding is not None:
+            classes = self.env.of_binding(target.binding)
+            if not classes:
+                return False
+            for cname in classes:
+                cls = self._class_decl(cname)
+                if cls is None or target.field not in cls.versioned_fields:
+                    return False
+            return True
+        return False
+
+    def _class_decl(self, name: str):
+        for c in self.program.classes:
+            if c.name == name:
+                return c
+        return None
+
+    def _cas_root_ok(self, root: Target) -> bool:
+        """CAS windows are built only for declared-versioned roots; the
+        CAS-only-writes half of the discipline is re-checked lazily in
+        :meth:`_window_valid` (sites do not exist yet at build time)."""
+        return self._versioned(root)
+
+    # -- site collection --------------------------------------------------------
+    def _collect_sites(self) -> None:
+        for ctx in self.contexts.values():
+            reachable = ctx.cfg.reachable_from(ctx.cfg.entry)
+            for node in ctx.cfg.ordered(reachable):
+                failing: list[A.Expr] = []
+                if node.kind is NodeKind.STMT \
+                        and isinstance(node.stmt, A.Assume):
+                    failing = list(_failing_sync_exprs(node.stmt.cond))
+                for action in node_actions(node):
+                    if action.expr is not None and action.expr in failing \
+                            and action.op == "write":
+                        # an SC/CAS asserted to fail writes nothing
+                        action = RawAction("read", action.target,
+                                           via=action.via, expr=action.expr,
+                                           node=node)
+                    site = Site(ctx, node, action)
+                    site.is_local = self._is_local(ctx, node, action)
+                    ctx.sites.append(site)
+
+    def _is_local(self, ctx: VariantContext, node: CFGNode,
+                  action: RawAction) -> bool:
+        if action.op == "alloc":
+            return True
+        t = action.target
+        if t is None:
+            return True
+        if t.kind == "var":
+            return True
+        if t.kind in ("field", "elem"):
+            if t.binding is None:
+                return False
+            if self.unique.is_unique(t.binding):
+                return True
+            return ctx.escape.is_fresh(node, t.binding)
+        return False
+
+    def _all_sites(self):
+        for ctx in self.contexts.values():
+            yield from ctx.sites
+
+    # -- classification -------------------------------------------------------------
+    def _sc_only(self, target: Target) -> bool:
+        for site in self._all_sites():
+            if site.action.op != "write" or site.is_local:
+                continue
+            if self.alias.may_alias(site.action.target, target) \
+                    and site.action.via != "SC":
+                return False
+        return True
+
+    def _cas_discipline(self, target: Target) -> bool:
+        if not self._versioned(target):
+            return False
+        for site in self._all_sites():
+            if site.action.op != "write" or site.is_local:
+                continue
+            if self.alias.may_alias(site.action.target, target) \
+                    and site.action.via != "CAS":
+                return False
+        return True
+
+    def _window_valid(self, w: Window) -> bool:
+        if w.kind == "CAS":
+            return self._cas_discipline(w.root)
+        return True
+
+    def _step2_types(self, ctx: VariantContext) -> dict[tuple, Atomicity]:
+        """(node uid, action index) -> L/R from Theorem 5.3 (step 2)."""
+        out: dict[tuple, Atomicity] = {}
+        for w in ctx.windows.windows:
+            if w.kind in ("SC", "VL") and not self._sc_only(w.root):
+                continue
+            if w.kind == "CAS" and not self._cas_discipline(w.root):
+                continue
+            out[(w.end_node.uid, target_region(w.root), "end")] = AT.L
+            out[(w.ll_node.uid, target_region(w.root), "ll")] = AT.R
+        return out
+
+    def _classify_sites(self) -> None:
+        step2: dict[str, dict] = {
+            name: self._step2_types(ctx)
+            for name, ctx in self.contexts.items()}
+        for ctx in self.contexts.values():
+            for site in ctx.sites:
+                site.atomicity = self._site_atomicity(site, step2[ctx.name])
+
+    def _site_atomicity(self, site: Site, step2: dict) -> Atomicity:
+        action = site.action
+        if site.is_local or action.op == "alloc":
+            site.steps.append("step1:local")
+            return AT.B
+        if action.op == "acquire":
+            site.steps.append("step1:acquire")
+            return AT.R
+        if action.op == "release":
+            site.steps.append("step1:release")
+            return AT.L
+        region = target_region(action.target)
+        candidates: list[Atomicity] = []
+        if action.op == "write" and action.via in ("SC", "CAS"):
+            t2 = step2.get((site.node.uid, region, "end"))
+            if t2 is not None:
+                candidates.append(t2)
+                site.steps.append("step2:successful-" + action.via)
+        if action.op == "read":
+            if action.via in ("LL", "plain"):
+                t2 = step2.get((site.node.uid, region, "ll"))
+                if t2 is not None:
+                    candidates.append(t2)
+                    site.steps.append("step2:matching-" + action.via)
+            if action.via == "VL":
+                t2 = step2.get((site.node.uid, region, "end"))
+                if t2 is not None:
+                    candidates.append(t2)
+                    site.steps.append("step2:successful-VL")
+        mover = self._step4_mover(site)
+        if mover is not None:
+            candidates.append(mover)
+            site.steps.append(f"step4:{mover}")
+        if not candidates:
+            site.steps.append("step5:default-A")
+            return AT.A
+        out = candidates[0]
+        for c in candidates[1:]:
+            out = AT.meet(out, c)
+        return out
+
+    # -- step 4: mover computation ------------------------------------------------
+    def _conflicts(self, site: Site) -> list[Site]:
+        """Global actions of (potentially) other threads that conflict
+        with this one (Theorem 3.3)."""
+        a = site.action
+        out = []
+        for other in self._all_sites():
+            b = other.action
+            if other.is_local or b.op not in ("read", "write"):
+                continue
+            if a.op == "read" and b.op != "write":
+                continue
+            if b.target is None or a.target is None:
+                continue
+            if not self.alias.may_alias(a.target, b.target):
+                continue
+            out.append(other)
+        return out
+
+    def _step4_mover(self, site: Site) -> Atomicity | None:
+        if site.action.op not in ("read", "write"):
+            return None
+        conflicts = self._conflicts(site)
+        left = all(self._excluded(site, other, "before")
+                   for other in conflicts)
+        right = all(self._excluded(site, other, "after")
+                    for other in conflicts)
+        if left and right:
+            return AT.B
+        if left:
+            return AT.L
+        if right:
+            return AT.R
+        return None
+
+    # -- the adjacency-exclusion engine ----------------------------------------------
+    def _excluded(self, a: Site, b: Site, side: str) -> bool:
+        """Can action ``b`` (from another thread) be shown NOT to occur
+        immediately ``side`` (before/after) action ``a``?"""
+        opts = self.options
+        self._unconditional = False
+        pair_flags: dict[tuple, list[bool]] = {}
+
+        def mark(pair: tuple, aliased: bool) -> None:
+            flags = pair_flags.setdefault(pair, [False, False])
+            flags[0 if aliased else 1] = True
+
+        # conflict-pair case split: when the two locations are distinct
+        # cells (heap cells via different bindings, or different elements
+        # of a global array), the not-aliased branch removes the
+        # conflict entirely.  ``_P0`` is the conflict pair itself.
+        ta, tb = a.action.target, b.action.target
+        conflict_must = ta.kind == "global" and tb.kind == "global" \
+            and ta.name == tb.name
+        self._conflict_regions = (target_region(ta), target_region(tb))
+        if not conflict_must:
+            mark(_P0, aliased=False)
+            if ta.binding is not None and tb.binding is not None:
+                mark((ta.binding, tb.binding), aliased=False)
+
+        # Theorem 5.1: common lock
+        if opts.enable_locks and common_lock(
+                self.alias, a.ctx.lockset.held_at(a.node),
+                b.ctx.lockset.held_at(b.node)):
+            return True
+
+        if opts.enable_windows:
+            self._window_rules(a, b, side, mark, pair_flags)
+        if opts.enable_conditions:
+            self._condition_rule(a, b, side, mark)
+        if opts.enable_agreement and side == "after":
+            self._agreement_rule(a, b, mark)
+
+        for flags in pair_flags.values():
+            if flags[0] and flags[1]:
+                return True
+        return self._unconditional
+
+    def _window_rules(self, a: Site, b: Site, side: str, mark,
+                      pair_flags) -> None:
+        """Theorems 5.3 (W1) and 5.4 (W2)."""
+        for w in a.ctx.windows.windows_protecting(a.node, side):
+            if not self._window_valid(w):
+                continue
+            family = ("SC",) if w.kind in ("SC", "VL") else ("CAS",)
+            # W1: a successful SC on v cannot occur inside the window
+            if b.action.op == "write" and b.action.via in family:
+                self._mark_alias(w.root, b.action.target, a, b, mark,
+                                 a_side_target=w.root)
+            # W2: nothing from a competing SC-block on v can occur inside
+            for wb in b.ctx.windows.sc_block_memberships(b.node):
+                if not self._window_valid(wb):
+                    continue
+                if wb.kind not in family:
+                    continue
+                self._mark_alias(w.root, wb.root, a, b, mark,
+                                 a_side_target=w.root,
+                                 b_side_target=wb.root)
+        # symmetric: b protected in its own window against a
+        flip = "after" if side == "before" else "before"
+        for wb in b.ctx.windows.windows_protecting(b.node, flip):
+            if not self._window_valid(wb):
+                continue
+            family = ("SC",) if wb.kind in ("SC", "VL") else ("CAS",)
+            if a.action.op == "write" and a.action.via in family:
+                self._mark_alias(wb.root, a.action.target, a, b, mark,
+                                 b_side_target=wb.root,
+                                 swap=True)
+            for wa in a.ctx.windows.sc_block_memberships(a.node):
+                if not self._window_valid(wa) or wa.kind not in family:
+                    continue
+                self._mark_alias(wb.root, wa.root, a, b, mark,
+                                 a_side_target=wa.root,
+                                 b_side_target=wb.root)
+
+    _unconditional = False
+
+    def _mark_alias(self, v: Target, u: Target, a: Site, b: Site, mark,
+                    a_side_target: Target | None = None,
+                    b_side_target: Target | None = None,
+                    swap: bool = False) -> None:
+        """Record an exclusion that holds when u and v denote the same
+        cell: unconditional for same-named globals; an aliased-case mark
+        on the (a-side binding, b-side binding) pair for heap cells; and
+        an aliased-case mark on the conflict pair itself when the rule
+        pair covers the conflicting locations' regions (then "not
+        aliased" already means "no conflict")."""
+        if v.kind == "global" and u.kind == "global":
+            if v.name == u.name:
+                self._unconditional = True
+            return
+        if v.kind != u.kind or v.field != u.field:
+            return
+        if not self.alias.may_alias(v, u):
+            return
+        a_target = a_side_target if a_side_target is not None \
+            else (u if swap else v)
+        b_target = b_side_target if b_side_target is not None \
+            else (v if swap else u)
+        if a_target.binding is not None and b_target.binding is not None:
+            mark((a_target.binding, b_target.binding), aliased=True)
+        regions = getattr(self, "_conflict_regions", None)
+        if regions is not None \
+                and target_region(a_target) == regions[0] \
+                and target_region(b_target) == regions[1]:
+            mark(_P0, aliased=True)
+
+    def _condition_rule(self, a: Site, b: Site, side: str, mark) -> None:
+        """Theorem 5.5: an LL-SC block with condition p and a local block
+        with condition implying !p on the same variable exclude each
+        other's transitions."""
+        for first, second, fside in ((a, b, side),
+                                     (b, a,
+                                      "after" if side == "before"
+                                      else "before")):
+            # first inside the LL-SC block, second inside the local block
+            for b1 in first.ctx.blocks:
+                if b1.kind != "llsc" \
+                        or not first.ctx.node_in_block(b1, first.node):
+                    continue
+                if not self._sc_only(b1.svar):
+                    continue
+                if not self._uniform_condition(b1):
+                    continue
+                for b2 in second.ctx.blocks:
+                    if not second.ctx.node_in_block(b2, second.node):
+                        continue
+                    if b2 is b1 and first.ctx is second.ctx:
+                        continue
+                    if not self.alias.may_alias(b1.svar, b2.svar):
+                        continue
+                    if not condition_excludes(b2.condition, b1.condition):
+                        continue
+                    inside = (
+                        first.ctx.adjacency_inside_block(
+                            b1, first.node, fside)
+                        or second.ctx.adjacency_inside_block(
+                            b2, second.node,
+                            "after" if fside == "before" else "before"))
+                    if not inside:
+                        continue
+                    if b1.svar.kind == "global" \
+                            and b2.svar.kind == "global":
+                        if b1.svar.name == b2.svar.name:
+                            self._unconditional = True
+                        continue
+                    a_svar = b1.svar if first is a else b2.svar
+                    b_svar = b2.svar if first is a else b1.svar
+                    if a_svar.binding is not None \
+                            and b_svar.binding is not None:
+                        mark((a_svar.binding, b_svar.binding),
+                             aliased=True)
+                    regions = getattr(self, "_conflict_regions", None)
+                    if regions is not None \
+                            and target_region(a_svar) == regions[0] \
+                            and target_region(b_svar) == regions[1]:
+                        mark(_P0, aliased=True)
+
+    def _uniform_condition(self, b1: BlockInfo) -> bool:
+        """All LL-SC blocks on (aliases of) b1.svar share one condition."""
+        for ctx in self.contexts.values():
+            for other in ctx.blocks:
+                if other.kind != "llsc":
+                    continue
+                if not self.alias.may_alias(other.svar, b1.svar):
+                    continue
+                if other.condition != b1.condition:
+                    return False
+        return True
+
+    def _agreement_rule(self, a: Site, b: Site, mark) -> None:
+        """LL-agreement: if ``a`` sits in a window on global ``v`` and a
+        successful SC(v) of another thread lands immediately after it,
+        the two windows on ``v`` overlap, so both threads read the same
+        value of ``v`` — their LL bindings must alias.  This closes the
+        not-aliased branch of case splits whose pair bindings are the
+        two windows' LL bindings (the paper's reasoning for a6)."""
+        if b.action.op != "write" or b.action.via not in ("SC", "CAS"):
+            return
+        # b must be a successful SC: the end of one of its own windows
+        b_windows = [w for w in b.ctx.windows.windows
+                     if w.end_node is b.node and self._window_valid(w)]
+        for w in a.ctx.windows.windows_containing(a.node):
+            if not self._window_valid(w):
+                continue
+            if w.root.kind != "global":
+                continue
+            for wb in b_windows:
+                if wb.root.kind != "global" \
+                        or wb.root.name != w.root.name:
+                    continue
+                if w.ll_binding is None or wb.ll_binding is None:
+                    continue
+                mark((w.ll_binding, wb.ll_binding), aliased=False)
+
+    # -- steps 6/7: propagation and verdicts --------------------------------------------
+    def _node_atom(self, ctx: VariantContext, node: CFGNode) -> Atomicity:
+        atoms = [s.atomicity for s in ctx.sites if s.node is node]
+        return AT.seq_all(atoms)
+
+    def stmt_atomicity(self, ctx: VariantContext, s: A.Stmt) -> Atomicity:
+        nodes = ctx.stmt_nodes.get(s.nid, [])
+        if isinstance(s, A.Block):
+            return AT.seq_all([self.stmt_atomicity(ctx, x)
+                               for x in s.stmts])
+        if isinstance(s, A.LocalDecl):
+            bind = [n for n in nodes if n.kind is NodeKind.BIND]
+            head = self._node_atom(ctx, bind[0]) if bind else AT.B
+            return AT.seq(head, self.stmt_atomicity(ctx, s.body))
+        if isinstance(s, A.If):
+            branch = [n for n in nodes if n.kind is NodeKind.BRANCH]
+            cond = self._node_atom(ctx, branch[0]) if branch else AT.B
+            then = self.stmt_atomicity(ctx, s.then)
+            els = self.stmt_atomicity(ctx, s.els) \
+                if s.els is not None else AT.B
+            return AT.seq(cond, AT.join(then, els))
+        if isinstance(s, A.Loop):
+            return AT.iter_closure(self.stmt_atomicity(ctx, s.body))
+        if isinstance(s, A.Synchronized):
+            acq = [n for n in nodes if n.kind is NodeKind.ACQUIRE]
+            rel = [n for n in nodes if n.kind is NodeKind.RELEASE]
+            inner = self.stmt_atomicity(ctx, s.body)
+            head = self._node_atom(ctx, acq[0]) if acq else AT.R
+            tail = self._node_atom(ctx, rel[0]) if rel else AT.L
+            return AT.seq(AT.seq(head, inner), tail)
+        # simple statements: compose their node actions
+        return AT.seq_all([self._node_atom(ctx, n) for n in nodes])
+
+    def _variant_read_only(self, ctx: VariantContext) -> bool:
+        from repro.analysis.purity import binding_kinds
+
+        kinds = binding_kinds(ctx.variant.proc)
+        for site in ctx.sites:
+            if site.action.op != "write":
+                continue
+            t = site.action.target
+            if t is not None and t.kind == "var":
+                kind = kinds.get(t.binding)
+                if kind in (A.VarKind.LOCAL, A.VarKind.PARAM):
+                    continue  # procedure-local scratch
+                return False  # thread-local update persists
+            if not site.is_local:
+                return False  # visible global/heap write
+            # heap write through a unique reference persists across the
+            # invocation (e.g. prv.data): not read-only
+            if t is not None and t.kind in ("field", "elem") \
+                    and self.unique.is_unique(t.binding):
+                return False
+        return True
+
+    def _verdicts(self, variant_set: VariantSet) -> dict[str, ProcVerdict]:
+        verdicts: dict[str, ProcVerdict] = {}
+        for proc in self.program.procs:
+            reports = []
+            for variant in variant_set.of(proc.name):
+                ctx = self.contexts[variant.name]
+                stmt_atoms: dict[int, Atomicity] = {}
+                for node in variant.proc.body.walk():
+                    if isinstance(node, A.Stmt):
+                        stmt_atoms[node.nid] = self.stmt_atomicity(
+                            ctx, node)
+                body = self.stmt_atomicity(ctx, variant.proc.body)
+                reports.append(VariantReport(
+                    variant, ctx, body, stmt_atoms,
+                    read_only=self._variant_read_only(ctx)))
+            atomic = all(AT.is_atomic(r.body_atomicity)
+                         for r in reports if not r.read_only)
+            verdicts[proc.name] = ProcVerdict(proc.name, atomic, reports)
+        return verdicts
+
+
+def analyze_program(source: A.Program | str,
+                    options: InferenceOptions | None = None
+                    ) -> AnalysisResult:
+    """Convenience entry point: run the full inference."""
+    return AtomicityChecker(source, options).run()

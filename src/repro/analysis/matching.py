@@ -1,0 +1,97 @@
+"""Matching LL expressions and matching reads (§5.2).
+
+For ``SC(v, val)`` (or ``VL(v)``) the *matching LL expressions* are found
+"by a backward DFS on the control flow graph starting from the SC, and
+not going past edges labeled with LL(v)"; all visited occurrences of
+``LL(v)`` match.
+
+For ``CAS(v, expected, new)`` the *matching read*, if any, is the action
+that read the old value of ``v`` and saved it into the variable used as
+``expected``.  We find it with the same backward search, stopping at
+bindings/assignments of the expected-value variable from a read of ``v``.
+
+The paper assumes (and we verify in the inference driver) that each SC
+has a unique matching LL expression and each CAS a unique matching read.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.actions import Target, location_target, node_actions
+from repro.analysis.purity import target_region
+from repro.cfg.graph import CFGNode, NodeKind, ProcCFG
+from repro.synl import ast as A
+
+
+def _has_ll_on(node: CFGNode, region: tuple) -> bool:
+    return any(a.via == "LL" and a.op == "read"
+               and target_region(a.target) == region
+               for a in node_actions(node))
+
+
+def matching_lls(cfg: ProcCFG, start: CFGNode,
+                 target: Target) -> set[CFGNode]:
+    """All LL nodes that can produce the matching LL action for an
+    SC/VL on ``target`` at ``start``."""
+    region = target_region(target)
+    matches: set[CFGNode] = set()
+    seen: set[CFGNode] = {start}
+    stack: list[CFGNode] = [start]
+    while stack:
+        node = stack.pop()
+        for prev in cfg.predecessors(node):
+            if prev in seen:
+                continue
+            seen.add(prev)
+            if _has_ll_on(prev, region):
+                matches.add(prev)
+                continue  # do not go past an LL(v)
+            stack.append(prev)
+    return matches
+
+
+def _binds_from_read_of(node: CFGNode, expected_binding: int,
+                        region: tuple) -> bool:
+    """Does ``node`` save a read of the CAS target into the expected-value
+    variable?  Accepts ``local e = v``, ``e = v`` and ``e = LL(v)`` /
+    plain reads of the same region."""
+    stmt = node.stmt
+    if node.kind is NodeKind.BIND and isinstance(stmt, A.LocalDecl):
+        if stmt.binding != expected_binding:
+            return False
+        init = stmt.init
+    elif node.kind is NodeKind.STMT and isinstance(stmt, A.Assign) \
+            and isinstance(stmt.target, A.Var) \
+            and stmt.target.binding == expected_binding:
+        init = stmt.value
+    else:
+        return False
+    if isinstance(init, A.LLExpr):
+        init = init.loc
+    if A.is_location(init):
+        return target_region(location_target(init)) == region
+    return False
+
+
+def matching_reads(cfg: ProcCFG, cas_node: CFGNode,
+                   cas: A.CASExpr) -> set[CFGNode]:
+    """All nodes that can produce the matching read for ``cas`` at
+    ``cas_node``.  Empty when the expected value is not a plain variable
+    (a CAS may succeed without a matching read; an SC cannot)."""
+    expected = cas.expected
+    if not isinstance(expected, A.Var) or expected.binding is None:
+        return set()
+    region = target_region(location_target(cas.loc))
+    matches: set[CFGNode] = set()
+    seen: set[CFGNode] = {cas_node}
+    stack: list[CFGNode] = [cas_node]
+    while stack:
+        node = stack.pop()
+        for prev in cfg.predecessors(node):
+            if prev in seen:
+                continue
+            seen.add(prev)
+            if _binds_from_read_of(prev, expected.binding, region):
+                matches.add(prev)
+                continue
+            stack.append(prev)
+    return matches

@@ -1,0 +1,146 @@
+"""Per-line atomicity reports in the style of Figure 3 of the paper.
+
+Each exceptional variant is flattened into *lines*: the binding part of a
+``local`` block, each simple statement, and compound statements
+(``if``/``loop``/``synchronized``) as single composite lines.  Every line
+gets a label (``a1``, ``a2``, … with one letter per variant) and the
+atomicity type the inference assigned, e.g.::
+
+    a4:R    local t = LL(Tail) in
+    a5:R      local next = LL(t.Next) in
+    a6:B        TRUE(VL(Tail));
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+from repro.analysis import atomicity as AT
+from repro.analysis.atomicity import Atomicity
+from repro.analysis.inference import (AnalysisResult, VariantContext,
+                                      VariantReport)
+from repro.cfg.graph import CFGNode, NodeKind
+from repro.synl import ast as A
+from repro.synl.printer import pretty_expr
+
+
+@dataclass
+class ReportLine:
+    label: str
+    depth: int
+    text: str
+    atomicity: Atomicity
+    stmt: A.Stmt
+
+    def render(self) -> str:
+        return f"{self.label}:{self.atomicity}  " \
+               f"{'  ' * self.depth}{self.text}"
+
+
+def _node_atom(ctx: VariantContext, node: CFGNode) -> Atomicity:
+    return AT.seq_all([s.atomicity for s in ctx.sites if s.node is node])
+
+
+def _one_line(s: A.Stmt) -> str:
+    """A compact single-line rendering of a statement."""
+    if isinstance(s, A.Assign):
+        return f"{pretty_expr(s.target)} = {pretty_expr(s.value)};"
+    if isinstance(s, A.Assume):
+        return f"TRUE({pretty_expr(s.cond)});"
+    if isinstance(s, A.AssertStmt):
+        return f"assert({pretty_expr(s.cond)});"
+    if isinstance(s, A.ExprStmt):
+        return f"{pretty_expr(s.expr)};"
+    if isinstance(s, A.Return):
+        return f"return {pretty_expr(s.value)};" if s.value is not None \
+            else "return;"
+    if isinstance(s, A.Break):
+        return f"break {s.label};" if s.label else "break;"
+    if isinstance(s, A.Continue):
+        return f"continue {s.label};" if s.label else "continue;"
+    if isinstance(s, A.Skip):
+        return "skip;"
+    if isinstance(s, A.LocalDecl):
+        return f"local {s.name} = {pretty_expr(s.init)} in"
+    if isinstance(s, A.If):
+        return f"if ({pretty_expr(s.cond)}) ..."
+    if isinstance(s, A.Loop):
+        return f"{s.label}: loop ..." if s.label else "loop ..."
+    if isinstance(s, A.Synchronized):
+        return f"synchronized ({pretty_expr(s.lock)}) ..."
+    if isinstance(s, A.Block):
+        return "{ ... }"
+    raise TypeError(type(s).__name__)
+
+
+def variant_lines(report: VariantReport, prefix: str) -> list[ReportLine]:
+    """Flatten a variant into labelled report lines."""
+    ctx = report.ctx
+    lines: list[ReportLine] = []
+    counter = [0]
+
+    def label() -> str:
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    def visit(s: A.Stmt, depth: int) -> None:
+        if isinstance(s, A.Block):
+            for sub in s.stmts:
+                visit(sub, depth)
+            return
+        if isinstance(s, A.LocalDecl):
+            bind_nodes = [n for n in ctx.stmt_nodes.get(s.nid, [])
+                          if n.kind is NodeKind.BIND]
+            atom = _node_atom(ctx, bind_nodes[0]) if bind_nodes else AT.B
+            lines.append(ReportLine(label(), depth, _one_line(s), atom, s))
+            visit(s.body, depth + 1)
+            return
+        # composite statements become single lines with their composed
+        # atomicity (from the step-6 propagation)
+        atom = report.stmt_atoms.get(s.nid, AT.B)
+        if isinstance(s, (A.If, A.Loop, A.Synchronized)):
+            lines.append(ReportLine(label(), depth, _one_line(s), atom, s))
+            return
+        # simple statements: the atomicity of their node's actions
+        nodes = ctx.stmt_nodes.get(s.nid, [])
+        atom = AT.seq_all([_node_atom(ctx, n) for n in nodes])
+        lines.append(ReportLine(label(), depth, _one_line(s), atom, s))
+
+    visit(report.variant.proc.body, 0)
+    return lines
+
+
+def render_variant(report: VariantReport, prefix: str) -> str:
+    header = (f"proc {report.variant.name}"
+              f"({', '.join(report.variant.proc.params)})"
+              f"    [atomicity: {report.body_atomicity}]")
+    body = "\n".join(line.render()
+                     for line in variant_lines(report, prefix))
+    return header + "\n" + body
+
+
+def render_figure(result: AnalysisResult,
+                  proc_order: list[str] | None = None) -> str:
+    """Render all variants of all procedures, Figure-3 style."""
+    order = proc_order or [p.name for p in result.program.procs]
+    prefixes = iter(string.ascii_lowercase)
+    chunks: list[str] = []
+    for name in order:
+        verdict = result.verdicts[name]
+        for report in verdict.variants:
+            prefix = next(prefixes, "z")
+            chunks.append(render_variant(report, prefix))
+    return "\n\n".join(chunks)
+
+
+def line_atomicities(result: AnalysisResult,
+                     variant_name: str) -> list[tuple[str, str]]:
+    """(text, atomicity-letter) pairs for one variant — handy for the
+    Fig. 3 golden tests."""
+    for verdict in result.verdicts.values():
+        for report in verdict.variants:
+            if report.variant.name == variant_name:
+                return [(line.text, str(line.atomicity))
+                        for line in variant_lines(report, "x")]
+    raise KeyError(variant_name)

@@ -1,0 +1,319 @@
+"""Exceptional slices of pure loops (§5.2).
+
+For each ``break``/``return`` in a pure loop, the *exceptional slice* is
+the backward slice of the loop body from that exit to the loop's entry.
+When the slice keeps only one branch of an ``if e S1 S2``, the ``if`` is
+replaced by ``TRUE(e); S1`` (or ``TRUE(!e); S2``).  Slices are computed
+on the CFG (backward reachability from the exit node, stopping at the
+loop head) and then reconstructed as fresh AST statements.
+
+A bare ``SC(v, e);`` statement is sugar for ``if (SC(v, e)) skip; else
+skip;`` (§3.2), so slicing through it yields both a ``TRUE(SC(v, e))``
+and a ``TRUE(!SC(v, e))`` slice — :func:`split_bare_sc` performs this
+success split, which is how Fig. 3 shows ``b5: TRUE(SC(Tail, next))``
+for UpdateTail's bare SC statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.graph import CFGNode, LoopInfo, NodeKind, ProcCFG
+from repro.synl import ast as A
+
+# -- cloning (decorations dropped; variants get re-resolved) -------------------
+
+
+def clone_expr(e: A.Expr) -> A.Expr:
+    from repro.synl.parser import _clone_expr
+
+    return _clone_expr(e)
+
+
+def clone_stmt(s: A.Stmt) -> A.Stmt:
+    if isinstance(s, A.Block):
+        out: A.Stmt = A.Block([clone_stmt(x) for x in s.stmts])
+    elif isinstance(s, A.Assign):
+        out = A.Assign(clone_expr(s.target), clone_expr(s.value))
+    elif isinstance(s, A.LocalDecl):
+        out = A.LocalDecl(s.name, clone_expr(s.init), clone_stmt(s.body))
+    elif isinstance(s, A.If):
+        out = A.If(clone_expr(s.cond), clone_stmt(s.then),
+                   clone_stmt(s.els) if s.els is not None else None)
+    elif isinstance(s, A.Loop):
+        out = A.Loop(clone_stmt(s.body), s.label)
+    elif isinstance(s, A.Break):
+        out = A.Break(s.label)
+    elif isinstance(s, A.Continue):
+        out = A.Continue(s.label)
+    elif isinstance(s, A.Return):
+        out = A.Return(clone_expr(s.value) if s.value is not None else None)
+    elif isinstance(s, A.Skip):
+        out = A.Skip()
+    elif isinstance(s, A.Synchronized):
+        out = A.Synchronized(clone_expr(s.lock), clone_stmt(s.body))
+    elif isinstance(s, A.Assume):
+        out = A.Assume(clone_expr(s.cond))
+    elif isinstance(s, A.AssertStmt):
+        out = A.AssertStmt(clone_expr(s.cond))
+    elif isinstance(s, A.ExprStmt):
+        out = A.ExprStmt(clone_expr(s.expr))
+    else:  # pragma: no cover
+        raise TypeError(f"cannot clone {type(s).__name__}")
+    out.at(s.pos)
+    return out
+
+
+_NEGATED_OP = {"==": "!=", "!=": "==", "<": ">=", "<=": ">",
+               ">": "<=", ">=": "<"}
+
+
+def negate(e: A.Expr) -> A.Expr:
+    """Logical negation with simplification (``!(a == b)`` → ``a != b``)."""
+    if isinstance(e, A.Unary) and e.op == "!":
+        return clone_expr(e.operand)
+    if isinstance(e, A.Binary) and e.op in _NEGATED_OP:
+        out: A.Expr = A.Binary(_NEGATED_OP[e.op], clone_expr(e.left),
+                               clone_expr(e.right))
+        out.at(e.pos)
+        return out
+    if isinstance(e, A.Const) and isinstance(e.value, bool):
+        out = A.Const(not e.value)
+        out.at(e.pos)
+        return out
+    out = A.Unary("!", clone_expr(e))
+    out.at(e.pos)
+    return out
+
+
+# -- slice computation --------------------------------------------------------
+
+def slice_nodes_for_exit(cfg: ProcCFG, info: LoopInfo,
+                         exit_node: CFGNode) -> set[CFGNode]:
+    """CFG nodes of the exceptional slice from the loop entry to
+    ``exit_node`` (backward reachability within the loop body, not
+    crossing the loop head).  The head itself is excluded: an edge back
+    to the head is a *normal* termination and must not count as a kept
+    branch direction during reconstruction."""
+    body = set(info.body_nodes)
+    nodes = cfg.backward_reachable([exit_node], stop={info.head})
+    return (nodes & body) | {exit_node}
+
+
+# -- AST reconstruction ---------------------------------------------------------
+
+@dataclass
+class _Rebuilt:
+    stmts: list[A.Stmt]
+    terminated: bool = False  # the emitted sequence always leaves the slice
+
+
+class SliceRebuilder:
+    """Rebuilds the AST of one exceptional slice."""
+
+    def __init__(self, cfg: ProcCFG, keep: set[CFGNode],
+                 drop_stmt: A.Stmt | None):
+        self.cfg = cfg
+        self.keep = keep
+        self.drop_stmt = drop_stmt  # the break of the sliced loop itself
+        self._by_stmt: dict[int, list[CFGNode]] = {}
+        for node in cfg.nodes:
+            if node.stmt is not None:
+                self._by_stmt.setdefault(node.stmt.nid, []).append(node)
+
+    def _nodes_of(self, s: A.Stmt) -> list[CFGNode]:
+        return self._by_stmt.get(s.nid, [])
+
+    def _kept(self, s: A.Stmt) -> bool:
+        return any(n in self.keep for n in self._nodes_of(s))
+
+    def rebuild(self, s: A.Stmt) -> _Rebuilt:
+        if isinstance(s, A.Block):
+            out: list[A.Stmt] = []
+            for sub in s.stmts:
+                r = self.rebuild(sub)
+                out.extend(r.stmts)
+                if r.terminated:
+                    return _Rebuilt(out, True)
+            return _Rebuilt(out)
+
+        if s is self.drop_stmt:
+            return _Rebuilt([], True)
+
+        if isinstance(s, (A.Assign, A.Assume, A.AssertStmt, A.ExprStmt,
+                          A.Skip)):
+            if self._kept(s):
+                return _Rebuilt([clone_stmt(s)])
+            return _Rebuilt([])
+
+        if isinstance(s, (A.Break, A.Continue, A.Return)):
+            if self._kept(s):
+                return _Rebuilt([clone_stmt(s)], True)
+            return _Rebuilt([])
+
+        if isinstance(s, A.LocalDecl):
+            if not self._kept(s):
+                return _Rebuilt([])
+            body = self.rebuild(s.body)
+            decl = A.LocalDecl(s.name, clone_expr(s.init),
+                               _as_block(body.stmts, s.pos))
+            decl.at(s.pos)
+            return _Rebuilt([decl], body.terminated)
+
+        if isinstance(s, A.If):
+            branch_nodes = [n for n in self._nodes_of(s)
+                            if n.kind is NodeKind.BRANCH]
+            if not branch_nodes or branch_nodes[0] not in self.keep:
+                return _Rebuilt([])
+            branch = branch_nodes[0]
+            true_kept = any(e.dst in self.keep
+                            for e in self.cfg.out_edges(branch)
+                            if e.label is True)
+            false_kept = any(e.dst in self.keep
+                             for e in self.cfg.out_edges(branch)
+                             if e.label is False)
+            if true_kept and false_kept:
+                then = self.rebuild(s.then)
+                els = self.rebuild(s.els) if s.els is not None else None
+                node = A.If(clone_expr(s.cond),
+                            _as_block(then.stmts, s.pos),
+                            _as_block(els.stmts, s.pos)
+                            if els is not None and els.stmts else None)
+                node.at(s.pos)
+                terminated = then.terminated and (
+                    els is not None and els.terminated)
+                return _Rebuilt([node], terminated)
+            if true_kept:
+                assume = A.Assume(clone_expr(s.cond))
+                assume.at(s.pos)
+                then = self.rebuild(s.then)
+                return _Rebuilt([assume] + then.stmts, then.terminated)
+            if false_kept:
+                assume = A.Assume(negate(s.cond))
+                assume.at(s.pos)
+                els = self.rebuild(s.els) if s.els is not None \
+                    else _Rebuilt([])
+                return _Rebuilt([assume] + els.stmts, els.terminated)
+            return _Rebuilt([])
+
+        if isinstance(s, A.Loop):
+            heads = [n for n in self._nodes_of(s)
+                     if n.kind is NodeKind.LOOP_HEAD]
+            if not heads or heads[0] not in self.keep:
+                return _Rebuilt([])
+            body = self.rebuild(s.body)
+            loop = A.Loop(_as_block(body.stmts, s.pos), s.label)
+            loop.at(s.pos)
+            return _Rebuilt([loop])
+
+        if isinstance(s, A.Synchronized):
+            if not self._kept(s):
+                return _Rebuilt([])
+            body = self.rebuild(s.body)
+            sync = A.Synchronized(clone_expr(s.lock),
+                                  _as_block(body.stmts, s.pos))
+            sync.at(s.pos)
+            return _Rebuilt([sync], body.terminated)
+
+        raise TypeError(f"cannot rebuild {type(s).__name__}")
+
+
+def _as_block(stmts: list[A.Stmt], pos) -> A.Block:
+    block = A.Block(stmts)
+    block.at(pos)
+    return block
+
+
+import itertools
+
+_SLICE_LABEL = itertools.count(1)
+
+
+def _retarget_breaks(stmts: list[A.Stmt], old_label: str | None,
+                     new_label: str) -> None:
+    for s in stmts:
+        for node in s.walk():
+            if isinstance(node, A.Break) and node.label == old_label:
+                node.label = new_label
+
+
+def exceptional_slice(cfg: ProcCFG, info: LoopInfo,
+                      exit_node: CFGNode) -> list[A.Stmt]:
+    """The exceptional slice for one exit, as a fresh statement list that
+    replaces the loop.
+
+    A ``break`` of the sliced loop itself is normally dropped (control
+    falls through to the code after the loop).  When that break sits
+    inside a *residual* inner loop kept in the slice, dropping it would
+    leave the inner loop with no exit; instead the slice is wrapped in a
+    fresh once-through labelled loop and the break retargeted to it.
+    """
+    keep = slice_nodes_for_exit(cfg, info, exit_node)
+    exits_via_break = (exit_node.kind is NodeKind.BREAK
+                       and getattr(exit_node, "jump_target", None)
+                       is info.loop)
+    nested = exits_via_break and exit_node.loop is not info.loop
+    drop = exit_node.stmt if exits_via_break and not nested else None
+    rebuilder = SliceRebuilder(cfg, keep, drop)
+    stmts = rebuilder.rebuild(info.loop.body).stmts
+    if nested:
+        fresh = f"__slice_{next(_SLICE_LABEL)}"
+        _retarget_breaks(stmts, info.loop.label, fresh)
+        trailing = A.Break(fresh)
+        trailing.at(info.loop.pos)
+        wrapper = A.Loop(_as_block(stmts + [trailing], info.loop.pos),
+                         fresh)
+        wrapper.at(info.loop.pos)
+        stmts = [wrapper]
+    return stmts
+
+
+# -- bare SC/CAS success split ---------------------------------------------------
+
+def split_bare_sc(stmts: list[A.Stmt]) -> list[list[A.Stmt]]:
+    """Expand bare ``SC(...)`` / ``CAS(...)`` statements into their
+    success/failure assumptions (see module docstring).  Returns the list
+    of alternative statement lists (cartesian product over occurrences)."""
+
+    def expand(s: A.Stmt) -> list[list[A.Stmt]]:
+        if isinstance(s, A.ExprStmt) and isinstance(
+                s.expr, (A.SCExpr, A.CASExpr)):
+            ok = A.Assume(clone_expr(s.expr))
+            ok.at(s.pos)
+            fail = A.Assume(negate(s.expr))
+            fail.at(s.pos)
+            return [[ok], [fail]]
+        if isinstance(s, A.Block):
+            variants = split_bare_sc(s.stmts)
+            return [[_as_block(v, s.pos)] for v in variants]
+        if isinstance(s, A.LocalDecl):
+            bodies = expand(s.body)
+            out = []
+            for b in bodies:
+                decl = A.LocalDecl(s.name, clone_expr(s.init),
+                                   b[0] if len(b) == 1
+                                   else _as_block(b, s.pos))
+                decl.at(s.pos)
+                out.append([decl])
+            return out
+        if isinstance(s, A.If):
+            thens = expand(s.then)
+            elses = expand(s.els) if s.els is not None else [None]
+            out = []
+            for t in thens:
+                for e in elses:
+                    node = A.If(
+                        clone_expr(s.cond),
+                        t[0] if len(t) == 1 else _as_block(t, s.pos),
+                        None if e is None else
+                        (e[0] if len(e) == 1 else _as_block(e, s.pos)))
+                    node.at(s.pos)
+                    out.append([node])
+            return out
+        return [[clone_stmt(s)]]
+
+    results: list[list[A.Stmt]] = [[]]
+    for s in stmts:
+        expanded = expand(s)
+        results = [prefix + alt for prefix in results for alt in expanded]
+    return results

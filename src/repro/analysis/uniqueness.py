@@ -1,0 +1,263 @@
+"""Uniqueness analysis for the working-copy idiom (§3.3, §6.2–6.3).
+
+The paper relies on "a specialized uniqueness analysis for non-blocking
+algorithms that use working copies of a shared object" ([16]); "no other
+uniqueness analysis is needed for the examples in this paper".  This
+module implements that specialization: it certifies that a thread-local
+variable ``u`` (e.g. ``prv`` in Herlihy's algorithm, ``prvObj`` in Gao &
+Hesselink's) *effectively contains a unique reference*, so that all field
+accesses through ``u`` are **local actions** (both-movers, Theorem 3.1).
+
+The certified discipline is the swap idiom:
+
+1. every assignment to ``u`` is either ``u = new C`` (in ``init`` /
+   ``threadinit``) or ``u = m`` immediately after a *successful*
+   ``SC(g, u)`` — i.e. as the first statement of the true branch of
+   ``if (SC(g, u)) ...`` or directly after ``TRUE(SC(g, u))`` — where
+   ``m`` was bound by ``local m = LL(g)``;
+2. ``m`` is dead after the swap (no later reads of ``m`` or ``m.*``);
+3. the only consuming use of ``u`` is as the new-value of ``SC(g, u)``
+   (dereferences ``u.fd`` are allowed); and
+4. all swaps of ``u`` go through a single global ``g`` (its *swap root*).
+
+Under this discipline the object reachable from ``u`` is never shared
+writable state: the previously shared object becomes ``u``'s private
+copy only once the SC has atomically removed it from ``g``, and stale
+readers of it are doomed (their VL/SC on ``g`` must fail) — that is the
+content of Theorems 5.3/5.4 and is exploited separately by the window
+rule in :mod:`repro.analysis.inference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.actions import node_actions
+from repro.cfg.graph import ProcCFG
+from repro.synl import ast as A
+
+
+@dataclass
+class UniquenessResult:
+    """Which thread-locals are certified unique, and their swap roots."""
+
+    #: threadlocal name -> binding id, for certified variables
+    unique: dict[str, int] = field(default_factory=dict)
+    #: threadlocal name -> global swap-root name
+    swap_root: dict[str, str] = field(default_factory=dict)
+    #: threadlocal name -> human-readable rejection reason
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    def unique_bindings(self) -> set[int]:
+        return set(self.unique.values())
+
+    def is_unique(self, binding: int | None) -> bool:
+        return binding is not None and binding in self.unique.values()
+
+
+def _assignments_to(program: A.Program, binding: int):
+    """Yield (stmt, context) for assignments to the given binding, where
+    context is 'init' for init/threadinit code and the procedure for
+    procedure code."""
+    def walk(s: A.Stmt, ctx):
+        if isinstance(s, A.Assign) and isinstance(s.target, A.Var) \
+                and s.target.binding == binding:
+            yield s, ctx
+        for child in s.children():
+            if isinstance(child, A.Stmt):
+                yield from walk(child, ctx)
+
+    for block in (program.init, program.threadinit):
+        if block is not None:
+            yield from walk(block, "init")
+    for proc in program.procs:
+        yield from walk(proc.body, proc)
+
+
+def _consuming_uses(program: A.Program, binding: int):
+    """Yield expressions that consume the binding's value (rvalue uses
+    outside field/index-base position), with a tag for allowed SC uses."""
+    def visit(e: A.Expr, in_base: bool):
+        if isinstance(e, A.Var):
+            if e.binding == binding and not in_base:
+                yield ("use", e)
+            return
+        if isinstance(e, A.Field):
+            yield from visit(e.base, True)
+            return
+        if isinstance(e, A.Index):
+            yield from visit(e.base, True)
+            yield from visit(e.index, False)
+            return
+        if isinstance(e, A.SCExpr):
+            if isinstance(e.value, A.Var) and e.value.binding == binding:
+                yield ("sc", e)
+            else:
+                yield from visit(e.value, False)
+            yield from visit(e.loc, True)
+            if isinstance(e.loc, A.Index):
+                yield from visit(e.loc.index, False)
+            return
+        for child in e.children():
+            if isinstance(child, A.Expr):
+                yield from visit(child, False)
+
+    for node in program.walk():
+        if isinstance(node, (A.Assign,)):
+            yield from visit(node.value, False)
+            if isinstance(node.target, A.Index):
+                yield from visit(node.target.index, False)
+        elif isinstance(node, A.LocalDecl):
+            yield from visit(node.init, False)
+        elif isinstance(node, A.If):
+            yield from visit(node.cond, False)
+        elif isinstance(node, (A.Assume, A.AssertStmt)):
+            yield from visit(node.cond, False)
+        elif isinstance(node, A.ExprStmt):
+            yield from visit(node.expr, False)
+        elif isinstance(node, A.Return) and node.value is not None:
+            yield from visit(node.value, False)
+        elif isinstance(node, A.Synchronized):
+            yield from visit(node.lock, False)
+
+
+def _swap_context_root(program: A.Program, proc: A.Procedure,
+                       assign: A.Assign, binding: int) -> str | None:
+    """If ``assign`` (``u = m``) sits immediately after a successful
+    ``SC(g, u)``, return the global name ``g``; else None."""
+
+    def sc_on_u(e: A.Expr) -> str | None:
+        if isinstance(e, A.SCExpr) and isinstance(e.value, A.Var) \
+                and e.value.binding == binding \
+                and isinstance(e.loc, A.Var) \
+                and e.loc.kind is A.VarKind.GLOBAL:
+            return e.loc.name
+        return None
+
+    # pattern (a): first statement of the true branch of if (SC(g, u)) ...
+    for node in proc.body.walk():
+        if isinstance(node, A.If):
+            root = sc_on_u(node.cond)
+            if root is not None:
+                then = node.then
+                first = then.stmts[0] if isinstance(then, A.Block) \
+                    and then.stmts else then
+                if first is assign:
+                    return root
+        # pattern (b): directly after TRUE(SC(g, u)) in a block
+        if isinstance(node, A.Block):
+            for i, stmt in enumerate(node.stmts[:-1]):
+                if isinstance(stmt, A.Assume):
+                    root = sc_on_u(stmt.cond)
+                    if root is not None and node.stmts[i + 1] is assign:
+                        return root
+    return None
+
+
+def _binding_decl(program: A.Program, binding: int) -> A.LocalDecl | None:
+    for node in program.walk():
+        if isinstance(node, A.LocalDecl) and node.binding == binding:
+            return node
+    return None
+
+
+def _m_dead_after(cfg: ProcCFG, assign: A.Assign, m_binding: int) -> bool:
+    """No reads of ``m`` (or ``m.*``) after the swap assignment."""
+    assign_nodes = [n for n in cfg.nodes if n.stmt is assign]
+    if not assign_nodes:
+        return False
+    for start in assign_nodes:
+        seen = cfg.reachable_from(start)
+        seen.discard(start)
+        for node in seen:
+            for action in node_actions(node):
+                if action.target is not None \
+                        and action.target.binding == m_binding \
+                        and action.op in ("read", "write"):
+                    return False
+    return True
+
+
+def uniqueness_analysis(program: A.Program,
+                        cfgs: dict[str, ProcCFG]) -> UniquenessResult:
+    """Certify thread-local variables under the working-copy discipline.
+
+    ``cfgs`` maps procedure names to their CFGs (used for the m-dead
+    check).
+    """
+    result = UniquenessResult()
+    for decl in program.threadlocals:
+        name = decl.name
+        binding = None
+        # threadlocals are bound at program scope; find the binding via any
+        # Var occurrence, or via the declared initializer context.
+        for node in program.walk():
+            if isinstance(node, A.Var) and node.name == name \
+                    and node.kind is A.VarKind.THREADLOCAL:
+                binding = node.binding
+                break
+        if binding is None:
+            result.rejected[name] = "never used"
+            continue
+
+        roots: set[str] = set()
+        ok = True
+        reason = ""
+        for assign, ctx in _assignments_to(program, binding):
+            if ctx == "init":
+                if not isinstance(assign.value, (A.New, A.NewArray)):
+                    ok, reason = False, "non-allocation init assignment"
+                    break
+                continue
+            proc = ctx
+            if not isinstance(assign.value, A.Var) \
+                    or assign.value.binding is None:
+                ok, reason = False, "swap source is not a local variable"
+                break
+            root = _swap_context_root(program, proc, assign, binding)
+            if root is None:
+                ok, reason = False, "assignment not guarded by SC(g, u)"
+                break
+            m_binding = assign.value.binding
+            m_decl = _binding_decl(program, m_binding)
+            if m_decl is None or not isinstance(m_decl.init, A.LLExpr) \
+                    or not isinstance(m_decl.init.loc, A.Var) \
+                    or m_decl.init.loc.name != root:
+                ok, reason = False, f"swap source not bound by LL({root})"
+                break
+            if proc.name not in cfgs \
+                    or not _m_dead_after(cfgs[proc.name], assign, m_binding):
+                ok, reason = False, "swap source still live after swap"
+                break
+            roots.add(root)
+
+        if ok:
+            for use_kind, expr in _consuming_uses(program, binding):
+                if use_kind == "use":
+                    ok, reason = False, "consumed outside SC(g, u)"
+                    break
+                assert isinstance(expr, A.SCExpr)
+                loc = expr.loc
+                if not (isinstance(loc, A.Var)
+                        and loc.kind is A.VarKind.GLOBAL):
+                    ok, reason = False, "SC root is not a global"
+                    break
+                roots.add(loc.name)
+
+        if ok and len(roots) > 1:
+            ok, reason = False, f"multiple swap roots {sorted(roots)}"
+
+        if ok and roots:
+            result.unique[name] = binding
+            result.swap_root[name] = next(iter(roots))
+        elif ok:
+            # never swapped: a thread-local that is only ever allocated
+            # fresh and dereferenced is trivially unique.
+            consuming = [u for u in _consuming_uses(program, binding)]
+            if not consuming:
+                result.unique[name] = binding
+            else:
+                result.rejected[name] = "no swap root"
+        else:
+            result.rejected[name] = reason
+    return result

@@ -1,0 +1,231 @@
+"""Exceptional variants of procedures (§5.2).
+
+Each variant is "a specialized version of the procedure ... with each
+pure loop replaced by its selected exceptional slice"; non-pure loops
+appear unchanged.  Theorem 5.2: if all exceptional variants of a
+procedure are atomic, the procedure is atomic.
+
+Variant generation produces a fresh, fully re-resolved
+:class:`~repro.synl.ast.Program` whose procedures are the variants (one
+per selection of exceptional slices across the procedure's *outermost*
+pure loops, times the SC success-split of
+:func:`repro.analysis.slices.split_bare_sc`).  Pure loops nested inside
+other pure loops are left inside their parent's slices (their atomicity
+is then computed via the iterative closure, which is conservative).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.analysis.purity import PurityInfo
+from repro.analysis.slices import clone_stmt, exceptional_slice, split_bare_sc
+from repro.cfg.graph import CFGNode, ProcCFG
+from repro.synl import ast as A
+from repro.synl.resolve import resolve
+
+
+@dataclass
+class Variant:
+    """One exceptional variant of one procedure."""
+
+    name: str                 #: variant procedure name (e.g. ``DeqP2``)
+    source: str               #: original procedure name
+    proc: A.Procedure         #: the variant as a fresh Procedure AST
+    #: which exceptional exit was selected per sliced loop (loop nid ->
+    #: human-readable exit description)
+    exits: dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class VariantSet:
+    """All exceptional variants of a program, as a resolved program."""
+
+    program: A.Program                      #: the variant program
+    variants: list[Variant]
+    by_source: dict[str, list[Variant]] = field(default_factory=dict)
+
+    def of(self, source: str) -> list[Variant]:
+        return self.by_source.get(source, [])
+
+
+def _exit_label(node: CFGNode) -> str:
+    stmt = node.stmt
+    if isinstance(stmt, A.Return):
+        if stmt.value is None:
+            return "return"
+        from repro.synl.printer import pretty_expr
+
+        return f"return {pretty_expr(stmt.value)}"
+    if isinstance(stmt, A.Break):
+        return f"break {stmt.label}" if stmt.label else "break"
+    return "exit"
+
+
+class _ProcExpander:
+    def __init__(self, cfg: ProcCFG, purity: dict[A.Loop, PurityInfo]):
+        self.cfg = cfg
+        self.purity = purity
+
+    def _is_pure(self, loop: A.Loop) -> bool:
+        info = self.purity.get(loop)
+        return info is not None and info.pure
+
+    def expand_stmt(self, s: A.Stmt) -> list[tuple[list[A.Stmt], dict, bool]]:
+        """Return alternatives as (stmts, exit-selection, terminated)."""
+        if isinstance(s, A.Block):
+            results: list[tuple[list[A.Stmt], dict, bool]] = [([], {}, False)]
+            for sub in s.stmts:
+                new_results = []
+                for stmts, sel, terminated in results:
+                    if terminated:
+                        new_results.append((stmts, sel, True))
+                        continue
+                    for sub_stmts, sub_sel, sub_term in self.expand_stmt(sub):
+                        new_results.append(
+                            (stmts + sub_stmts, {**sel, **sub_sel},
+                             sub_term))
+                results = new_results
+            return results
+
+        if isinstance(s, A.Loop) and self._is_pure(s):
+            nested_pure = any(
+                isinstance(d, A.Loop) and self._is_pure(d)
+                for d in s.body.walk())
+            if nested_pure:
+                # slice innermost pure loops first: keep this loop for a
+                # later expansion round (the checker iterates to a
+                # fixpoint) and expand only its body now
+                out = []
+                for body, sel, _term in self.expand_stmt(s.body):
+                    loop = A.Loop(A_block(body, s.pos), s.label)
+                    loop.at(s.pos)
+                    out.append(([loop], sel, False))
+                return out
+            info = self.cfg.loop_info(s)
+            alternatives = []
+            for exit_node in info.exceptional_exits:
+                slice_stmts = exceptional_slice(self.cfg, info, exit_node)
+                terminated = isinstance(exit_node.stmt, A.Return)
+                for split in split_bare_sc(slice_stmts):
+                    alternatives.append(
+                        (split, {s.nid: _exit_label(exit_node)},
+                         terminated))
+            return alternatives
+
+        if isinstance(s, A.LocalDecl):
+            out = []
+            for body, sel, term in self.expand_stmt(s.body):
+                decl = A.LocalDecl(s.name, clone_expr_of(s.init),
+                                   A_block(body, s.pos))
+                decl.at(s.pos)
+                out.append(([decl], sel, term))
+            return out
+
+        if isinstance(s, A.If):
+            thens = self.expand_stmt(s.then)
+            elses = self.expand_stmt(s.els) if s.els is not None \
+                else [(None, {}, False)]
+            out = []
+            for tstmts, tsel, tterm in thens:
+                for estmts, esel, eterm in elses:
+                    node = A.If(
+                        clone_expr_of(s.cond), A_block(tstmts, s.pos),
+                        A_block(estmts, s.pos)
+                        if estmts is not None else None)
+                    node.at(s.pos)
+                    out.append(([node], {**tsel, **esel},
+                                tterm and (estmts is not None and eterm)))
+            return out
+
+        if isinstance(s, A.Synchronized):
+            out = []
+            for body, sel, term in self.expand_stmt(s.body):
+                sync = A.Synchronized(clone_expr_of(s.lock),
+                                      A_block(body, s.pos))
+                sync.at(s.pos)
+                out.append(([sync], sel, term))
+            return out
+
+        if isinstance(s, A.Loop):
+            # non-pure loop: kept unchanged (§5.2); nested pure loops
+            # inside it are also kept (conservative)
+            return [([clone_stmt(s)], {}, False)]
+
+        terminated = isinstance(s, (A.Return,))
+        return [([clone_stmt(s)], {}, terminated)]
+
+
+def A_block(stmts: list[A.Stmt], pos) -> A.Block:
+    block = A.Block(stmts)
+    block.at(pos)
+    return block
+
+
+def clone_expr_of(e: A.Expr) -> A.Expr:
+    from repro.analysis.slices import clone_expr
+
+    return clone_expr(e)
+
+
+def make_variants(program: A.Program,
+                  cfgs: dict[str, ProcCFG],
+                  purity: dict[str, dict[A.Loop, PurityInfo]]) -> VariantSet:
+    """Build the variant program: every procedure replaced by its
+    exceptional variants, cloned and freshly resolved."""
+    variants: list[Variant] = []
+    by_source: dict[str, list[Variant]] = {}
+    procs: list[A.Procedure] = []
+
+    for proc in program.procs:
+        expander = _ProcExpander(cfgs[proc.name], purity.get(proc.name, {}))
+        alternatives = expander.expand_stmt(proc.body)
+        named: list[Variant] = []
+        multiple = len(alternatives) > 1
+        for i, (stmts, sel, _term) in enumerate(alternatives, start=1):
+            name = f"{proc.name}{i}" if multiple else proc.name
+            vproc = A.Procedure(name, list(proc.params),
+                                A_block(stmts, proc.body.pos))
+            vproc.at(proc.pos)
+            variant = Variant(name=name, source=proc.name, proc=vproc,
+                              exits=sel)
+            named.append(variant)
+            procs.append(vproc)
+        variants.extend(named)
+        by_source[proc.name] = named
+
+    vprogram = A.Program(
+        globals=[_clone_vardecl(d) for d in program.globals],
+        threadlocals=[_clone_vardecl(d) for d in program.threadlocals],
+        consts=[_clone_constdecl(c) for c in program.consts],
+        classes=[_clone_classdecl(c) for c in program.classes],
+        procs=procs,
+        init=clone_stmt(program.init) if program.init is not None else None,
+        threadinit=clone_stmt(program.threadinit)
+        if program.threadinit is not None else None,
+    )
+    resolve(vprogram)
+    return VariantSet(vprogram, variants, by_source)
+
+
+def _clone_vardecl(d: A.VarDecl) -> A.VarDecl:
+    out = A.VarDecl(d.name,
+                    clone_expr_of(d.init) if d.init is not None else None,
+                    d.versioned)
+    out.at(d.pos)
+    return out
+
+
+def _clone_constdecl(c: A.ConstDecl) -> A.ConstDecl:
+    value = A.Const(c.value.value)
+    value.at(c.value.pos)
+    out = A.ConstDecl(c.name, value)
+    out.at(c.pos)
+    return out
+
+
+def _clone_classdecl(c: A.ClassDecl) -> A.ClassDecl:
+    out = A.ClassDecl(c.name, list(c.fields), c.versioned_fields)
+    out.at(c.pos)
+    return out

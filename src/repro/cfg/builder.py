@@ -1,0 +1,194 @@
+"""Lowering of SYNL ASTs to control-flow graphs.
+
+The builder threads a *frontier* of dangling out-edges through the
+statement structure.  Jump statements (``break``, ``continue``,
+``return``) produce an empty frontier and register themselves with the
+loop structure:
+
+* ``continue L`` adds a *back edge* to L's head — a **normal**
+  termination of L's body (§4);
+* ``break L`` / ``return`` are **exceptional** exits of every loop they
+  leave (§5.2), and become exceptional-slice roots.
+
+``synchronized`` lowers to explicit ACQUIRE/RELEASE nodes; jumps that
+leave a synchronized region get the matching RELEASE nodes inserted
+before them (Java monitor semantics, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ResolveError
+from repro.synl import ast as A
+from repro.cfg.graph import CFGNode, LoopInfo, NodeKind, ProcCFG
+
+#: a dangling out-edge: (source node, edge label)
+Frontier = list[tuple[CFGNode, object]]
+
+
+@dataclass
+class _LoopCtx:
+    info: LoopInfo
+    breaks: Frontier = field(default_factory=list)
+    sync_depth: int = 0  # open synchronized regions at loop entry
+
+
+class CFGBuilder:
+    def __init__(self, name: str, proc: A.Procedure | None = None):
+        self.cfg = ProcCFG(name, proc)
+        self.loop_stack: list[_LoopCtx] = []
+        self.sync_stack: list[A.Synchronized] = []
+
+    # -- plumbing -------------------------------------------------------------
+    def _node(self, kind: NodeKind, stmt: A.Node | None = None,
+              expr: A.Expr | None = None) -> CFGNode:
+        node = self.cfg.add_node(kind, stmt, expr)
+        for ctx in self.loop_stack:
+            ctx.info.body_nodes.append(node)
+        if self.loop_stack:
+            node.loop = self.loop_stack[-1].info.loop
+        return node
+
+    def _attach(self, preds: Frontier, node: CFGNode) -> None:
+        for src, label in preds:
+            self.cfg.add_edge(src, node, label)
+
+    def _target_loop(self, label: str | None,
+                     stmt: A.Stmt) -> _LoopCtx:
+        if not self.loop_stack:
+            raise ResolveError("jump outside of a loop", stmt.pos)
+        if label is None:
+            return self.loop_stack[-1]
+        for ctx in reversed(self.loop_stack):
+            if ctx.info.loop.label == label:
+                return ctx
+        raise ResolveError(f"unknown loop label {label!r}", stmt.pos)
+
+    def _release_chain(self, preds: Frontier, down_to: int,
+                       stmt: A.Stmt) -> Frontier:
+        """Insert RELEASE nodes for synchronized regions opened above
+        stack depth ``down_to`` (innermost first)."""
+        for sync in reversed(self.sync_stack[down_to:]):
+            rel = self._node(NodeKind.RELEASE, stmt=sync, expr=sync.lock)
+            self._attach(preds, rel)
+            preds = [(rel, None)]
+        return preds
+
+    # -- statements -----------------------------------------------------------
+    def build_stmt(self, s: A.Stmt, preds: Frontier) -> Frontier:
+        if isinstance(s, A.Block):
+            for sub in s.stmts:
+                preds = self.build_stmt(sub, preds)
+            return preds
+
+        if isinstance(s, (A.Assign, A.Assume, A.AssertStmt, A.ExprStmt,
+                          A.Skip)):
+            node = self._node(NodeKind.STMT, stmt=s)
+            self._attach(preds, node)
+            return [(node, None)]
+
+        if isinstance(s, A.LocalDecl):
+            node = self._node(NodeKind.BIND, stmt=s, expr=s.init)
+            self._attach(preds, node)
+            return self.build_stmt(s.body, [(node, None)])
+
+        if isinstance(s, A.If):
+            branch = self._node(NodeKind.BRANCH, stmt=s, expr=s.cond)
+            self._attach(preds, branch)
+            out = self.build_stmt(s.then, [(branch, True)])
+            if s.els is not None:
+                out = out + self.build_stmt(s.els, [(branch, False)])
+            else:
+                out = out + [(branch, False)]
+            return out
+
+        if isinstance(s, A.Loop):
+            head = self._node(NodeKind.LOOP_HEAD, stmt=s)
+            self._attach(preds, head)
+            info = LoopInfo(
+                loop=s, head=head,
+                parent=self.loop_stack[-1].info if self.loop_stack else None)
+            self.cfg.loops.append(info)
+            ctx = _LoopCtx(info, sync_depth=len(self.sync_stack))
+            self.loop_stack.append(ctx)
+            body_exits = self.build_stmt(s.body, [(head, None)])
+            self.loop_stack.pop()
+            # fall-through = normal termination: back edge to the head
+            for src, label in body_exits:
+                self.cfg.add_edge(src, head, "back" if label is None else label)
+                info.back_sources.append(src)
+            return ctx.breaks
+
+        if isinstance(s, A.Break):
+            ctx = self._target_loop(s.label, s)
+            preds = self._release_chain(preds, ctx.sync_depth, s)
+            node = self._node(NodeKind.BREAK, stmt=s)
+            node.jump_target = ctx.info.loop
+            self._attach(preds, node)
+            ctx.breaks.append((node, None))
+            # exceptional exit of every loop being left
+            idx = self.loop_stack.index(ctx)
+            for inner in self.loop_stack[idx:]:
+                inner.info.exceptional_exits.append(node)
+            return []
+
+        if isinstance(s, A.Continue):
+            ctx = self._target_loop(s.label, s)
+            preds = self._release_chain(preds, ctx.sync_depth, s)
+            node = self._node(NodeKind.CONTINUE, stmt=s)
+            node.jump_target = ctx.info.loop
+            self._attach(preds, node)
+            self.cfg.add_edge(node, ctx.info.head, "back")
+            ctx.info.back_sources.append(node)
+            return []
+
+        if isinstance(s, A.Return):
+            preds = self._release_chain(preds, 0, s)
+            node = self._node(NodeKind.RETURN, stmt=s)
+            self._attach(preds, node)
+            self.cfg.add_edge(node, self.cfg.exit)
+            for ctx in self.loop_stack:
+                ctx.info.exceptional_exits.append(node)
+            return []
+
+        if isinstance(s, A.Synchronized):
+            acq = self._node(NodeKind.ACQUIRE, stmt=s, expr=s.lock)
+            self._attach(preds, acq)
+            self.sync_stack.append(s)
+            body_exits = self.build_stmt(s.body, [(acq, None)])
+            self.sync_stack.pop()
+            rel = self._node(NodeKind.RELEASE, stmt=s, expr=s.lock)
+            self._attach(body_exits, rel)
+            return [(rel, None)]
+
+        raise TypeError(f"cannot lower {type(s).__name__}")
+
+    def build(self, body: A.Stmt) -> ProcCFG:
+        exits = self.build_stmt(body, [(self.cfg.entry, None)])
+        # implicit return at the end of the procedure body
+        self._attach(exits, self.cfg.exit)
+        return self.cfg
+
+
+def build_cfg(proc: A.Procedure) -> ProcCFG:
+    """Build the CFG of a procedure body."""
+    return CFGBuilder(proc.name, proc).build(proc.body)
+
+
+def build_stmt_cfg(name: str, stmt: A.Stmt) -> ProcCFG:
+    """Build a CFG for a bare statement (init blocks, tests)."""
+    return CFGBuilder(name).build(stmt)
+
+
+def normal_iteration_nodes(cfg: ProcCFG, info: LoopInfo) -> set[CFGNode]:
+    """Nodes whose actions *can occur in a normally terminating iteration*
+    of the loop body (§4): nodes on some path head → … → head that stays
+    within the loop body."""
+    body = set(info.body_nodes) | {info.head}
+    forward = cfg.reachable_from(info.head, within=body)
+    backward = cfg.backward_reachable(
+        [n for n in info.back_sources if n in body])
+    backward &= body
+    result = (forward & backward) - {info.head}
+    return result

@@ -1,0 +1,52 @@
+"""Liveness of procedure-local variables over a :class:`ProcCFG`.
+
+A classic backward may-analysis.  The client supplies ``uses`` / ``defs``
+functions mapping a CFG node to sets of *abstract locations* (hashable —
+binding ids for scalar locals, ``(binding, field)`` pairs for unique
+reference regions).  A def only kills when ``strong`` says so; weak
+updates (array element writes) should simply not be reported in ``defs``.
+
+The purity analysis (§4, condition (ii)) uses first-access queries in
+:mod:`repro.analysis.purity`, but liveness provides the fast path for
+scalars and is independently tested against a path-enumeration oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.cfg.dataflow import Problem, Solution, solve, union_meet
+from repro.cfg.graph import CFGNode, ProcCFG
+
+Loc = Hashable
+
+
+class LivenessResult:
+    def __init__(self, sol: Solution):
+        self._sol = sol
+
+    def live_in(self, node: CFGNode) -> frozenset:
+        """Locations live immediately before ``node`` executes."""
+        return self._sol.after[node]
+
+    def live_out(self, node: CFGNode) -> frozenset:
+        """Locations live immediately after ``node`` executes."""
+        return self._sol.before[node]
+
+
+def liveness(cfg: ProcCFG,
+             uses: Callable[[CFGNode], frozenset],
+             defs: Callable[[CFGNode], frozenset]) -> LivenessResult:
+    """Solve liveness:  live_in(n) = uses(n) ∪ (live_out(n) − defs(n))."""
+
+    def transfer(node: CFGNode, live_out: frozenset) -> frozenset:
+        return uses(node) | (live_out - defs(node))
+
+    problem: Problem[frozenset] = Problem(
+        direction="backward",
+        boundary=frozenset(),
+        init=frozenset(),
+        meet=union_meet,
+        transfer=transfer,
+    )
+    return LivenessResult(solve(cfg, problem))

@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+.. code-block:: text
+
+    python -m repro analyze FILE         # atomicity verdicts + report
+    python -m repro blocks FILE          # atomic-block partition (§6.4)
+    python -m repro variants FILE        # print the exceptional variants
+    python -m repro run FILE T0 T1 ...   # execute under a random schedule
+    python -m repro mc FILE T0 ... --mode atomic   # model-check
+    python -m repro experiments NAME     # regenerate a table/figure
+
+Thread specs for ``run``/``mc`` are comma-separated call lists, e.g.
+``"AddNode(1),AddNode(2)"`` or ``"UpdateTail()*"`` (trailing ``*`` =
+repeat forever).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import analyze_program, render_figure
+from repro.analysis.blocks import partition_procedure
+from repro.errors import ReproError
+from repro.interp import Interp, ThreadSpec, run_random
+from repro.mc import Explorer
+from repro.synl.inline import inline_calls
+from repro.synl.parser import parse_program
+from repro.synl.printer import pretty
+from repro.synl.resolve import resolve
+
+
+def _load(path: str, inline: bool = True):
+    with open(path) as handle:
+        text = handle.read()
+    program = parse_program(text)
+    if inline:
+        program = inline_calls(program)
+    resolve(program)
+    return program
+
+
+def _split_calls(text: str) -> list[str]:
+    """Split on commas outside parentheses: "P(1,2),Q()" -> 2 calls."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        depth += ch == "("
+        depth -= ch == ")"
+        current.append(ch)
+    parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _parse_spec(text: str) -> ThreadSpec:
+    repeat = text.endswith("*")
+    if repeat:
+        text = text[:-1]
+    calls = []
+    for part in _split_calls(text):
+        name, _, arg_text = part.partition("(")
+        arg_text = arg_text.rstrip(")")
+        args = tuple(int(a) for a in arg_text.split(",") if a.strip())
+        calls.append((name,) + args)
+    return ThreadSpec.of(*calls, repeat=repeat)
+
+
+def cmd_analyze(args) -> int:
+    result = analyze_program(_load(args.file))
+    print(render_figure(result))
+    print()
+    for name, verdict in result.verdicts.items():
+        print(f"{name}: {'ATOMIC' if verdict.atomic else 'not shown atomic'}")
+    for diag in result.diagnostics:
+        print(f"note: {diag}")
+    return 0 if args.lenient or result.all_atomic else 1
+
+
+def cmd_blocks(args) -> int:
+    result = analyze_program(_load(args.file))
+    for name in result.verdicts:
+        for partition in partition_procedure(result, name):
+            print(partition.render())
+            print()
+    return 0
+
+
+def cmd_variants(args) -> int:
+    result = analyze_program(_load(args.file))
+    for variant in result.variant_set.variants:
+        print(pretty(variant.proc))
+        print()
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load(args.file)
+    interp = Interp(program)
+    specs = [_parse_spec(s) for s in args.threads]
+    world = interp.make_world(specs)
+    run_random(interp, world, seed=args.seed, max_steps=args.max_steps)
+    for event in world.history:
+        print(event)
+    done = all(t.done for t in world.threads)
+    print(f"-- {'all threads done' if done else 'step budget exhausted'}")
+    return 0
+
+
+def cmd_mc(args) -> int:
+    program = _load(args.file)
+    interp = Interp(program)
+    specs = [_parse_spec(s) for s in args.threads]
+    result = Explorer(interp, specs, mode=args.mode,
+                      max_states=args.max_states).run()
+    print(result)
+    if result.violation:
+        for step in result.trace:
+            print(f"  {step}")
+        return 1
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro import experiments
+
+    module = getattr(experiments, args.name, None)
+    if module is None or not hasattr(module, "main"):
+        names = ", ".join(experiments.__all__)
+        print(f"unknown experiment {args.name!r}; one of: {names}",
+              file=sys.stderr)
+        return 2
+    print(module.main())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static atomicity analysis for non-blocking "
+                    "programs (Wang & Stoller, PPoPP 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run the atomicity inference")
+    p.add_argument("file")
+    p.add_argument("--lenient", action="store_true",
+                   help="exit 0 even when procedures are not atomic")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("blocks", help="atomic-block partition (§6.4)")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_blocks)
+
+    p = sub.add_parser("variants", help="print exceptional variants")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_variants)
+
+    p = sub.add_parser("run", help="execute under a random schedule")
+    p.add_argument("file")
+    p.add_argument("threads", nargs="+",
+                   help='thread specs, e.g. "Enq(1),Deq()" "Up()*"')
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-steps", type=int, default=100_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("mc", help="explicit-state model checking")
+    p.add_argument("file")
+    p.add_argument("threads", nargs="+")
+    p.add_argument("--mode", default="full",
+                   choices=["full", "por", "atomic", "both"])
+    p.add_argument("--max-states", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_mc)
+
+    p = sub.add_parser("experiments",
+                       help="regenerate a table/figure of the paper")
+    p.add_argument("name", help="figure3, figure4, figure567, table2, "
+                                "section63, section64, or ablations")
+    p.set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""SYNL sources for the paper's example programs (§6) and extras.
+
+Each module exposes program source text constants; parse them with
+:func:`repro.synl.load_program` or analyze directly with
+:func:`repro.analysis.analyze_program`.
+"""
+
+from repro.corpus.queues import NFQ, NFQ_PRIME, NFQ_PRIME_BUGGY
+from repro.corpus.herlihy import HERLIHY_SMALL
+from repro.corpus.gao_hesselink import (GH_PROGRAM1, GH_PROGRAM2,
+                                        GH_FULL, GH_FULL_FIXED)
+from repro.corpus.allocator import ALLOCATOR
+from repro.corpus.extras import (CAS_COUNTER, SEMAPHORE, SPIN_LOCK,
+                                 TREIBER_STACK, LOCKED_REGISTER,
+                                 VERSIONED_CELL)
+
+__all__ = [
+    "NFQ",
+    "NFQ_PRIME",
+    "NFQ_PRIME_BUGGY",
+    "HERLIHY_SMALL",
+    "GH_PROGRAM1",
+    "GH_PROGRAM2",
+    "GH_FULL",
+    "GH_FULL_FIXED",
+    "ALLOCATOR",
+    "CAS_COUNTER",
+    "SEMAPHORE",
+    "SPIN_LOCK",
+    "TREIBER_STACK",
+    "LOCKED_REGISTER",
+    "VERSIONED_CELL",
+]

@@ -1,0 +1,226 @@
+"""Michael's lock-free memory allocator — malloc path (§6.4).
+
+The paper applied the analysis to the pseudo-code of ``malloc`` in
+Fig. 4 of Michael (PLDI 2004), which is not reprinted in the paper.
+This module is a **structural reconstruction** of those allocation
+routines (documented substitution; see DESIGN.md): the synchronization
+skeleton — the CAS retry loops and the order of shared accesses — follows
+Michael's algorithm, while block bookkeeping is simplified to packed
+integers manipulated by pure primitives:
+
+* ``Active`` packs (superblock id, credits); ``-1`` means none.
+* ``Anchors[sb]`` packs (avail, count, state) for superblock ``sb``.
+* ``Partial`` holds a partial superblock id or ``-1``.
+* ``FreeNext[·]`` is the in-superblock free list (written only at
+  superblock initialization, before publication).
+
+All of these words carry modification counters in Michael's algorithm
+(the ABA defence of §5.2); we declare them ``versioned`` accordingly.
+
+Like Michael's Fig. 4 we present the routines separately
+(``MallocFromActive``, ``MallocFromPartial``, ``MallocFromNewSB``,
+``UpdateActive``); SYNL has no calls, and the paper's analysis is
+intra-procedural, so analyzing the routines separately matches analyzing
+the inlined composition.  Every retry loop is pure; the analysis
+partitions each routine into atomic blocks (§6.4's headline: 74 lines of
+pseudocode → 15 atomic blocks).
+
+Pure primitives (no side effects, §3.2): ``reserve``, ``popanchor``,
+``packactive``, ``takeall``, ``putcount``, ``sbof``, ``creditsof``,
+``availof``, ``countof`` — integer packing/unpacking helpers registered
+with the interpreter.
+"""
+
+ALLOCATOR = """
+const NONE = -1;
+const MAXCREDITS = 4;
+
+global versioned Active;
+global versioned Partial;
+global versioned PartialList;
+global versioned Anchors;
+global versioned NextSB;
+global versioned DescAvail;
+global FreeNext;
+global DescNext;
+
+init {
+  FreeNext = new int[64];
+  DescNext = new int[8];
+  Anchors = new int[8];
+  local i = 0 in {
+    while (i < 63) {
+      FreeNext[i] = i + 1;
+      i = i + 1;
+    }
+  }
+  local s = 0 in {
+    while (s < 8) {
+      // block sbfirst(s) is handed out by MallocFromNewSB itself; the
+      // anchor's free list starts at the following block
+      Anchors[s] = (sbfirst(s) + 1) * 64 + MAXCREDITS;
+      s = s + 1;
+    }
+  }
+  Active = -1;
+  Partial = -1;
+  PartialList = -1;
+  DescAvail = -1;
+  NextSB = 0;
+}
+
+proc MallocFromActive() {
+  // phase 1 of malloc: reserve a credit from the active superblock,
+  // then pop the reserved block from its free list.
+  loop {
+    local oldactive = Active in {
+      if (oldactive == NONE) { return NONE; }
+      local credits = creditsof(oldactive) in
+      local newactive = reserve(oldactive, credits) in {
+        if (CAS(Active, oldactive, newactive)) {
+          local sb = sbof(oldactive) in {
+            loop {
+              local anchor = Anchors[sb] in
+              local avail = availof(anchor) in
+              local next = FreeNext[avail] in
+              local newanchor = popanchor(anchor, next, credits) in {
+                if (CAS(Anchors[sb], anchor, newanchor)) {
+                  return avail;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+proc MallocFromPartial() {
+  // phase 2: adopt a partial superblock, reserve all its blocks as
+  // credits, pop one block, and try to install the rest as Active.
+  loop {
+    local sb = Partial in {
+      if (sb == NONE) { return NONE; }
+      if (CAS(Partial, sb, NONE)) {
+        loop {
+          local anchor = Anchors[sb] in {
+            if (countof(anchor) == 0) { return NONE; }
+            local morecredits = takeall(anchor) in
+            local avail = availof(anchor) in
+            local next = FreeNext[avail] in
+            local newanchor = popanchor(anchor, next, morecredits) in {
+              if (CAS(Anchors[sb], anchor, newanchor)) {
+                loop {
+                  local oldactive = Active in {
+                    if (oldactive != NONE) { return avail; }
+                    local newactive = packactive(sb, morecredits) in {
+                      if (CAS(Active, oldactive, newactive)) {
+                        return avail;
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+proc MallocFromNewSB() {
+  // phase 3: reserve a fresh superblock id (Michael's DescAlloc CAS
+  // loop), then publish it as Active.  The publishing CAS expects the
+  // constant NONE — it has no matching read and forms an atomic block
+  // by itself; when it fails the superblock is retired to Partial.
+  loop {
+    local sb = NextSB in {
+      if (CAS(NextSB, sb, sb + 1)) {
+        if (CAS(Active, NONE, packactive(sb, MAXCREDITS))) {
+          return sbfirst(sb);
+        }
+        loop {
+          local p = Partial in {
+            if (CAS(Partial, p, sb)) { return NONE; }
+          }
+        }
+      }
+    }
+  }
+}
+
+proc UpdateActive() {
+  // return unused credits: try to reinstall them as Active; if another
+  // superblock became active meanwhile, flush the credits back into
+  // the anchor and remember the superblock as partial.
+  local sb = sbof(Reserved) in
+  local morecredits = creditsof(Reserved) in {
+    loop {
+      local oldactive = Active in {
+        if (oldactive == NONE) {
+          if (CAS(Active, NONE, packactive(sb, morecredits))) { return 1; }
+        } else {
+          loop {
+            local anchor = Anchors[sb] in
+            local newanchor = putcount(anchor, morecredits) in {
+              if (CAS(Anchors[sb], anchor, newanchor)) {
+                loop {
+                  local p = Partial in {
+                    if (CAS(Partial, p, sb)) { return 0; }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+proc DescAlloc() {
+  // pop a retired descriptor from the descriptor freelist, or carve a
+  // fresh one (modelled as taking the next id) when the list is empty.
+  loop {
+    local d = DescAvail in {
+      if (d != NONE) {
+        local next = DescNext[d] in {
+          if (CAS(DescAvail, d, next)) { return d; }
+        }
+      } else {
+        local batch = NextSB in {
+          if (CAS(NextSB, batch, batch + 1)) { return batch; }
+        }
+      }
+    }
+  }
+}
+
+proc HeapPutPartial(sb) {
+  // make sb the heap's partial superblock; a displaced previous
+  // partial overflows onto the shared partial list.
+  loop {
+    local prev = Partial in {
+      if (CAS(Partial, prev, sb)) {
+        if (prev != NONE) {
+          loop {
+            local head = PartialList in {
+              if (CAS(PartialList, head, packlist(prev, head))) { return 1; }
+            }
+          }
+        }
+        return 0;
+      }
+    }
+  }
+}
+
+threadlocal Reserved;
+
+threadinit {
+  Reserved = 0;
+}
+"""
+

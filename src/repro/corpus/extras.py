@@ -1,0 +1,165 @@
+"""Additional non-blocking (and blocking) programs exercising the
+analysis beyond the paper's four case studies.
+
+* ``SEMAPHORE`` — the §4 example of a pure loop (Down/Up on a counting
+  semaphore via LL/SC).
+* ``CAS_COUNTER`` — counter with CAS under the modification-counter
+  discipline (``global versioned``), exercising the CAS analogues of
+  Theorems 5.3/5.4 (matching reads).
+* ``TREIBER_STACK`` — Treiber's stack with LL/SC (no ABA, so no counter
+  needed); exercises the escape analysis on the push-node idiom.
+* ``SPIN_LOCK`` — a blocking object built from non-blocking primitives
+  (the paper notes the analysis "applies equally to non-blocking objects
+  and blocking objects").
+* ``LOCKED_REGISTER`` — lock-based register exercising Theorem 5.1.
+"""
+
+SEMAPHORE = """
+global Sem;
+
+init { Sem = 2; }
+
+proc Down() {
+  loop {
+    local tmp = LL(Sem) in {
+      if (tmp > 0) {
+        if (SC(Sem, tmp - 1)) { return; }
+      }
+    }
+  }
+}
+
+proc Up() {
+  loop {
+    local tmp = LL(Sem) in {
+      if (SC(Sem, tmp + 1)) { return; }
+    }
+  }
+}
+"""
+
+CAS_COUNTER = """
+global versioned Counter;
+
+init { Counter = 0; }
+
+proc Inc() {
+  loop {
+    local c = Counter in {
+      if (CAS(Counter, c, c + 1)) { return; }
+    }
+  }
+}
+
+proc Get() {
+  local c = Counter in {
+    return c;
+  }
+}
+"""
+
+TREIBER_STACK = """
+class SNode { Value; SNext; }
+global Top;
+const EMPTY = -1;
+
+init { Top = null; }
+
+proc Push(v) {
+  local n = new SNode in {
+    n.Value = v;
+    loop {
+      local t = LL(Top) in {
+        n.SNext = t;
+        if (SC(Top, n)) { return; }
+      }
+    }
+  }
+}
+
+proc Pop() {
+  loop {
+    local t = LL(Top) in {
+      if (t == null) { return EMPTY; }
+      local next = t.SNext in {
+        if (SC(Top, next)) { return t.Value; }
+      }
+    }
+  }
+}
+"""
+
+SPIN_LOCK = """
+global Lck;
+
+init { Lck = 0; }
+
+proc Acquire() {
+  loop {
+    local l = LL(Lck) in {
+      if (l == 0) {
+        if (SC(Lck, 1)) { return; }
+      }
+    }
+  }
+}
+
+proc Release() {
+  loop {
+    local l = LL(Lck) in {
+      if (SC(Lck, 0)) { return; }
+    }
+  }
+}
+"""
+
+#: Exercises the CAS discipline on *heap fields*: the counter lives in a
+#: cell object whose field is declared ``versioned`` (class-level
+#: modification-counter annotation), not in a global.
+VERSIONED_CELL = """
+class Cell { versioned V; }
+global C;
+
+init { C = new Cell; local r = C in { r.V = 0; } }
+
+proc IncCell() {
+  loop {
+    local r = C in
+    local v = r.V in {
+      if (CAS(r.V, v, v + 1)) { return; }
+    }
+  }
+}
+
+proc GetCell() {
+  local r = C in
+  local v = r.V in {
+    return v;
+  }
+}
+"""
+
+LOCKED_REGISTER = """
+class LockObj { unused; }
+global Lk;
+global Val;
+
+init {
+  Lk = new LockObj;
+  Val = 0;
+}
+
+proc Write(x) {
+  synchronized (Lk) {
+    Val = x;
+  }
+}
+
+proc Read() {
+  synchronized (Lk) {
+    local v = Val in {
+      return v;
+    }
+  }
+}
+"""

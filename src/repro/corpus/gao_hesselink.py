@@ -1,0 +1,159 @@
+"""Gao & Hesselink's non-blocking algorithm for large objects (§6.3,
+Figs. 5–7).
+
+The object's fields are split into ``W`` groups; operations copy only
+modified groups between the shared copy and the thread's private copy.
+
+* ``GH_PROGRAM1`` (Fig. 5): every group is copied in every attempt.  The
+  outer loop is pure (the element writes are covered by the counting
+  copy loop) and the analysis shows ``Apply`` atomic directly.
+* ``GH_PROGRAM2`` (Fig. 6): the copy is skipped when the values already
+  agree.  The guard *reads* the private array before rewriting it, so
+  the outer loop is not pure and the analysis cannot show atomicity
+  directly — exactly the paper's situation; atomicity follows from the
+  behavioural equivalence with Program 1 (checked operationally in the
+  experiments).
+* ``GH_FULL`` (Fig. 7): version numbers make the change check cheap.
+  Again handled by the paper's transformation argument, not by the
+  direct analysis.
+
+  **Reproduction finding:** Fig. 7 *as printed* is not behaviourally
+  equivalent to Programs 1/2.  After a failed SC the reset
+  ``prvObj.version[g] = 0`` can collide with a shared version that is
+  still 0, so the next attempt skips copying group ``g`` even though the
+  private copy holds *dirty* data from the failed attempt — our
+  operational equivalence check (``experiments.figure567``) exhibits
+  divergent final values.  ``GH_FULL_FIXED`` repairs this by resetting
+  to a sentinel (-1) that matches no shared version, forcing the
+  recopy; the fixed version passes the equivalence check.
+
+Group count ``W = 3`` matches the SPIN experiment in §6.3 (three integer
+fields, each its own group); arrays are indexed ``1..W``.
+"""
+
+_PRELUDE = """
+const W = 3;
+class Obj { data; version; }
+global SharedObj;
+threadlocal prvObj;
+
+init {
+  local o = new Obj in {
+    o.data = new int[W + 1];
+    o.version = new int[W + 1];
+    SharedObj = o;
+  }
+}
+
+threadinit {
+  prvObj = new Obj;
+  prvObj.data = new int[W + 1];
+  prvObj.version = new int[W + 1];
+}
+"""
+
+GH_PROGRAM1 = _PRELUDE + """
+proc Apply(g) {
+  a2: loop {
+    local m = LL(SharedObj) in
+    local i = 1 in {
+      loop {
+        if (i > W) { break; }
+        prvObj.data[i] = m.data[i];
+        if (!VL(SharedObj)) { continue a2; }
+        i = i + 1;
+      }
+      if (!VL(SharedObj)) { continue a2; }
+      prvObj.data[g] = compute(prvObj.data[g], g);
+      if (SC(SharedObj, prvObj)) {
+        prvObj = m;
+        return;
+      }
+    }
+  }
+}
+"""
+
+GH_PROGRAM2 = _PRELUDE + """
+proc Apply(g) {
+  a2: loop {
+    local m = LL(SharedObj) in
+    local i = 1 in {
+      loop {
+        if (i > W) { break; }
+        if (prvObj.data[i] != m.data[i]) {
+          prvObj.data[i] = m.data[i];
+          if (!VL(SharedObj)) { continue a2; }
+        }
+        i = i + 1;
+      }
+      if (!VL(SharedObj)) { continue a2; }
+      prvObj.data[g] = compute(prvObj.data[g], g);
+      if (SC(SharedObj, prvObj)) {
+        prvObj = m;
+        return;
+      }
+    }
+  }
+}
+"""
+
+GH_FULL = _PRELUDE + """
+proc Apply(g) {
+  a2: loop {
+    local m = LL(SharedObj) in
+    local i = 1 in {
+      loop {
+        if (i > W) { break; }
+        local newv = m.version[i] in {
+          if (newv != prvObj.version[i]) {
+            prvObj.data[i] = m.data[i];
+            if (!VL(SharedObj)) { continue a2; }
+            prvObj.version[i] = newv;
+          }
+        }
+        i = i + 1;
+      }
+      if (!VL(SharedObj)) { continue a2; }
+      prvObj.data[g] = compute(prvObj.data[g], g);
+      prvObj.version[g] = prvObj.version[g] + 1;
+      if (SC(SharedObj, prvObj)) {
+        prvObj = m;
+        return;
+      } else {
+        prvObj.version[g] = 0;
+      }
+    }
+  }
+}
+"""
+
+GH_FULL_FIXED = _PRELUDE + """
+proc Apply(g) {
+  a2: loop {
+    local m = LL(SharedObj) in
+    local i = 1 in {
+      loop {
+        if (i > W) { break; }
+        local newv = m.version[i] in {
+          if (newv != prvObj.version[i]) {
+            prvObj.data[i] = m.data[i];
+            if (!VL(SharedObj)) { continue a2; }
+            prvObj.version[i] = newv;
+          }
+        }
+        i = i + 1;
+      }
+      if (!VL(SharedObj)) { continue a2; }
+      prvObj.data[g] = compute(prvObj.data[g], g);
+      prvObj.version[g] = prvObj.version[g] + 1;
+      if (SC(SharedObj, prvObj)) {
+        prvObj = m;
+        return;
+      } else {
+        prvObj.version[g] = 0 - 1;
+      }
+    }
+  }
+}
+"""

@@ -1,0 +1,53 @@
+"""Herlihy's non-blocking algorithm for small objects (§6.2, Fig. 4).
+
+Each thread keeps a private working copy ``prv``; an operation copies
+the shared object's data, computes on the private copy, and swings the
+shared reference with SC, recycling the old shared object as the new
+private copy.  The VL after the copy prevents computing on an
+inconsistent snapshot.
+
+The paper's figure exits the loop with ``break`` and falls off the end
+of the procedure; we ``return`` directly (equivalent control flow, same
+per-line atomicity types: R B B B L B B).
+"""
+
+HERLIHY_SMALL = """
+class Obj { data; }
+global Q;
+threadlocal prv;
+
+init {
+  local o = new Obj in {
+    o.data = 0;
+    Q = o;
+  }
+}
+
+threadinit {
+  prv = new Obj;
+  prv.data = 0;
+}
+
+proc Apply(x) {
+  loop {
+    local m = LL(Q) in {
+      prv.data = m.data;
+      if (!VL(Q)) { continue; }
+      prv.data = compute(prv.data, x);
+      if (SC(Q, prv)) {
+        prv = m;
+        return;
+      }
+    }
+  }
+}
+
+proc ReadValue() {
+  loop {
+    local m = LL(Q) in
+    local v = m.data in {
+      if (VL(Q)) { return v; }
+    }
+  }
+}
+"""

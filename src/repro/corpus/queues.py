@@ -1,0 +1,140 @@
+"""Michael & Scott's non-blocking FIFO queue using LL/SC/VL (§6.1).
+
+``NFQ`` is the original algorithm (Fig. 1): Enq and Deq *help* by
+updating ``Tail`` on other threads' behalf, so their loops are not pure
+and the analysis cannot show them atomic directly.
+
+``NFQ_PRIME`` is the paper's modification (Fig. 2): all updates of
+``Tail`` move into a separate procedure ``UpdateTail`` that the
+environment may invoke at any time, making every loop pure.  The paper
+shows (and our analysis reproduces) that AddNode, UpdateTail, and Deq'
+(= ``DeqP`` here; SYNL identifiers cannot contain a prime) are atomic —
+see Fig. 3 for the per-line types.
+
+``NFQ_PRIME_BUGGY`` deletes AddNode's ``if (next != null) continue``
+guard — the incorrect version used in the third row of Table 2.  Note
+that the buggy AddNode is still *atomic* (atomicity is independent of
+functional correctness); the model checker finds the broken queue
+structure either way.
+"""
+
+_PRELUDE = """
+class Node { Value; Next; }
+global Head;
+global Tail;
+const EMPTY = -1;
+
+init {
+  local d = new Node in {
+    d.Value = 0;
+    d.Next = null;
+    Head = d;
+    Tail = d;
+  }
+}
+"""
+
+NFQ = _PRELUDE + """
+proc Enq(value) {
+  local node = new Node in {
+    node.Value = value;
+    node.Next = null;
+    loop {
+      local t = LL(Tail) in
+      local next = LL(t.Next) in {
+        if (!VL(Tail)) { continue; }
+        if (next != null) {
+          SC(Tail, next);
+          continue;
+        }
+        if (SC(t.Next, node)) {
+          SC(Tail, node);
+          return;
+        }
+      }
+    }
+  }
+}
+
+proc Deq() {
+  loop {
+    local h = LL(Head) in
+    local next = h.Next in {
+      if (!VL(Head)) { continue; }
+      if (next == null) { return EMPTY; }
+      if (h == LL(Tail)) {
+        SC(Tail, next);
+        continue;
+      }
+      local value = next.Value in {
+        if (SC(Head, next)) { return value; }
+      }
+    }
+  }
+}
+"""
+
+_ADDNODE = """
+proc AddNode(value) {
+  local node = new Node in {
+    node.Value = value;
+    node.Next = null;
+    loop {
+      local t = LL(Tail) in
+      local next = LL(t.Next) in {
+        if (!VL(Tail)) { continue; }
+        if (next != null) { continue; }
+        if (SC(t.Next, node)) { return; }
+      }
+    }
+  }
+}
+"""
+
+_ADDNODE_BUGGY = """
+proc AddNode(value) {
+  local node = new Node in {
+    node.Value = value;
+    node.Next = null;
+    loop {
+      local t = LL(Tail) in
+      local next = LL(t.Next) in {
+        if (!VL(Tail)) { continue; }
+        if (SC(t.Next, node)) { return; }
+      }
+    }
+  }
+}
+"""
+
+_REST = """
+proc UpdateTail() {
+  loop {
+    local t = LL(Tail) in
+    local next = t.Next in {
+      if (!VL(Tail)) { continue; }
+      if (next != null) {
+        SC(Tail, next);
+        return;
+      }
+    }
+  }
+}
+
+proc DeqP() {
+  loop {
+    local h = LL(Head) in
+    local next = h.Next in {
+      if (!VL(Head)) { continue; }
+      if (next == null) { return EMPTY; }
+      if (h == LL(Tail)) { continue; }
+      local value = next.Value in {
+        if (SC(Head, next)) { return value; }
+      }
+    }
+  }
+}
+"""
+
+NFQ_PRIME = _PRELUDE + _ADDNODE + _REST
+NFQ_PRIME_BUGGY = _PRELUDE + _ADDNODE_BUGGY + _REST

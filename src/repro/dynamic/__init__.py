@@ -1,0 +1,14 @@
+"""Runtime (dynamic) atomicity checking — the lock-based baseline the
+paper's related work compares against (§2)."""
+
+from repro.dynamic.checker import (Invocation, RuntimeAtomicityChecker,
+                                   RuntimeVerdict, TraceAction)
+from repro.dynamic.tracer import TracingInterp
+
+__all__ = [
+    "RuntimeAtomicityChecker",
+    "RuntimeVerdict",
+    "TraceAction",
+    "Invocation",
+    "TracingInterp",
+]

@@ -1,0 +1,19 @@
+"""Experiment drivers — one module per table/figure of the paper's
+evaluation (§6), plus ablations.  Each module has ``run()`` returning
+structured results and ``main()`` returning the rendered report.
+See DESIGN.md's per-experiment index."""
+
+from repro.experiments import (ablations, baseline_runtime, figure3,
+                               figure4, figure567, section63, section64,
+                               table2)
+
+__all__ = [
+    "figure3",
+    "figure4",
+    "figure567",
+    "table2",
+    "section63",
+    "section64",
+    "ablations",
+    "baseline_runtime",
+]

@@ -1,0 +1,95 @@
+"""§2 baseline — lock-based runtime atomicity checking vs. this paper.
+
+The paper's related-work claim: runtime reduction checkers (Wang &
+Stoller's block-based algorithm, Flanagan & Freund's Atomizer) "focus on
+locks and [are] not effective for programs that use non-blocking
+synchronization".  We run our implementation of that baseline over
+random schedules of the corpus and compare its verdicts with the
+paper's static analysis:
+
+* on the lock-based register, both approaches validate the procedures;
+* on every non-blocking algorithm the runtime checker reports
+  non-atomic (each unprotected shared access classifies as a non-mover,
+  and two non-movers cannot reduce), while the static analysis —
+  understanding LL/SC windows and purity — proves atomicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import corpus
+from repro.analysis import analyze_program
+from repro.dynamic import TracingInterp
+from repro.experiments.common import Table
+from repro.interp import ThreadSpec, run_random
+
+#: program -> (procedures to judge, thread specs exercising them)
+CONFIGS = {
+    "Locked register": (
+        corpus.LOCKED_REGISTER, ("Write", "Read"),
+        [[("Write", 1), ("Read",)], [("Write", 2), ("Read",)]]),
+    "NFQ' queue": (
+        corpus.NFQ_PRIME, ("AddNode", "DeqP"),
+        [[("AddNode", 1)], [("AddNode", 2)],
+         [("DeqP",), ("DeqP",)]]),
+    "Treiber stack": (
+        corpus.TREIBER_STACK, ("Push", "Pop"),
+        [[("Push", 1), ("Pop",)], [("Push", 2), ("Pop",)]]),
+    "CAS counter": (
+        corpus.CAS_COUNTER, ("Inc",),
+        [[("Inc",), ("Inc",)], [("Inc",)]]),
+    "Herlihy object": (
+        corpus.HERLIHY_SMALL, ("Apply",),
+        [[("Apply", 1)], [("Apply", 2)]]),
+}
+
+
+@dataclass
+class BaselineRow:
+    program: str
+    proc: str
+    runtime_atomic: bool
+    static_atomic: bool
+
+
+def run(seeds: range = range(4)) -> list[BaselineRow]:
+    rows: list[BaselineRow] = []
+    for name, (source, procs, spec_lists) in CONFIGS.items():
+        runtime_ok = {p: True for p in procs}
+        witnesses = {p: 0 for p in procs}
+        for seed in seeds:
+            interp = TracingInterp(source)
+            world = interp.make_world(
+                [ThreadSpec.of(*calls) for calls in spec_lists])
+            run_random(interp, world, seed=seed, max_steps=20_000)
+            for proc, verdict in interp.checker.verdicts().items():
+                if proc in runtime_ok:
+                    witnesses[proc] += verdict.witnesses
+                    runtime_ok[proc] &= verdict.atomic
+        static = analyze_program(source)
+        for proc in procs:
+            assert witnesses[proc] > 0, (name, proc)
+            rows.append(BaselineRow(name, proc, runtime_ok[proc],
+                                    static.is_atomic(proc)))
+    return rows
+
+
+def main() -> str:
+    rows = run()
+    table = Table(
+        "Lock-based runtime reduction checker (§2 baseline) vs. the "
+        "paper's static analysis",
+        ["program", "procedure", "runtime checker", "static analysis"])
+    for row in rows:
+        table.add(row.program, row.proc,
+                  "atomic" if row.runtime_atomic else "NOT atomic",
+                  "atomic" if row.static_atomic else "NOT atomic")
+    table.note("the lock-based baseline validates only the lock-based "
+               "program; the paper's analysis also proves the "
+               "non-blocking algorithms — its §2 claim, measured")
+    return table.render()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

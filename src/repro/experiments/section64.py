@@ -1,0 +1,103 @@
+"""§6.4 — Michael's lock-free allocator: atomic-block partitioning.
+
+The paper: "the allocation routines contain 74 lines of pseudo-code
+(actual C code may be significantly longer), and our analysis
+classifies it into 15 atomic blocks."
+
+Our reconstruction of the routines (see
+:mod:`repro.corpus.allocator`) measures:
+
+* **lines** — pseudocode lines of the routines (statement lines inside
+  ``proc`` bodies; braces/comments excluded);
+* **blocks** — per routine, the atomic-block partition of its longest
+  exceptional variant (the full execution path), summed.
+
+Every block must itself be atomic (type ≤ A) — the paper's "all
+CAS-blocks ... are atomic", with local actions merged into neighbouring
+blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import analyze_program
+from repro.analysis.blocks import BlockPartition, partition_procedure
+from repro.corpus.allocator import ALLOCATOR
+from repro.experiments.common import Table
+
+PAPER_LINES = 74
+PAPER_BLOCKS = 15
+
+
+def count_routine_lines(source: str = ALLOCATOR) -> int:
+    """Pseudocode lines inside ``proc`` bodies (no braces/comments)."""
+    def counted(line: str) -> bool:
+        s = line.strip()
+        return bool(s) and not s.startswith("//") \
+            and s not in ("{", "}", "} else {")
+
+    in_proc = False
+    depth = 0
+    count = 0
+    for line in source.splitlines():
+        s = line.strip()
+        if s.startswith("proc "):
+            in_proc = True
+        if in_proc and counted(line):
+            count += 1
+        if in_proc:
+            depth += s.count("{") - s.count("}")
+            if depth == 0 and "}" in s:
+                in_proc = False
+    return count
+
+
+@dataclass
+class Section64Result:
+    lines: int
+    blocks: int
+    per_proc: dict[str, int] = field(default_factory=dict)
+    partitions: dict[str, list[BlockPartition]] = field(
+        default_factory=dict)
+    all_blocks_atomic: bool = True
+
+    @property
+    def matches_paper(self) -> bool:
+        return (self.blocks == PAPER_BLOCKS
+                and abs(self.lines - PAPER_LINES) <= 5
+                and self.all_blocks_atomic)
+
+
+def run() -> Section64Result:
+    analysis = analyze_program(ALLOCATOR)
+    result = Section64Result(lines=count_routine_lines(), blocks=0)
+    for name in analysis.verdicts:
+        parts = partition_procedure(analysis, name)
+        result.partitions[name] = parts
+        best = max(parts, key=lambda p: p.n_blocks)
+        result.per_proc[name] = best.n_blocks
+        result.blocks += best.n_blocks
+        for p in parts:
+            for block in p.blocks:
+                if str(block.atomicity) == "N":
+                    result.all_blocks_atomic = False
+    return result
+
+
+def main() -> str:
+    result = run()
+    table = Table("Section 6.4: Michael's allocator, atomic blocks",
+                  ["routine", "atomic blocks (longest path)"])
+    for name, blocks in result.per_proc.items():
+        table.add(name, blocks)
+    table.add("TOTAL", result.blocks)
+    table.note(f"pseudocode lines: {result.lines} (paper: {PAPER_LINES})")
+    table.note(f"atomic blocks: {result.blocks} (paper: {PAPER_BLOCKS})")
+    table.note(f"every block atomic: {result.all_blocks_atomic}")
+    table.note(f"matches paper: {result.matches_paper}")
+    return table.render()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

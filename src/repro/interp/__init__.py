@@ -1,0 +1,28 @@
+"""Operational semantics substrate: the SYNL interpreter."""
+
+from repro.interp.interp import AssumeFailed, Interp, run
+from repro.interp.scheduler import (RandomScheduler, RoundRobin, run_random,
+                                    run_round_robin)
+from repro.interp.state import Event, Frame, Thread, ThreadSpec, World
+from repro.interp.values import (Heap, HeapArray, HeapObject, Ref,
+                                 default_primitives)
+
+__all__ = [
+    "Interp",
+    "AssumeFailed",
+    "run",
+    "RandomScheduler",
+    "RoundRobin",
+    "run_random",
+    "run_round_robin",
+    "Event",
+    "Frame",
+    "Thread",
+    "ThreadSpec",
+    "World",
+    "Heap",
+    "HeapArray",
+    "HeapObject",
+    "Ref",
+    "default_primitives",
+]

@@ -1,0 +1,134 @@
+"""Program state for the SYNL interpreter: threads, frames, worlds.
+
+A :class:`World` is a complete program state — global store, heap, lock
+table, and per-thread local state — that can be deep-copied (for the
+model checker's branching exploration) and canonicalized
+(:mod:`repro.mc.canonical`).
+
+Each thread executes a :class:`ThreadSpec`: a list of procedure
+invocations (optionally repeated forever), which models the paper's
+environment that "invokes procedures with arbitrary arguments and an
+arbitrary amount of concurrency" (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfg.graph import CFGNode, ProcCFG
+from repro.interp.values import Heap, Value
+
+Addr = tuple  # ('g', name) | ('t', tid, name) | ('f', oid, fd) | ('e', oid, i)
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """What one environment thread does: a sequence of invocations."""
+
+    ops: tuple  # tuple[tuple[str, tuple[Value, ...]], ...]
+    repeat: bool = False
+
+    @staticmethod
+    def of(*calls, repeat: bool = False) -> "ThreadSpec":
+        """``ThreadSpec.of(("Enq", 1), ("Deq",))``"""
+        norm = tuple((name, tuple(rest)) for name, *rest in
+                     (c if isinstance(c, tuple) else (c,) for c in calls))
+        return ThreadSpec(norm, repeat)
+
+
+@dataclass
+class Event:
+    kind: str       # 'invoke' | 'return'
+    tid: int
+    proc: str
+    args: tuple
+    result: Value = None
+    seq: int = 0
+
+    def __repr__(self) -> str:
+        if self.kind == "invoke":
+            return f"[{self.seq}] t{self.tid} call {self.proc}{self.args}"
+        return (f"[{self.seq}] t{self.tid} ret  {self.proc}{self.args}"
+                f" = {self.result!r}")
+
+
+@dataclass
+class Frame:
+    proc_name: str
+    cfg: ProcCFG
+    node: Optional[CFGNode]      # the node about to execute
+    env: dict[int, Value] = field(default_factory=dict)
+    args: tuple = ()
+
+    def copy(self) -> "Frame":
+        return Frame(self.proc_name, self.cfg, self.node, dict(self.env),
+                     self.args)
+
+
+@dataclass
+class Thread:
+    tid: int
+    spec: ThreadSpec
+    op_index: int = 0
+    frame: Optional[Frame] = None
+    threadlocals: dict[str, Value] = field(default_factory=dict)
+    #: addr -> reservation still valid?
+    reservations: dict[Addr, bool] = field(default_factory=dict)
+    #: addr -> modification counter observed at the last read
+    observed: dict[Addr, int] = field(default_factory=dict)
+    steps: int = 0
+
+    @property
+    def done(self) -> bool:
+        if self.frame is not None:
+            return False
+        if self.spec.repeat:
+            return not self.spec.ops
+        return self.op_index >= len(self.spec.ops)
+
+    def current_call(self) -> tuple[str, tuple]:
+        ops = self.spec.ops
+        return ops[self.op_index % len(ops)]
+
+    def copy(self) -> "Thread":
+        return Thread(
+            self.tid, self.spec, self.op_index,
+            self.frame.copy() if self.frame is not None else None,
+            dict(self.threadlocals), dict(self.reservations),
+            dict(self.observed), self.steps)
+
+
+class World:
+    """A complete, copyable program state."""
+
+    def __init__(self) -> None:
+        self.globals: dict[str, Value] = {}
+        self.heap = Heap()
+        self.locks: dict[int, tuple[int, int]] = {}  # oid -> (tid, depth)
+        self.versions: dict[Addr, int] = {}          # store counters
+        self.threads: list[Thread] = []
+        self.history: list[Event] = []
+        self._seq = 0
+
+    def emit(self, event: Event) -> Event:
+        event.seq = self._seq
+        self._seq += 1
+        self.history.append(event)
+        return event
+
+    def copy(self, with_history: bool = False) -> "World":
+        out = World()
+        out.globals = dict(self.globals)
+        out.heap = self.heap.copy()
+        out.locks = dict(self.locks)
+        out.versions = dict(self.versions)
+        out.threads = [t.copy() for t in self.threads]
+        if with_history:
+            out.history = list(self.history)
+            out._seq = self._seq
+        return out
+
+    def quiescent(self) -> bool:
+        """All threads between invocations (outside all code blocks)."""
+        return all(t.frame is None for t in self.threads)

@@ -1,0 +1,139 @@
+"""Runtime values and heap objects for the SYNL interpreter.
+
+Values are Python ints/bools, ``None`` (SYNL ``null``), and
+:class:`Ref` heap references.  Heap objects come in two shapes: records
+(class instances with named fields) and arrays (int-indexed cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InterpError
+
+Value = object  # int | bool | None | Ref
+
+
+@dataclass(frozen=True)
+class Ref:
+    oid: int
+
+    def __repr__(self) -> str:
+        return f"@{self.oid}"
+
+
+@dataclass
+class HeapObject:
+    class_name: str
+    fields: dict[str, Value] = field(default_factory=dict)
+
+    def copy(self) -> "HeapObject":
+        return HeapObject(self.class_name, dict(self.fields))
+
+
+@dataclass
+class HeapArray:
+    class_name: str
+    cells: list[Value] = field(default_factory=list)
+
+    def copy(self) -> "HeapArray":
+        return HeapArray(self.class_name, list(self.cells))
+
+
+class Heap:
+    """An object heap with integer object ids."""
+
+    def __init__(self) -> None:
+        self.objects: dict[int, HeapObject | HeapArray] = {}
+        self._next = 1
+
+    def alloc(self, class_name: str) -> Ref:
+        oid = self._next
+        self._next += 1
+        self.objects[oid] = HeapObject(class_name)
+        return Ref(oid)
+
+    def alloc_array(self, class_name: str, size: int) -> Ref:
+        if size < 0:
+            raise InterpError(f"negative array size {size}")
+        oid = self._next
+        self._next += 1
+        self.objects[oid] = HeapArray(class_name, [0] * size)
+        return Ref(oid)
+
+    def get(self, ref: Value) -> HeapObject | HeapArray:
+        if not isinstance(ref, Ref):
+            raise InterpError(f"dereference of non-reference {ref!r}")
+        try:
+            return self.objects[ref.oid]
+        except KeyError:
+            raise InterpError(f"dangling reference {ref!r}") from None
+
+    def read_field(self, ref: Value, name: str) -> Value:
+        obj = self.get(ref)
+        if not isinstance(obj, HeapObject):
+            raise InterpError(f"field access {name} on array {ref!r}")
+        return obj.fields.get(name)
+
+    def write_field(self, ref: Value, name: str, value: Value) -> None:
+        obj = self.get(ref)
+        if not isinstance(obj, HeapObject):
+            raise InterpError(f"field write {name} on array {ref!r}")
+        obj.fields[name] = value
+
+    def read_elem(self, ref: Value, index: Value) -> Value:
+        obj = self.get(ref)
+        if not isinstance(obj, HeapArray):
+            raise InterpError(f"index access on non-array {ref!r}")
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise InterpError(f"non-integer array index {index!r}")
+        if not 0 <= index < len(obj.cells):
+            raise InterpError(
+                f"array index {index} out of bounds [0, {len(obj.cells)})")
+        return obj.cells[index]
+
+    def write_elem(self, ref: Value, index: Value, value: Value) -> None:
+        obj = self.get(ref)
+        if not isinstance(obj, HeapArray):
+            raise InterpError(f"index write on non-array {ref!r}")
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise InterpError(f"non-integer array index {index!r}")
+        if not 0 <= index < len(obj.cells):
+            raise InterpError(
+                f"array index {index} out of bounds [0, {len(obj.cells)})")
+        obj.cells[index] = value
+
+    def copy(self) -> "Heap":
+        out = Heap()
+        out._next = self._next
+        out.objects = {oid: obj.copy() for oid, obj in self.objects.items()}
+        return out
+
+
+#: Default pure primitives (§3.2: "primitive operations have no side
+#: effect").  Applications register more via ``Interp(primitives=...)``.
+def _compute(*args: int) -> int:
+    return sum(a for a in args if isinstance(a, int)) + 1
+
+
+#: Packing helpers for the allocator corpus.  ``Active`` packs
+#: (superblock id, credits) as sb*8 + credits; anchors pack
+#: (avail, count) as avail*64 + count.
+def default_primitives() -> dict:
+    return {
+        "compute": _compute,
+        "inc": lambda v: v + 1,
+        "min": min,
+        "max": max,
+        "packactive": lambda sb, credits: sb * 8 + credits,
+        "sbof": lambda a: a // 8,
+        "creditsof": lambda a: a % 8,
+        "reserve": lambda a, c: -1 if c == 0 else a - 1,
+        "availof": lambda anchor: anchor // 64,
+        "countof": lambda anchor: anchor % 64,
+        "popanchor": lambda anchor, nxt, credits: nxt * 64 + anchor % 64,
+        "takeall": lambda anchor: anchor % 64,
+        "putcount": lambda anchor, n: anchor + n,
+        "packlist": lambda prev, head: prev,
+        "sbfirst": lambda sb: sb * 8,
+    }

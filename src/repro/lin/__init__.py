@@ -1,0 +1,25 @@
+"""Linearizability checking (the paper's §2 target condition)."""
+
+from repro.lin.checker import (LinResult, linearizable,
+                               linearizable_bruteforce)
+from repro.lin.history import Op, history_ops, precedes, world_history
+from repro.lin.specs import (CounterSpec, FifoQueueSpec, HerlihyObjectSpec,
+                             RegisterSpec, SemaphoreSpec, SequentialSpec,
+                             StackSpec)
+
+__all__ = [
+    "LinResult",
+    "linearizable",
+    "linearizable_bruteforce",
+    "Op",
+    "history_ops",
+    "world_history",
+    "precedes",
+    "SequentialSpec",
+    "FifoQueueSpec",
+    "StackSpec",
+    "CounterSpec",
+    "RegisterSpec",
+    "SemaphoreSpec",
+    "HerlihyObjectSpec",
+]

@@ -1,0 +1,127 @@
+"""Wing–Gong style linearizability checker.
+
+Searches for a legal sequential ordering of a concurrent history that
+respects the real-time partial order (§2).  An operation can linearize
+next iff no *other* unlinearized operation responded before it was
+invoked.  Completed operations must produce the result they actually
+returned; pending operations may linearize with any result or be
+dropped entirely.
+
+The search memoizes on (set of remaining operations, spec state), which
+makes it exponential only in genuinely ambiguous histories — fine for
+the history sizes the test suite and examples generate.  A brute-force
+permutation oracle (:func:`linearizable_bruteforce`) cross-checks it in
+the property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lin.history import Op
+from repro.lin.specs import SequentialSpec
+
+
+@dataclass
+class LinResult:
+    ok: bool
+    witness: list[Op] = field(default_factory=list)
+    explored: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _result_matches(expected, op: Op) -> bool:
+    if op.pending:
+        return True
+    return expected == op.result and \
+        isinstance(expected, bool) == isinstance(op.result, bool)
+
+
+def linearizable(ops: list[Op], spec: SequentialSpec,
+                 max_nodes: int = 2_000_000) -> LinResult:
+    """Check linearizability of a history against a sequential spec."""
+    n = len(ops)
+    full_mask = (1 << n) - 1
+    # precompute, for each op, the mask of ops whose response precedes
+    # its invocation (those must linearize first)
+    must_precede = [0] * n
+    for i, a in enumerate(ops):
+        for j, b in enumerate(ops):
+            if i != j and b.return_seq is not None \
+                    and b.return_seq < a.invoke_seq:
+                must_precede[i] |= 1 << j
+
+    seen: set[tuple[int, object]] = set()
+    explored = 0
+
+    def search(done_mask: int, state) -> Optional[list[Op]]:
+        nonlocal explored
+        if done_mask == full_mask:
+            return []
+        key = (done_mask, state)
+        if key in seen:
+            return None
+        seen.add(key)
+        explored += 1
+        if explored > max_nodes:
+            raise RuntimeError("linearizability search budget exceeded")
+        remaining_completed = [i for i in range(n)
+                               if not done_mask >> i & 1
+                               and not ops[i].pending]
+        # can we drop every remaining pending op and finish?
+        if not remaining_completed:
+            return []
+        for i in range(n):
+            if done_mask >> i & 1:
+                continue
+            if must_precede[i] & ~done_mask:
+                continue  # some predecessor not yet linearized
+            outcome = spec.apply(state, ops[i].proc, ops[i].args)
+            if outcome is None:
+                continue  # operation not allowed in this state
+            new_state, expected = outcome
+            if not _result_matches(expected, ops[i]):
+                continue
+            rest = search(done_mask | 1 << i, new_state)
+            if rest is not None:
+                return [ops[i]] + rest
+        return None
+
+    witness = search(0, spec.initial())
+    return LinResult(witness is not None, witness or [], explored)
+
+
+def linearizable_bruteforce(ops: list[Op],
+                            spec: SequentialSpec) -> bool:
+    """Oracle: try all permutations of all subsets that keep every
+    completed op (pending ops optional).  Exponential; tiny inputs only."""
+    completed = [o for o in ops if not o.pending]
+    pending = [o for o in ops if o.pending]
+    for r in range(len(pending) + 1):
+        for extra in itertools.combinations(pending, r):
+            chosen = completed + list(extra)
+            for perm in itertools.permutations(chosen):
+                if _legal(perm, spec):
+                    return True
+    return False
+
+
+def _legal(perm, spec: SequentialSpec) -> bool:
+    # real-time order
+    for i, a in enumerate(perm):
+        for b in perm[i + 1:]:
+            if b.return_seq is not None and b.return_seq < a.invoke_seq:
+                return False
+    state = spec.initial()
+    for op in perm:
+        outcome = spec.apply(state, op.proc, op.args)
+        if outcome is None:
+            return False
+        state, expected = outcome
+        if not _result_matches(expected, op):
+            return False
+    return True

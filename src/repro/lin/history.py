@@ -1,0 +1,59 @@
+"""Operation histories extracted from interpreter runs.
+
+A history is a sequence of invocation/response events (§2,
+Herlihy & Wing).  Operations that were invoked but never responded are
+*pending*: a linearization may either include them (they took effect
+before the crash/cut) or drop them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.interp.state import Event, World
+
+
+@dataclass(frozen=True)
+class Op:
+    op_id: int
+    tid: int
+    proc: str
+    args: tuple
+    result: object
+    invoke_seq: int
+    return_seq: Optional[int]  # None = pending
+
+    @property
+    def pending(self) -> bool:
+        return self.return_seq is None
+
+    def __repr__(self) -> str:
+        ret = "pending" if self.pending else repr(self.result)
+        return f"{self.proc}{self.args}={ret}@t{self.tid}"
+
+
+def history_ops(events: list[Event]) -> list[Op]:
+    """Pair invoke/return events into operations, in invocation order."""
+    ops: list[Op] = []
+    open_by_tid: dict[int, int] = {}
+    for event in events:
+        if event.kind == "invoke":
+            open_by_tid[event.tid] = len(ops)
+            ops.append(Op(len(ops), event.tid, event.proc, event.args,
+                          None, event.seq, None))
+        elif event.kind == "return":
+            idx = open_by_tid.pop(event.tid)
+            prev = ops[idx]
+            ops[idx] = Op(prev.op_id, prev.tid, prev.proc, prev.args,
+                          event.result, prev.invoke_seq, event.seq)
+    return ops
+
+
+def world_history(world: World) -> list[Op]:
+    return history_ops(world.history)
+
+
+def precedes(a: Op, b: Op) -> bool:
+    """Real-time order: a's response happens before b's invocation."""
+    return a.return_seq is not None and a.return_seq < b.invoke_seq

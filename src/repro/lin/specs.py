@@ -1,0 +1,144 @@
+"""Sequential specifications for linearizability checking.
+
+A spec maps (state, operation, args) to the successor state and the
+expected result.  States must be hashable (they key the checker's
+memoization).  The paper's two-step approach (§1/§6.1): first show the
+implementation run sequentially satisfies such a spec, then use the
+atomicity analysis to lift it to concurrent executions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SequentialSpec:
+    """Interface: override ``initial`` and ``apply``."""
+
+    def initial(self):
+        raise NotImplementedError
+
+    def apply(self, state, proc: str, args: tuple):
+        """Return (new_state, result) or None when the operation is not
+        allowed in this state (e.g. semaphore Down at zero — the op
+        cannot linearize here)."""
+        raise NotImplementedError
+
+
+class FifoQueueSpec(SequentialSpec):
+    """FIFO queue with EMPTY-returning dequeue.  Matches NFQ (Enq/Deq)
+    and NFQ' (AddNode/DeqP); UpdateTail is a no-op helper."""
+
+    def __init__(self, empty: int = -1,
+                 enq: tuple = ("Enq", "AddNode"),
+                 deq: tuple = ("Deq", "DeqP"),
+                 noop: tuple = ("UpdateTail",)):
+        self.empty = empty
+        self.enq = enq
+        self.deq = deq
+        self.noop = noop
+
+    def initial(self):
+        return ()
+
+    def apply(self, state: tuple, proc: str, args: tuple):
+        if proc in self.enq:
+            return state + (args[0],), None
+        if proc in self.deq:
+            if not state:
+                return state, self.empty
+            return state[1:], state[0]
+        if proc in self.noop:
+            return state, None
+        raise KeyError(proc)
+
+
+class StackSpec(SequentialSpec):
+    """LIFO stack with EMPTY-returning pop (Treiber)."""
+
+    def __init__(self, empty: int = -1, push: str = "Push",
+                 pop: str = "Pop"):
+        self.empty = empty
+        self.push = push
+        self.pop = pop
+
+    def initial(self):
+        return ()
+
+    def apply(self, state: tuple, proc: str, args: tuple):
+        if proc == self.push:
+            return state + (args[0],), None
+        if proc == self.pop:
+            if not state:
+                return state, self.empty
+            return state[:-1], state[-1]
+        raise KeyError(proc)
+
+
+class CounterSpec(SequentialSpec):
+    """Counter with Inc/Get (the CAS counter corpus)."""
+
+    def initial(self):
+        return 0
+
+    def apply(self, state: int, proc: str, args: tuple):
+        if proc == "Inc":
+            return state + 1, None
+        if proc == "Get":
+            return state, state
+        raise KeyError(proc)
+
+
+class RegisterSpec(SequentialSpec):
+    """Read/write register (the locked-register corpus).  Reads return
+    the last written value (initially ``initial_value``)."""
+
+    def __init__(self, initial_value=0, write: str = "Write",
+                 read: str = "Read"):
+        self.initial_value = initial_value
+        self.write = write
+        self.read = read
+
+    def initial(self):
+        return self.initial_value
+
+    def apply(self, state, proc: str, args: tuple):
+        if proc == self.write:
+            return args[0], None
+        if proc == self.read:
+            return state, state
+        raise KeyError(proc)
+
+
+class SemaphoreSpec(SequentialSpec):
+    """Counting semaphore: Down blocks (cannot linearize) at zero."""
+
+    def __init__(self, initial_value: int = 2):
+        self.initial_value = initial_value
+
+    def initial(self):
+        return self.initial_value
+
+    def apply(self, state: int, proc: str, args: tuple):
+        if proc == "Down":
+            if state == 0:
+                return None  # not allowed here
+            return state - 1, None
+        if proc == "Up":
+            return state + 1, None
+        raise KeyError(proc)
+
+
+class HerlihyObjectSpec(SequentialSpec):
+    """The small-object corpus: Apply(x) sets v := compute(v, x) =
+    v + x + 1; ReadValue returns v."""
+
+    def initial(self):
+        return 0
+
+    def apply(self, state: int, proc: str, args: tuple):
+        if proc == "Apply":
+            return state + args[0] + 1, None
+        if proc == "ReadValue":
+            return state, state
+        raise KeyError(proc)

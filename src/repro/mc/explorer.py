@@ -1,0 +1,270 @@
+"""Explicit-state model checker over SYNL worlds.
+
+Modes (the four configurations of §6.3):
+
+* ``"full"``   — every enabled thread's next statement, full interleaving;
+* ``"por"``    — ample-set partial-order reduction (SPIN-style stand-in);
+* ``"atomic"`` — each procedure invocation is one transition (the
+  reduction licensed by the paper's atomicity analysis); sub-modes
+  ``run_to_commit`` (default) and exceptional-variant execution;
+* ``"both"``   — atomic transitions plus an ample-set reduction at
+  operation granularity, driven by an operation-commutativity oracle.
+
+The explorer is a DFS with canonical state hashing, property checking
+(per state and at quiescent states), optional collection of the
+quiescent-state set (used by the soundness tests, which verify that the
+reduced explorations reach exactly the quiescent states of the full
+one), a state cap, and violation traces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import AssertionViolation
+from repro.interp.interp import AssumeFailed, Interp
+from repro.interp.state import Event, ThreadSpec, World
+from repro.mc.atomic import AtomicOutcome, run_to_commit, run_variant
+from repro.mc.canonical import quiescent_key, shared_key, state_key
+from repro.mc.por import SafetyCache
+from repro.mc.properties import Property
+
+
+@dataclass
+class MCResult:
+    mode: str
+    states: int = 0
+    transitions: int = 0
+    elapsed: float = 0.0
+    violation: Optional[str] = None
+    trace: list[str] = field(default_factory=list)
+    capped: bool = False
+    quiescent: Optional[set] = None
+    #: quiescent states where every thread's script has completed.
+    #: ``full``/``por``/``atomic`` preserve the whole quiescent set;
+    #: the op-level ample sets of ``both`` preserve the final *shared*
+    #: projection (``final_shared``) — commuting operations may leave
+    #: different thread-private scratch objects.
+    final: Optional[set] = None
+    final_shared: Optional[set] = None
+
+    def __str__(self) -> str:
+        status = self.violation or ("CAPPED" if self.capped else "ok")
+        return (f"[{self.mode}] states={self.states} "
+                f"transitions={self.transitions} "
+                f"time={self.elapsed:.2f}s {status}")
+
+
+@dataclass
+class _Succ:
+    desc: str
+    world: Optional[World]
+    events: list[Event]
+    violation: Optional[str] = None
+
+
+class Explorer:
+    def __init__(self, interp: Interp, specs: list[ThreadSpec],
+                 mode: str = "full",
+                 properties: Optional[list[Property]] = None,
+                 max_states: Optional[int] = None,
+                 variant_interp: Optional[Interp] = None,
+                 variant_map: Optional[dict[str, list[str]]] = None,
+                 commutes: Optional[Callable] = None,
+                 collect_quiescent: bool = False,
+                 atomic_step_budget: int = 10_000):
+        if mode not in ("full", "por", "atomic", "both"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.interp = interp
+        self.specs = specs
+        self.mode = mode
+        self.properties = properties or []
+        self.max_states = max_states
+        self.variant_interp = variant_interp
+        self.variant_map = variant_map
+        self.commutes = commutes
+        self.collect_quiescent = collect_quiescent
+        self.atomic_step_budget = atomic_step_budget
+        self.safety = SafetyCache()
+
+    # -- successor generation --------------------------------------------------
+    def _step_thread(self, world: World, tid: int) -> _Succ:
+        w = world.copy()
+        thread = w.threads[tid]
+        node = thread.frame.node if thread.frame is not None else None
+        desc = f"t{tid}@{node.uid if node else 'call'}"
+        try:
+            event = self.interp.step(w, tid)
+        except AssumeFailed:
+            return _Succ(desc, None, [])
+        except AssertionViolation as exc:
+            return _Succ(desc, None, [], violation=str(exc))
+        return _Succ(desc, w, [event] if event is not None else [])
+
+    def _interleaved(self, world: World,
+                     on_stack: set) -> list[_Succ]:
+        enabled = self.interp.enabled_threads(world)
+        if self.mode == "por":
+            for tid in enabled:
+                if not self.safety.thread_safe(self.interp, world, tid):
+                    continue
+                succ = self._step_thread(world, tid)
+                if succ.violation is not None:
+                    return [succ]
+                if succ.world is None:
+                    continue
+                if state_key(succ.world) in on_stack:
+                    continue  # cycle proviso: fall back to full expansion
+                return [succ]
+        return [self._step_thread(world, tid) for tid in enabled]
+
+    def _atomic_one(self, world: World, tid: int) -> list[_Succ]:
+        if self.variant_interp is not None and self.variant_map is not None:
+            name, _args = world.threads[tid].current_call()
+            out: list[_Succ] = []
+            for vname in self.variant_map.get(name, [name]):
+                outcome = run_variant(self.interp, self.variant_interp,
+                                      world, tid, vname,
+                                      self.atomic_step_budget)
+                out.append(_Succ(outcome.desc, outcome.world,
+                                 outcome.events, outcome.violation))
+            return out
+        outcome = run_to_commit(self.interp, world, tid,
+                                self.atomic_step_budget)
+        return [_Succ(outcome.desc, outcome.world, outcome.events,
+                      outcome.violation)]
+
+    def _atomic(self, world: World, on_stack: set) -> list[_Succ]:
+        live = [t.tid for t in world.threads if not t.done]
+        if self.mode == "both" and self.commutes is not None:
+            # ample set at operation granularity: a thread whose next
+            # operation commutes with every other live thread's next
+            # operation may be explored alone (cycle proviso applies)
+            for tid in live:
+                mine = world.threads[tid].current_call()
+                if not all(self.commutes(mine,
+                                         world.threads[o].current_call())
+                           for o in live if o != tid):
+                    continue
+                succs = [s for s in self._atomic_one(world, tid)]
+                if any(s.violation for s in succs):
+                    return succs
+                real = [s for s in succs if s.world is not None]
+                if not real:
+                    continue  # disabled here; try another thread
+                if any(state_key(s.world) in on_stack for s in real):
+                    continue
+                return succs
+        out: list[_Succ] = []
+        for tid in live:
+            out.extend(self._atomic_one(world, tid))
+        return out
+
+    def _successors(self, world: World, on_stack: set) -> list[_Succ]:
+        if self.mode in ("full", "por"):
+            return self._interleaved(world, on_stack)
+        return self._atomic(world, on_stack)
+
+    # -- property plumbing -------------------------------------------------------
+    def _apply_events(self, ghosts: tuple, events: list[Event]) -> tuple:
+        out = list(ghosts)
+        for i, prop in enumerate(self.properties):
+            g = out[i]
+            for event in events:
+                g = prop.on_event(g, event)
+            out[i] = g
+        return tuple(out)
+
+    def _check(self, world: World, ghosts: tuple) -> Optional[str]:
+        for prop, ghost in zip(self.properties, ghosts):
+            message = prop.check_state(world, self.interp, ghost)
+            if message is not None:
+                return message
+            if world.quiescent():
+                message = prop.check_quiescent(world, self.interp, ghost)
+                if message is not None:
+                    return message
+        return None
+
+    # -- the search ---------------------------------------------------------------
+    def run(self) -> MCResult:
+        start = time.perf_counter()
+        result = MCResult(self.mode)
+        if self.collect_quiescent:
+            result.quiescent = set()
+            result.final = set()
+            result.final_shared = set()
+
+        def record_quiescent(world: World) -> None:
+            if not self.collect_quiescent or not world.quiescent():
+                return
+            key = quiescent_key(world)
+            result.quiescent.add(key)
+            if all(t.done for t in world.threads):
+                result.final.add(key)
+                result.final_shared.add(shared_key(world))
+
+        world0 = self.interp.make_world(self.specs)
+        ghosts0 = tuple(p.initial_ghost() for p in self.properties)
+        key0 = (state_key(world0), ghosts0)
+        seen = {key0}
+        result.states = 1
+        message = self._check(world0, ghosts0)
+        if message is not None:
+            result.violation = message
+            result.elapsed = time.perf_counter() - start
+            return result
+        record_quiescent(world0)
+
+        on_stack = {key0[0]}
+        # stack entries: (key, world, ghosts, successor list, index, desc)
+        stack = [[key0, world0, ghosts0, None, 0, "init"]]
+        while stack:
+            entry = stack[-1]
+            key, world, ghosts, succs, index, _desc = entry
+            if succs is None:
+                succs = self._successors(world, on_stack)
+                entry[3] = succs
+            if index >= len(succs):
+                stack.pop()
+                on_stack.discard(key[0])
+                continue
+            entry[4] += 1
+            succ = succs[index]
+            if succ.violation is not None:
+                result.violation = succ.violation
+                result.trace = [e[5] for e in stack] + [succ.desc]
+                break
+            if succ.world is None:
+                continue  # disabled transition
+            result.transitions += 1
+            new_ghosts = self._apply_events(ghosts, succ.events)
+            new_key = (state_key(succ.world), new_ghosts)
+            if new_key in seen:
+                continue
+            seen.add(new_key)
+            result.states += 1
+            message = self._check(succ.world, new_ghosts)
+            if message is not None:
+                result.violation = message
+                result.trace = [e[5] for e in stack] + [succ.desc]
+                break
+            record_quiescent(succ.world)
+            if self.max_states is not None \
+                    and result.states >= self.max_states:
+                result.capped = True
+                break
+            on_stack.add(new_key[0])
+            stack.append([new_key, succ.world, new_ghosts, None, 0,
+                          succ.desc])
+
+        result.elapsed = time.perf_counter() - start
+        return result
+
+
+def explore(interp: Interp, specs: list[ThreadSpec], mode: str = "full",
+            **kwargs) -> MCResult:
+    """Convenience wrapper around :class:`Explorer`."""
+    return Explorer(interp, specs, mode=mode, **kwargs).run()

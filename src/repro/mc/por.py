@@ -1,0 +1,62 @@
+"""Ample-set partial-order reduction (§2, §6.3).
+
+A deliberately *classic* reduction, as a stand-in for SPIN's: it
+exploits commutativity of invisible actions but — unlike the paper's
+analysis — "does not distinguish left-movers and right-movers" and
+ignores the synchronization context of operations.  At each state we
+look for a thread whose next transition is *safe* (touches only
+thread-private state) and expand only it, subject to the cycle proviso
+(the chosen successor must not close a cycle on the DFS stack).
+
+Statement safety is syntactic: a CFG node is safe when every action it
+performs targets a local variable or is an allocation, plus the control
+pseudo-nodes (loop heads, jumps, invoke/return boundaries).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.actions import node_actions
+from repro.cfg.graph import CFGNode, NodeKind
+from repro.interp.interp import Interp
+from repro.interp.state import World
+
+# RETURN is *not* safe: completing an invocation flips the thread to
+# idle, which is visible to the quiescent-state properties (and updates
+# ghost state).  Invocations are visible for the same reason.
+_SAFE_KINDS = {NodeKind.LOOP_HEAD, NodeKind.BREAK, NodeKind.CONTINUE,
+               NodeKind.ENTRY}
+
+
+class SafetyCache:
+    """Caches per-node safety classifications."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, bool] = {}
+
+    def node_safe(self, node: CFGNode) -> bool:
+        cached = self._cache.get(node.uid)
+        if cached is not None:
+            return cached
+        if node.kind in _SAFE_KINDS:
+            safe = True
+        elif node.kind in (NodeKind.ACQUIRE, NodeKind.RELEASE,
+                           NodeKind.RETURN):
+            safe = False
+        else:
+            safe = all(
+                action.op == "alloc"
+                or (action.target is not None
+                    and action.target.kind == "var")
+                for action in node_actions(node))
+        self._cache[node.uid] = safe
+        return safe
+
+    def thread_safe(self, interp: Interp, world: World, tid: int) -> bool:
+        """Is the thread's next transition safe (invisible)?"""
+        thread = world.threads[tid]
+        if thread.frame is None:
+            return False  # invoking ends quiescence: visible
+        node = thread.frame.node
+        if node is None:
+            return False  # an implicit return: visible (ends the call)
+        return self.node_safe(node)

@@ -1,0 +1,151 @@
+"""Safety properties for the model checker.
+
+A property carries *ghost state* (updated from history events by the
+explorer — e.g. the multiset of enqueued and dequeued values) and two
+checks: ``check_state`` runs in every explored state, ``check_quiescent``
+only when all threads are idle (the states at which the atomicity
+definition of §3.2 compares executions).  Ghost state is part of the
+canonical state key, mirroring TVLA's instrumentation predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.interp.interp import Interp
+from repro.interp.state import Event, World
+from repro.interp.values import HeapObject, Ref
+
+
+class Property:
+    """Base class: stateless checks with trivial ghost."""
+
+    def initial_ghost(self):
+        return None
+
+    def on_event(self, ghost, event: Event):
+        return ghost
+
+    def check_state(self, world: World, interp: Interp,
+                    ghost) -> Optional[str]:
+        return None
+
+    def check_quiescent(self, world: World, interp: Interp,
+                        ghost) -> Optional[str]:
+        return None
+
+
+@dataclass
+class QueueShape(Property):
+    """Structural invariant of the Michael–Scott queue: the Head chain is
+    acyclic, Tail is on it, and Tail lags the last node by at most one
+    link."""
+
+    head: str = "Head"
+    tail: str = "Tail"
+    next_field: str = "Next"
+    max_len: int = 64
+
+    def _chain(self, world: World) -> Optional[list[int]]:
+        ref = world.globals.get(self.head)
+        chain: list[int] = []
+        seen: set[int] = set()
+        while isinstance(ref, Ref):
+            if ref.oid in seen or len(chain) > self.max_len:
+                return None  # cycle
+            seen.add(ref.oid)
+            chain.append(ref.oid)
+            obj = world.heap.get(ref)
+            if not isinstance(obj, HeapObject):
+                return None
+            ref = obj.fields.get(self.next_field)
+        return chain
+
+    def check_state(self, world: World, interp: Interp,
+                    ghost) -> Optional[str]:
+        chain = self._chain(world)
+        if chain is None:
+            return "queue chain is cyclic or malformed"
+        tail = world.globals.get(self.tail)
+        if not isinstance(tail, Ref):
+            return "Tail is not an object reference"
+        if tail.oid not in chain:
+            return "Tail not reachable from Head"
+        if chain.index(tail.oid) < len(chain) - 2:
+            return "Tail lags the last node by more than one link"
+        return None
+
+
+@dataclass(frozen=True)
+class _QueueGhost:
+    enqueued: tuple = ()   # values whose AddNode/Enq returned
+    dequeued: tuple = ()   # values returned by Deq (except EMPTY)
+
+
+@dataclass
+class QueueContents(Property):
+    """Functional invariant checked at quiescent states: the multiset of
+    values in the queue equals completed enqueues minus completed
+    dequeues, and each thread's values come out in FIFO order.  This
+    catches the lost-node bug of the incorrect AddNode in Table 2."""
+
+    enq_procs: tuple = ("AddNode", "Enq")
+    deq_procs: tuple = ("Deq", "DeqP")
+    head: str = "Head"
+    next_field: str = "Next"
+    value_field: str = "Value"
+    empty: int = -1
+
+    def initial_ghost(self):
+        return _QueueGhost()
+
+    def on_event(self, ghost: _QueueGhost, event: Event):
+        if event.kind != "return":
+            return ghost
+        if event.proc in self.enq_procs:
+            return _QueueGhost(ghost.enqueued + (event.args[0],),
+                               ghost.dequeued)
+        if event.proc in self.deq_procs and event.result != self.empty:
+            return _QueueGhost(ghost.enqueued,
+                               ghost.dequeued + (event.result,))
+        return ghost
+
+    def _values(self, world: World) -> Optional[list]:
+        ref = world.globals.get(self.head)
+        if not isinstance(ref, Ref):
+            return None
+        values = []
+        seen: set[int] = set()
+        obj = world.heap.get(ref)
+        ref = obj.fields.get(self.next_field)  # skip the dummy node
+        while isinstance(ref, Ref):
+            if ref.oid in seen:
+                return None
+            seen.add(ref.oid)
+            node = world.heap.get(ref)
+            values.append(node.fields.get(self.value_field))
+            ref = node.fields.get(self.next_field)
+        return values
+
+    def check_quiescent(self, world: World, interp: Interp,
+                        ghost: _QueueGhost) -> Optional[str]:
+        values = self._values(world)
+        if values is None:
+            return "queue chain is malformed"
+        expect = list(ghost.enqueued)
+        for v in ghost.dequeued:
+            if v in expect:
+                expect.remove(v)
+            else:
+                return f"dequeued value {v!r} was never enqueued"
+        if sorted(map(repr, values)) != sorted(map(repr, expect)):
+            return (f"queue contents {values!r} != outstanding "
+                    f"enqueues {expect!r} (lost or duplicated node)")
+        return None
+
+
+@dataclass
+class NoAssertFailures(Property):
+    """Placeholder: assertion statements are reported by the explorer
+    directly; this property exists so harnesses can opt in explicitly."""

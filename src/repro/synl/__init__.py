@@ -1,0 +1,26 @@
+"""SYNL — the Synchronization Language of the paper (§3.2, Table 1).
+
+This package is the language substrate: lexer, parser, AST, resolver and
+pretty-printer.  The normal entry point is :func:`load_program`, which
+parses and resolves source text in one step.
+"""
+
+from repro.synl import ast
+from repro.synl.lexer import tokenize
+from repro.synl.parser import parse_expr, parse_program, parse_stmt
+from repro.synl.printer import pretty, pretty_expr, pretty_stmt
+from repro.synl.resolve import Resolution, load_program, resolve
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "parse_program",
+    "parse_stmt",
+    "parse_expr",
+    "pretty",
+    "pretty_expr",
+    "pretty_stmt",
+    "resolve",
+    "load_program",
+    "Resolution",
+]

@@ -1,0 +1,132 @@
+"""Hand-written lexer for SYNL source text.
+
+The lexer is a straightforward single-pass scanner.  It supports ``//``
+line comments and ``/* ... */`` block comments, decimal integer literals,
+identifiers, and the operator/punctuation set in
+:class:`repro.synl.tokens.TokenKind`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError, SourcePos
+from repro.synl.tokens import KEYWORDS, Token, TokenKind
+
+# Multi-character operators must be tried longest-first.
+_OPERATORS: list[tuple[str, TokenKind]] = [
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND),
+    ("||", TokenKind.OR),
+    ("++", TokenKind.PLUSPLUS),
+    ("--", TokenKind.MINUSMINUS),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMI),
+    (",", TokenKind.COMMA),
+    (".", TokenKind.DOT),
+    (":", TokenKind.COLON),
+    ("=", TokenKind.ASSIGN),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("!", TokenKind.NOT),
+]
+
+
+class Lexer:
+    """Tokenizes SYNL source text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.n = len(text)
+        self.i = 0
+        self.line = 1
+        self.col = 1
+
+    def _pos(self) -> SourcePos:
+        return SourcePos(self.line, self.col)
+
+    def _advance(self, k: int = 1) -> None:
+        for _ in range(k):
+            if self.i < self.n and self.text[self.i] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.i += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        j = self.i + offset
+        return self.text[j] if j < self.n else ""
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while self.i < self.n:
+            c = self.text[self.i]
+            if c in " \t\r\n":
+                self._advance()
+            elif c == "/" and self._peek(1) == "/":
+                while self.i < self.n and self.text[self.i] != "\n":
+                    self._advance()
+            elif c == "/" and self._peek(1) == "*":
+                start = self._pos()
+                self._advance(2)
+                while self.i < self.n and not (
+                    self.text[self.i] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.i >= self.n:
+                    raise LexError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input and return the token list (EOF-terminated)."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            pos = self._pos()
+            if self.i >= self.n:
+                out.append(Token(TokenKind.EOF, "", pos))
+                return out
+            c = self.text[self.i]
+            if c.isdigit():
+                j = self.i
+                while j < self.n and self.text[j].isdigit():
+                    j += 1
+                text = self.text[self.i : j]
+                self._advance(j - self.i)
+                out.append(Token(TokenKind.INT, text, pos))
+                continue
+            if c.isalpha() or c == "_":
+                j = self.i
+                while j < self.n and (self.text[j].isalnum() or self.text[j] == "_"):
+                    j += 1
+                text = self.text[self.i : j]
+                self._advance(j - self.i)
+                kind = KEYWORDS.get(text, TokenKind.IDENT)
+                out.append(Token(kind, text, pos))
+                continue
+            for op, kind in _OPERATORS:
+                if self.text.startswith(op, self.i):
+                    self._advance(len(op))
+                    out.append(Token(kind, op, pos))
+                    break
+            else:
+                raise LexError(f"unexpected character {c!r}", pos)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: lex ``text`` into a token list."""
+    return Lexer(text).tokens()

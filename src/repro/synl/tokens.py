@@ -1,0 +1,127 @@
+"""Token definitions for the SYNL lexer.
+
+SYNL (Synchronization Language) is the formal language of the paper
+(Table 1), extended with a concrete syntax: the paper only gives abstract
+syntax, so we define a small C-like surface syntax.  See
+:mod:`repro.synl.parser` for the grammar.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SourcePos
+
+
+class TokenKind(enum.Enum):
+    # literals & identifiers
+    INT = "int"
+    IDENT = "ident"
+
+    # keywords
+    GLOBAL = "global"
+    THREADLOCAL = "threadlocal"
+    VERSIONED = "versioned"
+    CONST = "const"
+    CLASS = "class"
+    PROC = "proc"
+    INIT = "init"
+    THREADINIT = "threadinit"
+    LOCAL = "local"
+    IN = "in"
+    IF = "if"
+    ELSE = "else"
+    LOOP = "loop"
+    WHILE = "while"
+    BREAK = "break"
+    CONTINUE = "continue"
+    RETURN = "return"
+    SKIP = "skip"
+    SYNCHRONIZED = "synchronized"
+    NEW = "new"
+    TRUE_KW = "TRUE"  # assume statement TRUE(e)
+    ASSERT = "assert"
+    LL = "LL"
+    SC = "SC"
+    VL = "VL"
+    CAS = "CAS"
+    TRUE_LIT = "true"
+    FALSE_LIT = "false"
+    NULL = "null"
+
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    ASSIGN = "="
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    NOT = "!"
+    AND = "&&"
+    OR = "||"
+    PLUSPLUS = "++"
+    MINUSMINUS = "--"
+
+    EOF = "<eof>"
+
+
+#: Reserved words, mapped to their token kinds.  ``TRUE`` (the assume
+#: statement marker) is distinct from the boolean literal ``true``.
+KEYWORDS: dict[str, TokenKind] = {
+    "global": TokenKind.GLOBAL,
+    "threadlocal": TokenKind.THREADLOCAL,
+    "versioned": TokenKind.VERSIONED,
+    "const": TokenKind.CONST,
+    "class": TokenKind.CLASS,
+    "proc": TokenKind.PROC,
+    "init": TokenKind.INIT,
+    "threadinit": TokenKind.THREADINIT,
+    "local": TokenKind.LOCAL,
+    "in": TokenKind.IN,
+    "if": TokenKind.IF,
+    "else": TokenKind.ELSE,
+    "loop": TokenKind.LOOP,
+    "while": TokenKind.WHILE,
+    "break": TokenKind.BREAK,
+    "continue": TokenKind.CONTINUE,
+    "return": TokenKind.RETURN,
+    "skip": TokenKind.SKIP,
+    "synchronized": TokenKind.SYNCHRONIZED,
+    "new": TokenKind.NEW,
+    "TRUE": TokenKind.TRUE_KW,
+    "assert": TokenKind.ASSERT,
+    "LL": TokenKind.LL,
+    "SC": TokenKind.SC,
+    "VL": TokenKind.VL,
+    "CAS": TokenKind.CAS,
+    "true": TokenKind.TRUE_LIT,
+    "false": TokenKind.FALSE_LIT,
+    "null": TokenKind.NULL,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    pos: SourcePos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.pos})"

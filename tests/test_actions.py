@@ -1,0 +1,127 @@
+"""Action extraction tests (§3.3 classification inputs)."""
+
+from repro.analysis.actions import (Target, location_target, node_actions)
+from repro.cfg import NodeKind, build_cfg
+from repro.synl.resolve import load_program
+
+
+def _cfg(body, prelude="global G; class Node { Value; Next; }"):
+    prog = load_program(f"{prelude} proc P() {{ {body} }}")
+    return build_cfg(prog.proc("P"))
+
+
+def _node(cfg, kind):
+    return next(n for n in cfg.nodes if n.kind is kind)
+
+
+def test_global_write_action():
+    cfg = _cfg("G = 1;")
+    (a,) = node_actions(_node(cfg, NodeKind.STMT))
+    assert a.op == "write" and a.target == Target("global", name="G")
+
+
+def test_assignment_reads_value_before_write():
+    cfg = _cfg("G = G + 1;")
+    actions = node_actions(_node(cfg, NodeKind.STMT))
+    assert [a.op for a in actions] == ["read", "write"]
+
+
+def test_ll_action_via():
+    cfg = _cfg("local t = LL(G) in skip;")
+    actions = node_actions(_node(cfg, NodeKind.BIND))
+    assert actions[0].via == "LL" and actions[0].op == "read"
+    assert actions[1].op == "write" and actions[1].target.kind == "var"
+
+
+def test_sc_evaluates_value_then_writes():
+    cfg = _cfg("local t = LL(G) in { SC(G, t + 1); }")
+    stmt = _node(cfg, NodeKind.STMT)
+    actions = node_actions(stmt)
+    assert actions[-1].via == "SC" and actions[-1].op == "write"
+    assert actions[0].op == "read" and actions[0].target.kind == "var"
+
+
+def test_cas_action_order():
+    cfg = _cfg("local c = G in { CAS(G, c, c + 1); }")
+    stmt = _node(cfg, NodeKind.STMT)
+    ops = [(a.op, a.via) for a in node_actions(stmt)]
+    assert ops[-1] == ("write", "CAS")
+    assert all(op == "read" for op, _ in ops[:-1])
+
+
+def test_field_access_produces_base_read_and_field_read():
+    cfg = _cfg("local n = new Node in { G = n.Value; }")
+    stmt = _node(cfg, NodeKind.STMT)
+    actions = node_actions(stmt)
+    kinds = [(a.op, a.target.kind if a.target else None) for a in actions]
+    assert ("read", "var") in kinds       # reading n
+    assert ("read", "field") in kinds     # reading n.Value
+    assert kinds[-1] == ("write", "global")
+
+
+def test_elem_target_through_field():
+    prog = load_program("""
+        threadlocal p;
+        threadinit { p = new Obj; }
+        class Obj { data; }
+        proc P(i) { p.data[i] = 0; }
+    """)
+    cfg = build_cfg(prog.proc("P"))
+    stmt = _node(cfg, NodeKind.STMT)
+    write = node_actions(stmt)[-1]
+    assert write.target.kind == "elem" and write.target.field == "data"
+
+
+def test_elem_of_global_array_has_no_binding():
+    prog = load_program("global Arr; proc P(i) { Arr[i] = 1; }")
+    cfg = build_cfg(prog.proc("P"))
+    write = node_actions(_node(cfg, NodeKind.STMT))[-1]
+    assert write.target.kind == "elem"
+    assert write.target.binding is None and write.target.name == "Arr"
+
+
+def test_alloc_action():
+    cfg = _cfg("local n = new Node in skip;")
+    actions = node_actions(_node(cfg, NodeKind.BIND))
+    assert actions[0].op == "alloc"
+
+
+def test_branch_actions_are_condition_reads():
+    cfg = _cfg("if (G == 1) { skip; }")
+    actions = node_actions(_node(cfg, NodeKind.BRANCH))
+    assert len(actions) == 1 and actions[0].op == "read"
+
+
+def test_acquire_release_actions():
+    cfg = _cfg("synchronized (G) { skip; }")
+    acq = node_actions(_node(cfg, NodeKind.ACQUIRE))
+    rel = node_actions(_node(cfg, NodeKind.RELEASE))
+    assert acq[-1].op == "acquire"
+    assert rel[-1].op == "release"
+
+
+def test_return_value_reads():
+    cfg = _cfg("return G;")
+    actions = node_actions(_node(cfg, NodeKind.RETURN))
+    assert [a.op for a in actions] == ["read"]
+
+
+def test_control_nodes_have_no_actions():
+    cfg = _cfg("loop { break; }")
+    assert node_actions(_node(cfg, NodeKind.LOOP_HEAD)) == []
+    assert node_actions(_node(cfg, NodeKind.BREAK)) == []
+
+
+def test_threadlocal_var_target_kind():
+    prog = load_program("threadlocal t; proc P() { t = 1; }")
+    cfg = build_cfg(prog.proc("P"))
+    write = node_actions(_node(cfg, NodeKind.STMT))[-1]
+    assert write.target.kind == "var"
+
+
+def test_location_target_str_rendering():
+    prog = load_program("global G; proc P() { G = 1; }")
+    var = next(n for n in prog.walk()
+               if getattr(n, "name", None) == "G"
+               and type(n).__name__ == "Var")
+    assert str(location_target(var)) == "G"

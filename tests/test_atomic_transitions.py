@@ -1,0 +1,131 @@
+"""Unit tests for the atomic-transition machinery (mc/atomic.py) and a
+property test: full vs atomic exploration agree on quiescent states for
+randomly drawn thread-spec mixes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import corpus
+from repro.analysis import analyze_program
+from repro.interp import Interp, ThreadSpec
+from repro.mc import Explorer, run_to_commit, run_variant
+
+SOURCE = """
+global G;
+init { G = 0; }
+proc Inc() {
+  loop {
+    local t = LL(G) in {
+      if (SC(G, t + 1)) { return t + 1; }
+    }
+  }
+}
+proc WaitFor(v) {
+  loop {
+    local t = LL(G) in {
+      if (t == v) { return 1; }
+    }
+  }
+}
+proc Crash() { assert(G < 100); G = G + 1; }
+"""
+
+
+def _interp():
+    return Interp(SOURCE)
+
+
+def test_run_to_commit_completes_and_returns_events():
+    interp = _interp()
+    world = interp.make_world([ThreadSpec.of(("Inc",))])
+    outcome = run_to_commit(interp, world, 0)
+    assert outcome.world is not None
+    assert outcome.world.globals["G"] == 1
+    kinds = [e.kind for e in outcome.events]
+    assert kinds == ["invoke", "return"]
+    assert outcome.events[-1].result == 1
+    # the source world is untouched
+    assert world.globals["G"] == 0
+
+
+def test_run_to_commit_detects_spinning_as_disabled():
+    interp = _interp()
+    world = interp.make_world([ThreadSpec.of(("WaitFor", 5))])
+    outcome = run_to_commit(interp, world, 0)
+    assert outcome.world is None  # spins: G never becomes 5
+
+
+def test_run_to_commit_enabled_once_condition_holds():
+    interp = _interp()
+    world = interp.make_world([ThreadSpec.of(("WaitFor", 0))])
+    outcome = run_to_commit(interp, world, 0)
+    assert outcome.world is not None
+
+
+def test_run_to_commit_surfaces_assertion_violation():
+    interp = _interp()
+    world = interp.make_world([ThreadSpec.of(("Crash",))])
+    world.globals["G"] = 100
+    outcome = run_to_commit(interp, world, 0)
+    assert outcome.violation is not None
+    assert outcome.world is None
+
+
+def test_run_variant_executes_specific_variant():
+    analysis = analyze_program(corpus.NFQ_PRIME)
+    variant_interp = Interp(analysis.variant_set.program)
+    interp = Interp(corpus.NFQ_PRIME)
+    world = interp.make_world([ThreadSpec.of(("DeqP",))])
+    # on the empty queue only the EMPTY-returning variant is enabled
+    empty = run_variant(interp, variant_interp, world, 0, "DeqP1")
+    value = run_variant(interp, variant_interp, world, 0, "DeqP2")
+    assert empty.world is not None
+    assert empty.events[-1].result == -1
+    assert empty.events[-1].proc == "DeqP"  # display name, not DeqP1
+    assert value.world is None              # TRUE(next != null) fails
+
+
+def test_run_variant_respects_assumptions_after_state_change():
+    analysis = analyze_program(corpus.NFQ_PRIME)
+    variant_interp = Interp(analysis.variant_set.program)
+    interp = Interp(corpus.NFQ_PRIME)
+    world = interp.make_world([
+        ThreadSpec.of(("AddNode", 9)), ThreadSpec.of(("DeqP",))])
+    added = run_to_commit(interp, world, 0)
+    assert added.world is not None
+    # Tail lags after an AddNode: DeqP2 requires h != Tail, which holds
+    # only after UpdateTail helps — so the variant is disabled here
+    value = run_variant(interp, variant_interp, added.world, 1, "DeqP2")
+    assert value.world is None
+
+
+# -- property: reduction soundness over random spec mixes ------------------------------
+
+_ops = st.lists(
+    st.sampled_from([("Inc",), ("WaitFor", 1), ("WaitFor", 2)]),
+    min_size=1, max_size=2)
+
+
+@given(st.lists(_ops, min_size=1, max_size=3))
+@settings(max_examples=25, deadline=None)
+def test_full_and_atomic_agree_on_quiescent_states(spec_lists):
+    specs = [ThreadSpec.of(*ops) for ops in spec_lists]
+    interp = _interp()
+    full = Explorer(interp, specs, mode="full", max_states=50_000,
+                    collect_quiescent=True).run()
+    atomic = Explorer(interp, specs, mode="atomic", max_states=50_000,
+                      collect_quiescent=True).run()
+    assert not full.capped
+    assert atomic.quiescent == full.quiescent
+
+
+@given(st.lists(_ops, min_size=1, max_size=3))
+@settings(max_examples=15, deadline=None)
+def test_full_and_por_agree_on_quiescent_states(spec_lists):
+    specs = [ThreadSpec.of(*ops) for ops in spec_lists]
+    interp = _interp()
+    full = Explorer(interp, specs, mode="full", max_states=50_000,
+                    collect_quiescent=True).run()
+    por = Explorer(interp, specs, mode="por", max_states=50_000,
+                   collect_quiescent=True).run()
+    assert por.quiescent == full.quiescent

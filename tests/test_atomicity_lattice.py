@@ -1,0 +1,137 @@
+"""Atomicity-type calculus (§3.3): golden table plus algebraic laws.
+
+Note the documented deviation: the paper prints A;A = A, which is
+inconsistent with Lipton reduction (and with the rest of its own table,
+which folds the reducible pattern R*;(A|ε);L*); we use A;A = N and
+property-test that the fold interpretation and the table agree.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.atomicity import (A, Atomicity, B, L, N, R,
+                                      iter_closure, join, meet,
+                                      parse_atomicity, seq, seq_all)
+
+ALL = [B, R, L, A, N]
+atoms = st.sampled_from(ALL)
+
+
+# -- golden values ---------------------------------------------------------------
+
+@pytest.mark.parametrize("row,expected", [
+    (B, [B, R, L, A, N]),
+    (R, [R, R, A, A, N]),
+    (L, [L, N, L, N, N]),
+    (A, [A, N, A, N, N]),   # paper prints A;A=A — documented typo
+    (N, [N, N, N, N, N]),
+])
+def test_seq_table(row, expected):
+    assert [seq(row, col) for col in ALL] == expected
+
+
+def test_iterative_closure_values():
+    assert [iter_closure(t) for t in ALL] == [B, R, L, N, N]
+
+
+def test_ordering():
+    assert B < R < A < N
+    assert B < L < A < N
+    assert not (L <= R) and not (R <= L)
+
+
+def test_join_of_l_and_r_is_atomic():
+    assert join(L, R) is A and join(R, L) is A
+
+
+def test_meet_of_l_and_r_is_bothmover():
+    assert meet(L, R) is B
+
+
+def test_parse_atomicity():
+    assert parse_atomicity("b") is B
+    assert parse_atomicity(" N ") is N
+
+
+# -- algebraic laws (hypothesis) ---------------------------------------------------
+
+@given(atoms, atoms)
+def test_join_commutative(a, b):
+    assert join(a, b) is join(b, a)
+
+
+@given(atoms, atoms, atoms)
+def test_join_associative(a, b, c):
+    assert join(a, join(b, c)) is join(join(a, b), c)
+
+
+@given(atoms)
+def test_join_idempotent(a):
+    assert join(a, a) is a
+
+
+@given(atoms)
+def test_bottom_and_top(a):
+    assert join(B, a) is a
+    assert join(N, a) is N
+    assert seq(B, a) is a and seq(a, B) is a  # B is the seq identity
+    assert seq(N, a) is N and seq(a, N) is N  # N absorbs
+
+
+@given(atoms, atoms, atoms)
+def test_seq_associative(a, b, c):
+    assert seq(a, seq(b, c)) is seq(seq(a, b), c)
+
+
+@given(atoms, atoms, atoms)
+def test_seq_monotone(a, b, c):
+    if a <= b:
+        assert seq(a, c) <= seq(b, c)
+        assert seq(c, a) <= seq(c, b)
+
+
+@given(atoms)
+def test_closure_idempotent(a):
+    assert iter_closure(iter_closure(a)) is iter_closure(a)
+
+
+@given(atoms)
+def test_closure_extensive_on_movers(a):
+    # closure never strengthens: t ⊑ t*
+    assert a <= iter_closure(a)
+
+
+@given(st.lists(atoms, max_size=8))
+def test_seq_all_matches_pattern_fold(seq_types):
+    """seq_all(ts) != N iff the sequence matches R*;(A|ε);L* with B
+    transparent — the Lipton-reduction reading of the table."""
+    composed = seq_all(seq_types)
+    # reference recognizer
+    state = "R"  # phases: R (taking right-movers) -> A -> L
+    ok = True
+    for t in seq_types:
+        if t is B:
+            continue
+        if t is N:
+            ok = False
+            break
+        if state == "R":
+            if t is R:
+                continue
+            state = "A" if t is A else "L"
+        elif state == "A":
+            if t is L:
+                state = "L"
+            elif t is R:
+                state = "R2"  # a new block started: whole stmt not atomic
+                ok = False
+                break
+            else:
+                ok = False
+                break
+        elif state == "L":
+            if t is not L:
+                ok = False
+                break
+    assert (composed is not N) == ok, (seq_types, composed)

@@ -1,0 +1,96 @@
+"""Atomic-block partitioning (§6.4) and Fig. 3-style reports."""
+
+import pytest
+
+from repro.analysis.atomicity import Atomicity, parse_atomicity
+from repro.analysis.blocks import partition_lines, partition_procedure
+from repro.analysis.report import ReportLine, render_figure, variant_lines
+
+
+def _lines(letters: str) -> list[ReportLine]:
+    return [ReportLine(f"x{i}", 0, f"stmt{i};", parse_atomicity(c), None)
+            for i, c in enumerate(letters, start=1)]
+
+
+@pytest.mark.parametrize("letters,expected_blocks", [
+    ("B", 1),
+    ("RBL", 1),          # one reducible block
+    ("RLRL", 2),         # two LL/SC windows
+    ("RBLRBL", 2),
+    ("ARL", 2),          # A;R breaks
+    ("AA", 2),           # two atomic actions cannot merge
+    ("BBBB", 1),
+    ("RRRLLL", 1),
+    ("LR", 2),           # L;R is irreducible
+    ("RALRAL", 2),       # R;A;L fuses per window
+    ("N", 1),            # a single non-atomic line is its own block
+    ("BNB", 3),          # N separates on both sides
+])
+def test_partition_counts(letters, expected_blocks):
+    partition = partition_lines(_lines(letters))
+    assert partition.n_blocks == expected_blocks
+    assert partition.n_lines == len(letters)
+
+
+def test_partition_blocks_are_maximal():
+    partition = partition_lines(_lines("RBLRL"))
+    sizes = [b.size for b in partition.blocks]
+    assert sizes == [3, 2]
+
+
+def test_partition_greedy_is_optimal_for_reducible_prefixes():
+    # any split of "RL RL RL" into fewer than 3 blocks would need a
+    # non-reducible block; greedy finds exactly 3
+    partition = partition_lines(_lines("RLRLRL"))
+    assert partition.n_blocks == 3
+
+
+def test_every_allocator_block_is_atomic(allocator_analysis):
+    for name in allocator_analysis.verdicts:
+        for partition in partition_procedure(allocator_analysis, name):
+            for block in partition.blocks:
+                assert block.atomicity is not Atomicity.N, \
+                    partition.render()
+
+
+def test_allocator_total_blocks_is_fifteen(allocator_analysis):
+    total = 0
+    for name in allocator_analysis.verdicts:
+        parts = partition_procedure(allocator_analysis, name)
+        total += max(p.n_blocks for p in parts)
+    assert total == 15
+
+
+def test_partition_render_mentions_counts(allocator_analysis):
+    (part, *_rest) = partition_procedure(allocator_analysis,
+                                         "MallocFromActive")
+    text = part.render()
+    assert "atomic blocks" in text and "lines" in text
+
+
+# -- report rendering ---------------------------------------------------------------
+
+def test_variant_lines_are_labelled_in_order(nfq_prime_analysis):
+    report = nfq_prime_analysis.verdicts["AddNode"].variants[0]
+    lines = variant_lines(report, "a")
+    assert [line.label for line in lines] == [
+        f"a{i}" for i in range(1, 10)]
+
+
+def test_report_line_render_format(nfq_prime_analysis):
+    report = nfq_prime_analysis.verdicts["AddNode"].variants[0]
+    first = variant_lines(report, "a")[0]
+    assert first.render().startswith("a1:B")
+
+
+def test_render_figure_covers_all_variants(nfq_prime_analysis):
+    text = render_figure(nfq_prime_analysis)
+    for name in ("AddNode", "UpdateTail1", "UpdateTail2", "DeqP1",
+                 "DeqP2"):
+        assert f"proc {name}(" in text
+
+
+def test_render_figure_deqp_matches_paper_text(nfq_prime_analysis):
+    text = render_figure(nfq_prime_analysis)
+    assert "TRUE(h != LL(Tail));" in text
+    assert "TRUE(SC(Head, next));" in text

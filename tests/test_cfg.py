@@ -1,0 +1,151 @@
+"""CFG construction tests: shapes, loop structure, jump handling."""
+
+import pytest
+
+from repro.cfg import NodeKind, build_cfg, normal_iteration_nodes
+from repro.synl.resolve import load_program
+
+
+def cfg_of(body: str, params: str = ""):
+    prog = load_program(f"global G; proc P({params}) {{ {body} }}")
+    return build_cfg(prog.proc("P"))
+
+
+def nodes_of_kind(cfg, kind):
+    return [n for n in cfg.nodes if n.kind is kind]
+
+
+def test_straight_line_chain():
+    cfg = cfg_of("G = 1; G = 2;")
+    stmts = nodes_of_kind(cfg, NodeKind.STMT)
+    assert len(stmts) == 2
+    assert list(cfg.successors(cfg.entry)) == [stmts[0]]
+    assert list(cfg.successors(stmts[0])) == [stmts[1]]
+    assert list(cfg.successors(stmts[1])) == [cfg.exit]
+
+
+def test_if_has_labeled_edges_and_join():
+    cfg = cfg_of("if (G == 1) { G = 2; } else { G = 3; } G = 4;")
+    (branch,) = nodes_of_kind(cfg, NodeKind.BRANCH)
+    labels = sorted(str(e.label) for e in cfg.out_edges(branch))
+    assert labels == ["False", "True"]
+    join = [n for n in nodes_of_kind(cfg, NodeKind.STMT)
+            if len(cfg.in_edges(n)) == 2]
+    assert len(join) == 1
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of("if (G == 1) { G = 2; } G = 3;")
+    (branch,) = nodes_of_kind(cfg, NodeKind.BRANCH)
+    false_edges = [e for e in cfg.out_edges(branch) if e.label is False]
+    assert len(false_edges) == 1
+
+
+def test_loop_back_edge_and_break_exit():
+    cfg = cfg_of("loop { if (G == 1) { break; } G = 2; } G = 3;")
+    (head,) = nodes_of_kind(cfg, NodeKind.LOOP_HEAD)
+    (brk,) = nodes_of_kind(cfg, NodeKind.BREAK)
+    info = cfg.loops[0]
+    assert info.head is head
+    assert brk in info.exceptional_exits
+    back = [e for e in cfg.in_edges(head) if e.src is not cfg.entry]
+    assert back, "loop body must flow back to the head"
+
+
+def test_continue_adds_back_edge_and_counts_normal():
+    cfg = cfg_of("loop { if (G == 1) { continue; } break; }")
+    (cont,) = nodes_of_kind(cfg, NodeKind.CONTINUE)
+    info = cfg.loops[0]
+    assert cont in info.back_sources
+    assert cont not in info.exceptional_exits
+
+
+def test_return_is_exceptional_exit_of_all_enclosing_loops():
+    cfg = cfg_of("loop { loop { if (G == 1) { return; } break; } break; }")
+    (ret,) = nodes_of_kind(cfg, NodeKind.RETURN)
+    assert all(ret in info.exceptional_exits for info in cfg.loops)
+
+
+def test_labeled_break_registers_for_both_loops():
+    cfg = cfg_of("out: loop { loop { if (G == 1) { break out; } } }")
+    (brk,) = nodes_of_kind(cfg, NodeKind.BREAK)
+    assert all(brk in info.exceptional_exits for info in cfg.loops)
+    outer = next(i for i in cfg.loops if i.loop.label == "out")
+    assert getattr(brk, "jump_target") is outer.loop
+
+
+def test_labeled_continue_targets_outer_loop():
+    cfg = cfg_of(
+        "a2: loop { loop { if (G == 1) { continue a2; } break; } }")
+    (cont,) = nodes_of_kind(cfg, NodeKind.CONTINUE)
+    outer = next(i for i in cfg.loops if i.loop.label == "a2")
+    inner = next(i for i in cfg.loops if i.loop.label is None)
+    assert cont in outer.back_sources
+    assert cont not in inner.back_sources
+
+
+def test_synchronized_produces_acquire_release_pair():
+    cfg = cfg_of("synchronized (G) { G = 1; }")
+    assert len(nodes_of_kind(cfg, NodeKind.ACQUIRE)) == 1
+    assert len(nodes_of_kind(cfg, NodeKind.RELEASE)) == 1
+
+
+def test_return_inside_synchronized_gets_release_chain():
+    cfg = cfg_of("synchronized (G) { if (G == 1) { return; } }")
+    (ret,) = nodes_of_kind(cfg, NodeKind.RETURN)
+    releases = nodes_of_kind(cfg, NodeKind.RELEASE)
+    # one normal release + one before the return
+    assert len(releases) == 2
+    preds = list(cfg.predecessors(ret))
+    assert any(p.kind is NodeKind.RELEASE for p in preds)
+
+
+def test_normal_iteration_nodes_exclude_exceptional_only_paths():
+    cfg = cfg_of("""
+      loop {
+        if (G == 1) { return; }
+        G = 2;
+      }
+    """)
+    info = cfg.loops[0]
+    normal = normal_iteration_nodes(cfg, info)
+    (ret,) = nodes_of_kind(cfg, NodeKind.RETURN)
+    assign = next(n for n in nodes_of_kind(cfg, NodeKind.STMT))
+    assert ret not in normal
+    assert assign in normal
+    (branch,) = nodes_of_kind(cfg, NodeKind.BRANCH)
+    assert branch in normal  # the test itself runs in normal iterations
+
+
+def test_normal_iteration_nodes_empty_for_always_exiting_loop():
+    cfg = cfg_of("loop { return; }")
+    info = cfg.loops[0]
+    assert normal_iteration_nodes(cfg, info) == set()
+
+
+def test_bind_node_for_local_declaration():
+    cfg = cfg_of("local x = G in { G = x; }")
+    binds = nodes_of_kind(cfg, NodeKind.BIND)
+    assert len(binds) == 1
+
+
+def test_unconditional_loop_has_no_fallthrough_exit():
+    cfg = cfg_of("loop { G = 1; }")
+    # nothing reaches exit except via the implicit end (unreachable)
+    assert cfg.exit not in cfg.reachable_from(cfg.entry)
+
+
+def test_reachable_from_respects_within():
+    cfg = cfg_of("loop { if (G == 1) { break; } } G = 9;")
+    info = cfg.loops[0]
+    body = set(info.body_nodes)
+    reach = cfg.reachable_from(info.head, within=body | {info.head})
+    after = [n for n in nodes_of_kind(cfg, NodeKind.STMT)]
+    assert all(n not in reach for n in after)
+
+
+def test_backward_reachable_stops_at_barrier():
+    cfg = cfg_of("G = 1; G = 2; G = 3;")
+    s1, s2, s3 = nodes_of_kind(cfg, NodeKind.STMT)
+    back = cfg.backward_reachable([s3], stop={s2})
+    assert s2 in back and s1 not in back

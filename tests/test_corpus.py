@@ -1,0 +1,112 @@
+"""Corpus-wide matrix: every program parses, resolves, executes, and
+gets the expected analysis verdict."""
+
+import pytest
+
+from repro import corpus
+from repro.analysis import analyze_program
+from repro.interp import Interp, ThreadSpec, run_random
+from repro.synl.resolve import load_program
+
+#: program -> {procedure: expected atomicity verdict}
+VERDICTS = {
+    "NFQ": (corpus.NFQ, {"Enq": False, "Deq": False}),
+    "NFQ_PRIME": (corpus.NFQ_PRIME,
+                  {"AddNode": True, "UpdateTail": True, "DeqP": True}),
+    "NFQ_PRIME_BUGGY": (corpus.NFQ_PRIME_BUGGY,
+                        {"AddNode": True, "UpdateTail": True,
+                         "DeqP": False}),
+    "HERLIHY_SMALL": (corpus.HERLIHY_SMALL,
+                      {"Apply": True, "ReadValue": True}),
+    "GH_PROGRAM1": (corpus.GH_PROGRAM1, {"Apply": True}),
+    "GH_PROGRAM2": (corpus.GH_PROGRAM2, {"Apply": False}),
+    "GH_FULL": (corpus.GH_FULL, {"Apply": False}),
+    "GH_FULL_FIXED": (corpus.GH_FULL_FIXED, {"Apply": False}),
+    "ALLOCATOR": (corpus.ALLOCATOR,
+                  {name: False for name in
+                   ("MallocFromActive", "MallocFromPartial",
+                    "MallocFromNewSB", "UpdateActive", "DescAlloc",
+                    "HeapPutPartial")}),
+    "CAS_COUNTER": (corpus.CAS_COUNTER, {"Inc": True, "Get": True}),
+    "SEMAPHORE": (corpus.SEMAPHORE, {"Down": True, "Up": True}),
+    "SPIN_LOCK": (corpus.SPIN_LOCK,
+                  {"Acquire": True, "Release": True}),
+    "TREIBER_STACK": (corpus.TREIBER_STACK,
+                      {"Push": True, "Pop": True}),
+    "LOCKED_REGISTER": (corpus.LOCKED_REGISTER,
+                        {"Write": True, "Read": True}),
+    "VERSIONED_CELL": (corpus.VERSIONED_CELL,
+                       {"IncCell": True, "GetCell": True}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(VERDICTS))
+def test_parses_and_resolves(name):
+    source, _ = VERDICTS[name]
+    program = load_program(source)
+    assert program.procs
+
+
+@pytest.mark.parametrize("name", sorted(VERDICTS))
+def test_analysis_verdicts(name):
+    source, expected = VERDICTS[name]
+    result = analyze_program(source)
+    got = {proc: result.is_atomic(proc) for proc in expected}
+    assert got == expected
+
+
+SMOKE_CALLS = {
+    "NFQ": [("Enq", 1), ("Deq",)],
+    # DeqP relies on the UpdateTail helper to advance a lagging Tail
+    "NFQ_PRIME": [("AddNode", 1), ("UpdateTail",), ("DeqP",)],
+    "HERLIHY_SMALL": [("Apply", 2), ("ReadValue",)],
+    "GH_PROGRAM1": [("Apply", 1)],
+    "GH_PROGRAM2": [("Apply", 1)],
+    "GH_FULL": [("Apply", 1)],
+    "GH_FULL_FIXED": [("Apply", 1)],
+    "ALLOCATOR": [("MallocFromNewSB",), ("MallocFromActive",)],
+    "CAS_COUNTER": [("Inc",), ("Get",)],
+    "SEMAPHORE": [("Down",), ("Up",)],
+    "SPIN_LOCK": [("Acquire",), ("Release",)],
+    "TREIBER_STACK": [("Push", 1), ("Pop",)],
+    "LOCKED_REGISTER": [("Write", 1), ("Read",)],
+    "VERSIONED_CELL": [("IncCell",), ("GetCell",)],
+}
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_CALLS))
+def test_executes_under_interpreter(name):
+    source, _ = VERDICTS[name]
+    interp = Interp(source)
+    world = interp.make_world([ThreadSpec.of(*SMOKE_CALLS[name])])
+    run_random(interp, world, seed=1, max_steps=50_000)
+    assert all(t.done for t in world.threads)
+
+
+def test_versioned_cell_counts_correctly():
+    interp = Interp(corpus.VERSIONED_CELL)
+    world = interp.make_world([
+        ThreadSpec.of(("IncCell",), ("IncCell",)),
+        ThreadSpec.of(("IncCell",), ("GetCell",)),
+    ])
+    run_random(interp, world, seed=4, max_steps=50_000)
+    gets = [e.result for e in world.history
+            if e.kind == "return" and e.proc == "GetCell"]
+    cell = world.heap.get(world.globals["C"])
+    assert cell.fields["V"] == 3
+    assert all(0 <= g <= 3 for g in gets)
+
+
+def test_versioned_cell_requires_class_annotation():
+    raw = corpus.VERSIONED_CELL.replace("versioned V;", "V;")
+    result = analyze_program(raw)
+    assert not result.is_atomic("IncCell")
+
+
+def test_gh_full_fixed_differs_only_in_reset():
+    plain = corpus.GH_FULL.strip().splitlines()
+    fixed = corpus.GH_FULL_FIXED.strip().splitlines()
+    diff = [(a, b) for a, b in zip(plain, fixed) if a != b]
+    assert len(diff) == 1
+    assert "version[g] = 0" in diff[0][0]
+    assert "0 - 1" in diff[0][1]

@@ -1,0 +1,118 @@
+"""Dataflow framework and liveness tests (with a path-enumeration
+oracle on small CFGs)."""
+
+from repro.analysis.actions import node_actions
+from repro.cfg import build_cfg, liveness
+from repro.cfg.graph import NodeKind
+from repro.synl.resolve import load_program
+
+
+def _cfg(body, params=""):
+    prog = load_program(f"global G; proc P({params}) {{ {body} }}")
+    return build_cfg(prog.proc("P"))
+
+
+def _uses_defs(node):
+    uses, defs = set(), set()
+    for action in node_actions(node):
+        if action.target is None or action.target.kind != "var":
+            continue
+        if action.op == "read":
+            uses.add(action.target.binding)
+        elif action.op == "write":
+            defs.add(action.target.binding)
+    return frozenset(uses), frozenset(defs)
+
+
+def _liveness(cfg):
+    return liveness(cfg, lambda n: _uses_defs(n)[0],
+                    lambda n: _uses_defs(n)[1])
+
+
+def _binding(cfg, name):
+    from repro.synl import ast as A
+
+    for node in cfg.nodes:
+        if node.kind is NodeKind.BIND and node.stmt.name == name:
+            return node.stmt.binding
+    raise KeyError(name)
+
+
+def test_dead_after_last_use():
+    cfg = _cfg("local x = 1 in { G = x; G = 2; }")
+    x = _binding(cfg, "x")
+    live = _liveness(cfg)
+    uses = [n for n in cfg.nodes if x in _uses_defs(n)[0]]
+    (use,) = uses
+    assert x in live.live_in(use)
+    assert x not in live.live_out(use)
+
+
+def test_live_through_branch_join():
+    cfg = _cfg("local x = 1 in { if (G == 1) { G = 2; } G = x; }")
+    x = _binding(cfg, "x")
+    live = _liveness(cfg)
+    branch = next(n for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+    assert x in live.live_out(branch)
+
+
+def test_redefinition_kills_liveness():
+    cfg = _cfg("local x = 1 in { x = 2; G = x; }")
+    x = _binding(cfg, "x")
+    live = _liveness(cfg)
+    bind = next(n for n in cfg.nodes if n.kind is NodeKind.BIND)
+    # after the bind, x is dead: it is rewritten before the read
+    assert x not in live.live_out(bind)
+
+
+def test_loop_carried_liveness():
+    cfg = _cfg("local i = 0 in loop { if (i > 3) { break; } i = i + 1; }")
+    i = _binding(cfg, "i")
+    live = _liveness(cfg)
+    head = cfg.loops[0].head
+    assert i in live.live_in(head)
+
+
+def test_liveness_matches_path_enumeration_oracle():
+    cfg = _cfg("""
+      local a = 1 in
+      local b = 2 in {
+        if (G == 1) { G = a; } else { G = 2; }
+        G = b;
+      }
+    """)
+    live = _liveness(cfg)
+
+    # oracle: DFS over paths, bounded unrolling
+    def oracle_live(start, binding):
+        stack = [(start, 0)]
+        seen = set()
+        while stack:
+            node, depth = stack.pop()
+            if depth > 50:
+                continue
+            uses, defs = _uses_defs(node)
+            if binding in uses:
+                return True
+            if binding in defs:
+                continue
+            if (node.uid, depth > 10) in seen:
+                continue
+            seen.add((node.uid, depth > 10))
+            for nxt in cfg.successors(node):
+                stack.append((nxt, depth + 1))
+        return False
+
+    a, b = _binding(cfg, "a"), _binding(cfg, "b")
+    for node in cfg.nodes:
+        for binding in (a, b):
+            expected = any(oracle_live(succ, binding)
+                           for succ in cfg.successors(node))
+            assert (binding in live.live_out(node)) == expected, \
+                (node, binding)
+
+
+def test_nothing_live_at_exit():
+    cfg = _cfg("local x = 1 in { G = x; }")
+    live = _liveness(cfg)
+    assert live.live_out(cfg.exit) == frozenset()

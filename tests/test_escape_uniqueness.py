@@ -1,0 +1,219 @@
+"""Escape analysis (fresh objects) and uniqueness (working copies)."""
+
+from repro.analysis.escape import escape_analysis
+from repro.analysis.uniqueness import uniqueness_analysis
+from repro.cfg import NodeKind, build_cfg
+from repro.synl import ast as A
+from repro.synl.resolve import load_program
+
+
+def _setup(source):
+    prog = load_program(source)
+    cfgs = {p.name: build_cfg(p) for p in prog.procs}
+    return prog, cfgs
+
+
+def _node_for(cfg, text_kind, pred):
+    for node in cfg.nodes:
+        if node.kind is text_kind and pred(node):
+            return node
+    raise AssertionError("node not found")
+
+
+# -- escape analysis ---------------------------------------------------------------
+
+def test_fresh_until_stored_to_global():
+    prog, cfgs = _setup("""
+        class Node { V; }
+        global G;
+        proc P() {
+          local n = new Node in {
+            n.V = 1;
+            G = n;
+            skip;
+          }
+        }
+    """)
+    cfg = cfgs["P"]
+    esc = escape_analysis(cfg)
+    decl = next(x for x in prog.walk() if isinstance(x, A.LocalDecl))
+    write = _node_for(cfg, NodeKind.STMT,
+                      lambda n: isinstance(n.stmt, A.Assign)
+                      and isinstance(n.stmt.target, A.Field))
+    store = _node_for(cfg, NodeKind.STMT,
+                      lambda n: isinstance(n.stmt, A.Assign)
+                      and isinstance(n.stmt.target, A.Var)
+                      and n.stmt.target.name == "G")
+    after = _node_for(cfg, NodeKind.STMT,
+                      lambda n: isinstance(n.stmt, A.Skip))
+    assert esc.is_fresh(write, decl.binding)
+    assert esc.is_fresh(store, decl.binding)  # consumed *by* this node
+    assert not esc.is_fresh(after, decl.binding)
+
+
+def test_freshness_killed_on_comparison_use():
+    prog, cfgs = _setup("""
+        class Node { V; }
+        global G;
+        proc P() {
+          local n = new Node in {
+            if (n == null) { skip; }
+            n.V = 1;
+          }
+        }
+    """)
+    cfg = cfgs["P"]
+    esc = escape_analysis(cfg)
+    decl = next(x for x in prog.walk() if isinstance(x, A.LocalDecl))
+    write = _node_for(cfg, NodeKind.STMT,
+                      lambda n: isinstance(n.stmt, A.Assign))
+    assert not esc.is_fresh(write, decl.binding)
+
+
+def test_freshness_survives_failed_sc_branch():
+    """The Treiber-push idiom: a failed SC publishes nothing, so n stays
+    fresh around the retry loop (edge-sensitive escape)."""
+    prog, cfgs = _setup("""
+        class SNode { Value; SNext; }
+        global Top;
+        proc Push(v) {
+          local n = new SNode in {
+            n.Value = v;
+            loop {
+              local t = LL(Top) in {
+                n.SNext = t;
+                if (SC(Top, n)) { return; }
+              }
+            }
+          }
+        }
+    """)
+    cfg = cfgs["Push"]
+    esc = escape_analysis(cfg)
+    decl = next(x for x in prog.walk() if isinstance(x, A.LocalDecl)
+                and x.name == "n")
+    write = _node_for(cfg, NodeKind.STMT,
+                      lambda nd: isinstance(nd.stmt, A.Assign)
+                      and isinstance(nd.stmt.target, A.Field)
+                      and nd.stmt.target.name == "SNext")
+    assert esc.is_fresh(write, decl.binding)
+
+
+def test_freshness_killed_on_success_edge():
+    prog, cfgs = _setup("""
+        class SNode { Value; }
+        global Top;
+        proc P() {
+          local n = new SNode in {
+            if (SC(Top, n)) {
+              n.Value = 1;
+            }
+          }
+        }
+    """)
+    cfg = cfgs["P"]
+    esc = escape_analysis(cfg)
+    decl = next(x for x in prog.walk() if isinstance(x, A.LocalDecl))
+    write = _node_for(cfg, NodeKind.STMT,
+                      lambda nd: isinstance(nd.stmt, A.Assign))
+    # after a successful publish the object is shared
+    assert not esc.is_fresh(write, decl.binding)
+
+
+def test_reassignment_from_non_allocation_kills_freshness():
+    prog, cfgs = _setup("""
+        class Node { V; }
+        global G;
+        proc P() {
+          local n = new Node in {
+            n = G;
+            n.V = 1;
+          }
+        }
+    """)
+    cfg = cfgs["P"]
+    esc = escape_analysis(cfg)
+    decl = next(x for x in prog.walk() if isinstance(x, A.LocalDecl))
+    write = _node_for(cfg, NodeKind.STMT,
+                      lambda nd: isinstance(nd.stmt, A.Assign)
+                      and isinstance(nd.stmt.target, A.Field))
+    assert not esc.is_fresh(write, decl.binding)
+
+
+# -- uniqueness (working-copy discipline) ----------------------------------------------
+
+HERLIHY_STYLE = """
+    class Obj { data; }
+    global Q;
+    threadlocal prv;
+    init { Q = new Obj; }
+    threadinit { prv = new Obj; }
+    proc Apply(x) {
+      loop {
+        local m = LL(Q) in {
+          prv.data = m.data;
+          if (SC(Q, prv)) {
+            prv = m;
+            return;
+          }
+        }
+      }
+    }
+"""
+
+
+def test_working_copy_certified():
+    prog, cfgs = _setup(HERLIHY_STYLE)
+    result = uniqueness_analysis(prog, cfgs)
+    assert "prv" in result.unique
+    assert result.swap_root["prv"] == "Q"
+
+
+def test_swap_without_sc_guard_rejected():
+    prog, cfgs = _setup(HERLIHY_STYLE.replace(
+        "if (SC(Q, prv)) {\n            prv = m;",
+        "if (VL(Q)) {\n            prv = m;"))
+    result = uniqueness_analysis(prog, cfgs)
+    assert "prv" not in result.unique
+    assert "prv" in result.rejected
+
+
+def test_leaking_prv_to_global_rejected():
+    source = HERLIHY_STYLE.replace("proc Apply",
+                                   "proc Leak() { Q = prv; } proc Apply")
+    prog, cfgs = _setup(source)
+    result = uniqueness_analysis(prog, cfgs)
+    assert "prv" not in result.unique
+
+
+def test_swap_source_live_after_swap_rejected():
+    source = HERLIHY_STYLE.replace(
+        "prv = m;\n            return;",
+        "prv = m;\n            Q = m;\n            return;")
+    prog, cfgs = _setup(source)
+    result = uniqueness_analysis(prog, cfgs)
+    assert "prv" not in result.unique
+
+
+def test_unswapped_threadlocal_with_only_derefs_is_unique():
+    prog, cfgs = _setup("""
+        class Obj { data; }
+        threadlocal scratch;
+        threadinit { scratch = new Obj; }
+        proc P(x) { scratch.data = x; }
+    """)
+    result = uniqueness_analysis(prog, cfgs)
+    assert "scratch" in result.unique
+
+
+def test_threadlocal_initialized_from_global_rejected():
+    prog, cfgs = _setup("""
+        class Obj { data; }
+        global Q;
+        threadlocal p;
+        init { Q = new Obj; }
+        threadinit { p = Q; }
+        proc P(x) { p.data = x; }
+    """)
+    result = uniqueness_analysis(prog, cfgs)
+    assert "p" not in result.unique

@@ -1,0 +1,205 @@
+"""End-to-end atomicity inference (§5.4): corpus verdicts, the Figure 3
+and Figure 4 golden labels, and the option switches."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import corpus
+from repro.analysis import InferenceOptions, analyze_program
+from repro.analysis.report import line_atomicities
+
+
+# -- verdicts ----------------------------------------------------------------------
+
+def test_nfq_prime_all_atomic(nfq_prime_analysis):
+    assert nfq_prime_analysis.atomic_procedures() == [
+        "AddNode", "UpdateTail", "DeqP"]
+
+
+def test_nfq_unmodified_not_provable(nfq_analysis):
+    """The paper must modify NFQ into NFQ' before the analysis applies
+    (§6.1): the helping updates to Tail make the loops impure."""
+    assert not nfq_analysis.is_atomic("Enq")
+    assert not nfq_analysis.is_atomic("Deq")
+
+
+def test_herlihy_atomic(herlihy_analysis):
+    assert herlihy_analysis.is_atomic("Apply")
+
+
+def test_gh_program1_atomic(gh1_analysis):
+    assert gh1_analysis.is_atomic("Apply")
+
+
+def test_gh_program2_and_full_not_directly_provable():
+    assert not analyze_program(corpus.GH_PROGRAM2).is_atomic("Apply")
+    assert not analyze_program(corpus.GH_FULL).is_atomic("Apply")
+
+
+def test_treiber_atomic(treiber_analysis):
+    assert treiber_analysis.is_atomic("Push")
+    assert treiber_analysis.is_atomic("Pop")
+
+
+def test_cas_counter_atomic_only_with_version_discipline():
+    assert analyze_program(corpus.CAS_COUNTER).is_atomic("Inc")
+    raw = corpus.CAS_COUNTER.replace("global versioned Counter;",
+                                     "global Counter;")
+    assert not analyze_program(raw).is_atomic("Inc")
+
+
+def test_semaphore_and_spinlock_atomic():
+    sem = analyze_program(corpus.SEMAPHORE)
+    assert sem.is_atomic("Down") and sem.is_atomic("Up")
+    lock = analyze_program(corpus.SPIN_LOCK)
+    assert lock.is_atomic("Acquire") and lock.is_atomic("Release")
+
+
+def test_locked_register_atomic_via_thm51():
+    reg = analyze_program(corpus.LOCKED_REGISTER)
+    assert reg.is_atomic("Write") and reg.is_atomic("Read")
+
+
+LOCKED_INCR = """
+class LockObj { unused; }
+global Lk;
+global Val;
+init { Lk = new LockObj; Val = 0; }
+proc Incr() {
+  synchronized (Lk) {
+    Val = Val + 1;
+  }
+}
+proc Read() {
+  %s
+}
+"""
+
+_SYNC_READ = ("synchronized (Lk) { local v = Val in { return v; } }")
+_RAW_READ = ("local v = Val in { return v; }")
+
+
+def test_locked_read_modify_write_atomic_via_thm51():
+    result = analyze_program(LOCKED_INCR % _SYNC_READ)
+    assert result.is_atomic("Incr")
+
+
+def test_single_writer_with_raw_readers_still_atomic():
+    """Raw readers don't break the lone locked writer: its read half is
+    a both-mover (all conflicting writes hold the lock) and the write is
+    the commit point — R;B;A;L reduces."""
+    result = analyze_program(LOCKED_INCR % _RAW_READ)
+    assert result.is_atomic("Incr")
+
+
+def test_unlocked_read_modify_write_not_atomic():
+    """Drop the lock entirely: two concurrent Incrs interfere on both
+    halves of Val = Val + 1, and A;A composes to N."""
+    source = (LOCKED_INCR % _RAW_READ).replace(
+        "synchronized (Lk) {\n    Val = Val + 1;\n  }",
+        "Val = Val + 1;")
+    result = analyze_program(source)
+    assert not result.is_atomic("Incr")
+
+
+def test_allocator_procedures_not_atomic_as_wholes(allocator_analysis):
+    assert allocator_analysis.atomic_procedures() == []
+
+
+def test_buggy_nfq_prime_addnode_still_atomic():
+    """Atomicity is independent of functional correctness: the lost-node
+    AddNode is still atomic (Table 2 runs it with the declarations)."""
+    result = analyze_program(corpus.NFQ_PRIME_BUGGY)
+    assert result.is_atomic("AddNode")
+    assert result.is_atomic("UpdateTail")
+    # DeqP loses Theorem 5.5's uniform-condition premise (the LL-SC
+    # block on t.Next no longer asserts next == null)
+    assert not result.is_atomic("DeqP")
+
+
+# -- Figure 3 golden labels ------------------------------------------------------------
+
+FIG3 = {
+    "AddNode": list("BBBRRBBLB"),
+    "UpdateTail1": list("RRBBLB"),
+    "DeqP1": list("RALBB"),
+    "DeqP2": list("RRBBABLB"),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(FIG3))
+def test_figure3_labels(nfq_prime_analysis, variant):
+    labels = [a for _, a in line_atomicities(nfq_prime_analysis, variant)]
+    assert labels == FIG3[variant]
+
+
+def test_updatetail_failure_variant_read_only(nfq_prime_analysis):
+    reports = nfq_prime_analysis.verdicts["UpdateTail"].variants
+    failure = next(r for r in reports if r.variant.name == "UpdateTail2")
+    assert failure.read_only
+
+
+def test_figure4_labels(herlihy_analysis):
+    labels = [a for _, a in line_atomicities(herlihy_analysis, "Apply")]
+    assert labels == list("RBBBLBB")
+
+
+# -- option switches ---------------------------------------------------------------------
+
+def _with(source, **overrides):
+    return analyze_program(source,
+                           replace(InferenceOptions(), **overrides))
+
+
+def test_without_purity_nothing_nonblocking_verifies():
+    result = _with(corpus.NFQ_PRIME, enable_purity=False)
+    assert result.atomic_procedures() == []
+
+
+def test_without_windows_nothing_nonblocking_verifies():
+    result = _with(corpus.NFQ_PRIME, enable_windows=False)
+    assert result.atomic_procedures() == []
+
+
+def test_without_conditions_deqp2_loses_atomicity():
+    result = _with(corpus.NFQ_PRIME, enable_conditions=False)
+    assert not result.is_atomic("DeqP")
+    assert result.is_atomic("AddNode")  # window rules still carry it
+
+
+def test_without_uniqueness_herlihy_fails():
+    result = _with(corpus.HERLIHY_SMALL, enable_uniqueness=False)
+    assert not result.is_atomic("Apply")
+
+
+def test_without_agreement_verdicts_hold_but_a6_label_weakens():
+    result = _with(corpus.NFQ_PRIME, enable_agreement=False)
+    assert result.is_atomic("AddNode")
+    labels = [a for _, a in line_atomicities(result, "AddNode")]
+    assert labels[5] == "L"  # a6 stays a left-mover instead of B
+
+
+def test_locks_only_configuration_still_proves_locked_register():
+    result = _with(
+        corpus.LOCKED_REGISTER, enable_purity=False,
+        enable_windows=False, enable_conditions=False,
+        enable_uniqueness=False, enable_agreement=False)
+    assert result.is_atomic("Write") and result.is_atomic("Read")
+
+
+# -- assumption diagnostics -----------------------------------------------------------------
+
+def test_multiple_matching_lls_reported():
+    result = analyze_program("""
+        global G;
+        proc P(v) {
+          loop {
+            local t = 0 in {
+              if (v == 0) { t = LL(G); } else { t = LL(G); }
+              if (SC(G, t + 1)) { return; }
+            }
+          }
+        }
+    """)
+    assert any("matching" in d for d in result.diagnostics)

@@ -1,0 +1,173 @@
+"""Procedure-call inlining tests (the paper's 'internal procedures are
+inlined' convention, automated)."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.errors import ResolveError
+from repro.interp import Interp, ThreadSpec, run_round_robin
+from repro.synl.inline import inline_calls, load_program_with_calls
+from repro.synl.parser import parse_program
+from repro.synl import ast as A
+
+
+def _returns(world, proc=None):
+    return [e.result for e in world.history
+            if e.kind == "return" and (proc is None or e.proc == proc)]
+
+
+def test_void_call_inlined_and_executes():
+    prog = load_program_with_calls("""
+        global G;
+        init { G = 0; }
+        proc Bump() { G = G + 1; }
+        proc Twice() { Bump(); Bump(); }
+    """)
+    interp = Interp(prog)
+    world = interp.make_world([ThreadSpec.of(("Twice",))])
+    run_round_robin(interp, world)
+    assert world.globals["G"] == 2
+
+
+def test_value_call_binds_result():
+    prog = load_program_with_calls("""
+        global G;
+        init { G = 40; }
+        proc ReadPlus(k) { return G + k; }
+        proc Use() {
+          local x = ReadPlus(2) in { return x; }
+        }
+    """)
+    interp = Interp(prog)
+    world = interp.make_world([ThreadSpec.of(("Use",))])
+    run_round_robin(interp, world)
+    assert _returns(world, "Use") == [42]
+
+
+def test_early_return_from_branch():
+    prog = load_program_with_calls("""
+        proc Sign(v) {
+          if (v > 0) { return 1; }
+          if (v < 0) { return -1; }
+          return 0;
+        }
+        proc Use(v) {
+          local s = Sign(v) in { return s; }
+        }
+    """)
+    interp = Interp(prog)
+    world = interp.make_world([ThreadSpec.of(
+        ("Use", 9), ("Use", -3), ("Use", 0))])
+    run_round_robin(interp, world)
+    assert _returns(world, "Use") == [1, -1, 0]
+
+
+def test_call_with_loop_in_callee():
+    prog = load_program_with_calls("""
+        global G;
+        init { G = 0; }
+        proc Inc() {
+          loop {
+            local t = LL(G) in {
+              if (SC(G, t + 1)) { return t + 1; }
+            }
+          }
+        }
+        proc Twice() {
+          local a = Inc() in
+          local b = Inc() in {
+            return a + b;
+          }
+        }
+    """)
+    interp = Interp(prog)
+    world = interp.make_world([ThreadSpec.of(("Twice",))])
+    run_round_robin(interp, world)
+    assert _returns(world, "Twice") == [3]  # 1 + 2
+
+
+def test_nested_calls_inline_transitively():
+    prog = load_program_with_calls("""
+        proc A() { return 1; }
+        proc B() { local a = A() in { return a + 1; } }
+        proc C() { local b = B() in { return b + 1; } }
+    """)
+    interp = Interp(prog)
+    world = interp.make_world([ThreadSpec.of(("C",))])
+    run_round_robin(interp, world)
+    assert _returns(world, "C") == [3]
+    # the inlined program contains no residual calls
+    for node in prog.proc("C").walk():
+        assert not (isinstance(node, A.PrimCall)
+                    and node.name in ("A", "B"))
+
+
+def test_recursion_rejected():
+    with pytest.raises(ResolveError, match="recursive"):
+        load_program_with_calls("proc P() { P(); }")
+
+
+def test_mutual_recursion_rejected():
+    with pytest.raises(ResolveError, match="recursive"):
+        load_program_with_calls("""
+            proc P() { Q(); }
+            proc Q() { P(); }
+        """)
+
+
+def test_call_in_expression_position_rejected():
+    with pytest.raises(ResolveError, match="statement or as a local"):
+        load_program_with_calls("""
+            global G;
+            proc P() { return 1; }
+            proc Q() { G = P() + 1; }
+        """)
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ResolveError, match="arguments"):
+        load_program_with_calls("""
+            proc P(a, b) { return a; }
+            proc Q() { P(1); }
+        """)
+
+
+def test_primitive_names_left_alone():
+    prog = load_program_with_calls("""
+        proc P(v) { return compute(v, 1); }
+    """)
+    calls = [n for n in prog.walk() if isinstance(n, A.PrimCall)]
+    assert len(calls) == 1 and calls[0].name == "compute"
+
+
+def test_inlined_program_is_analyzable():
+    """The paper's intended workflow: write helpers, inline, analyze."""
+    prog = load_program_with_calls("""
+        global Sem;
+        init { Sem = 1; }
+        proc Down() {
+          loop {
+            local tmp = LL(Sem) in {
+              if (tmp > 0) {
+                if (SC(Sem, tmp - 1)) { return; }
+              }
+            }
+          }
+        }
+        proc CriticalPair() {
+          Down();
+        }
+    """)
+    result = analyze_program(prog)
+    assert result.is_atomic("Down")
+    assert result.is_atomic("CriticalPair")  # just an inlined Down
+
+
+def test_inlining_preserves_original_program():
+    original = parse_program("""
+        proc A() { return 1; }
+        proc B() { A(); }
+    """)
+    before = original.key()
+    inline_calls(original)
+    assert original.key() == before

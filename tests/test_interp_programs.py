@@ -1,0 +1,148 @@
+"""Functional tests of the corpus programs under the interpreter."""
+
+import pytest
+
+from repro import corpus
+from repro.interp import Interp, ThreadSpec, run_random, run_round_robin
+from repro.interp.values import Ref
+
+
+def returns(world, proc=None):
+    return [e.result for e in world.history
+            if e.kind == "return" and (proc is None or e.proc == proc)]
+
+
+def test_nfq_sequential_fifo():
+    interp = Interp(corpus.NFQ)
+    world = interp.make_world([ThreadSpec.of(
+        ("Enq", 1), ("Enq", 2), ("Enq", 3),
+        ("Deq",), ("Deq",), ("Deq",), ("Deq",))])
+    run_round_robin(interp, world)
+    assert returns(world, "Deq") == [1, 2, 3, -1]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_nfq_concurrent_per_thread_fifo(seed):
+    interp = Interp(corpus.NFQ)
+    world = interp.make_world([
+        ThreadSpec.of(("Enq", 1), ("Enq", 2), ("Enq", 3)),
+        ThreadSpec.of(("Enq", 10), ("Enq", 20)),
+        ThreadSpec.of(*([("Deq",)] * 10)),
+    ])
+    run_random(interp, world, seed=seed)
+    got = [v for v in returns(world, "Deq") if v != -1]
+    assert sorted(got) == [1, 2, 3, 10, 20]
+    assert [v for v in got if v < 10] == [1, 2, 3]
+    assert [v for v in got if v >= 10] == [10, 20]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_nfq_prime_with_helper(seed):
+    interp = Interp(corpus.NFQ_PRIME)
+    world = interp.make_world([
+        ThreadSpec.of(("AddNode", 1), ("AddNode", 2)),
+        ThreadSpec.of(*([("DeqP",)] * 4)),
+        ThreadSpec.of(("UpdateTail",), repeat=True),
+    ])
+    run_random(interp, world, seed=seed, max_steps=20_000)
+    got = [v for v in returns(world, "DeqP") if v != -1]
+    assert sorted(got) <= [1, 2]
+
+
+def test_treiber_stack_lifo():
+    interp = Interp(corpus.TREIBER_STACK)
+    world = interp.make_world([ThreadSpec.of(
+        ("Push", 1), ("Push", 2), ("Push", 3),
+        ("Pop",), ("Pop",), ("Pop",), ("Pop",))])
+    run_round_robin(interp, world)
+    assert returns(world, "Pop") == [3, 2, 1, -1]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_treiber_concurrent_no_loss_no_dup(seed):
+    interp = Interp(corpus.TREIBER_STACK)
+    world = interp.make_world([
+        ThreadSpec.of(("Push", 1), ("Push", 2), ("Pop",)),
+        ThreadSpec.of(("Push", 3), ("Pop",), ("Pop",), ("Pop",)),
+    ])
+    run_random(interp, world, seed=seed)
+    popped = [v for v in returns(world, "Pop") if v != -1]
+    # pops + still-stacked = pushes, no duplicates
+    assert len(popped) == len(set(popped))
+    assert set(popped) <= {1, 2, 3}
+
+
+def test_herlihy_applies_all_operations():
+    interp = Interp(corpus.HERLIHY_SMALL)
+    world = interp.make_world([
+        ThreadSpec.of(("Apply", 1), ("Apply", 2)),
+        ThreadSpec.of(("Apply", 3),),
+    ])
+    run_random(interp, world, seed=5)
+    obj = world.heap.get(world.globals["Q"])
+    # compute(v, x) = v + x + 1 applied for x = 1, 2, 3 in some order
+    assert obj.fields["data"] == (1 + 1) + (2 + 1) + (3 + 1)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_gh_program1_applies_each_group(seed):
+    interp = Interp(corpus.GH_PROGRAM1)
+    world = interp.make_world([
+        ThreadSpec.of(("Apply", 1)),
+        ThreadSpec.of(("Apply", 2)),
+        ThreadSpec.of(("Apply", 3)),
+    ])
+    run_random(interp, world, seed=seed)
+    obj = world.heap.get(world.globals["SharedObj"])
+    data = world.heap.get(obj.fields["data"])
+    # compute(v, g) = v + g + 1 once per group, from 0
+    assert data.cells == [0, 2, 3, 4]
+
+
+def test_semaphore_counts():
+    interp = Interp(corpus.SEMAPHORE)
+    world = interp.make_world([
+        ThreadSpec.of(("Down",), ("Down",), ("Up",)),
+    ])
+    run_round_robin(interp, world)
+    assert world.globals["Sem"] == 1  # 2 - 2 + 1
+
+
+def test_semaphore_blocks_at_zero():
+    interp = Interp(corpus.SEMAPHORE)
+    world = interp.make_world([
+        ThreadSpec.of(("Down",), ("Down",), ("Down",)),
+    ])
+    run_round_robin(interp, world, max_steps=500)
+    # the third Down spins forever
+    assert world.globals["Sem"] == 0
+    assert not world.threads[0].done
+
+
+def test_spin_lock_mutual_exclusion_count():
+    interp = Interp(corpus.SPIN_LOCK)
+    world = interp.make_world([
+        ThreadSpec.of(("Acquire",), ("Release",)),
+        ThreadSpec.of(("Acquire",), ("Release",)),
+    ])
+    run_random(interp, world, seed=3, max_steps=10_000)
+    assert world.globals["Lck"] == 0
+    assert all(t.done for t in world.threads)
+
+
+def test_allocator_returns_distinct_blocks():
+    interp = Interp(corpus.ALLOCATOR)
+    world = interp.make_world([ThreadSpec.of(
+        ("MallocFromNewSB",), ("MallocFromActive",),
+        ("MallocFromActive",), ("MallocFromActive",))])
+    run_round_robin(interp, world)
+    blocks = [v for v in returns(world) if v != -1]
+    assert len(blocks) == len(set(blocks)) == 4
+
+
+def test_locked_register_last_write_wins_sequentially():
+    interp = Interp(corpus.LOCKED_REGISTER)
+    world = interp.make_world([ThreadSpec.of(
+        ("Write", 5), ("Write", 9), ("Read",))])
+    run_round_robin(interp, world)
+    assert returns(world, "Read") == [9]

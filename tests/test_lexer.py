@@ -1,0 +1,95 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.synl.lexer import tokenize
+from repro.synl.tokens import TokenKind as T
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind is T.EOF
+
+
+def test_integer_literal():
+    toks = tokenize("42")
+    assert toks[0].kind is T.INT and toks[0].text == "42"
+
+
+def test_identifier_and_keyword_distinction():
+    assert kinds("loop loops") == [T.LOOP, T.IDENT]
+
+
+def test_true_statement_keyword_vs_boolean_literal():
+    assert kinds("TRUE true") == [T.TRUE_KW, T.TRUE_LIT]
+
+
+def test_ll_sc_vl_cas_keywords():
+    assert kinds("LL SC VL CAS") == [T.LL, T.SC, T.VL, T.CAS]
+
+
+def test_multichar_operators_lex_greedily():
+    assert kinds("== != <= >= && || ++ --") == [
+        T.EQ, T.NE, T.LE, T.GE, T.AND, T.OR, T.PLUSPLUS, T.MINUSMINUS]
+
+
+def test_single_char_operators():
+    assert kinds("= < > + - * / % !") == [
+        T.ASSIGN, T.LT, T.GT, T.PLUS, T.MINUS, T.STAR, T.SLASH,
+        T.PERCENT, T.NOT]
+
+
+def test_punctuation():
+    assert kinds("( ) { } [ ] ; , . :") == [
+        T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE, T.LBRACKET, T.RBRACKET,
+        T.SEMI, T.COMMA, T.DOT, T.COLON]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment here\n b") == [T.IDENT, T.IDENT]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* x\n y */ b") == [T.IDENT, T.IDENT]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexError) as info:
+        tokenize("x = #")
+    assert "1:5" in str(info.value)
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("a\n  bb\n   c")
+    assert (toks[0].pos.line, toks[0].pos.col) == (1, 1)
+    assert (toks[1].pos.line, toks[1].pos.col) == (2, 3)
+    assert (toks[2].pos.line, toks[2].pos.col) == (3, 4)
+
+
+def test_adjacent_tokens_without_whitespace():
+    assert kinds("x.fd[3]=y;") == [
+        T.IDENT, T.DOT, T.IDENT, T.LBRACKET, T.INT, T.RBRACKET,
+        T.ASSIGN, T.IDENT, T.SEMI]
+
+
+def test_identifier_with_underscore_and_digits():
+    toks = tokenize("next_2 _x")
+    assert toks[0].text == "next_2" and toks[1].text == "_x"
+
+
+def test_not_equal_vs_not_then_assign():
+    assert kinds("!=!") == [T.NE, T.NOT]
+
+
+def test_crlf_treated_as_whitespace():
+    assert kinds("a\r\nb") == [T.IDENT, T.IDENT]

@@ -1,0 +1,249 @@
+"""Linearizability checker tests: unit cases, a brute-force oracle
+property, and corpus histories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import corpus
+from repro.interp import Interp, ThreadSpec, run_random
+from repro.lin import (CounterSpec, FifoQueueSpec, HerlihyObjectSpec, Op,
+                       RegisterSpec, SemaphoreSpec, StackSpec,
+                       linearizable, linearizable_bruteforce,
+                       world_history)
+
+
+def op(i, tid, proc, args, result, inv, ret):
+    return Op(i, tid, proc, tuple(args), result, inv, ret)
+
+
+# -- unit cases -----------------------------------------------------------------------
+
+def test_empty_history_linearizable():
+    assert linearizable([], FifoQueueSpec()).ok
+
+
+def test_sequential_queue_history():
+    ops = [
+        op(0, 0, "Enq", [1], None, 0, 1),
+        op(1, 0, "Deq", [], 1, 2, 3),
+    ]
+    assert linearizable(ops, FifoQueueSpec()).ok
+
+
+def test_wrong_dequeue_value_rejected():
+    ops = [
+        op(0, 0, "Enq", [1], None, 0, 1),
+        op(1, 0, "Deq", [], 2, 2, 3),
+    ]
+    assert not linearizable(ops, FifoQueueSpec()).ok
+
+
+def test_real_time_order_enforced():
+    # Deq returns empty AFTER an Enq completed and nothing dequeued it
+    ops = [
+        op(0, 0, "Enq", [1], None, 0, 1),
+        op(1, 1, "Deq", [], -1, 2, 3),
+        op(2, 0, "Deq", [], 1, 4, 5),
+    ]
+    assert not linearizable(ops, FifoQueueSpec()).ok
+
+
+def test_concurrent_deq_may_return_empty():
+    # the Deq overlaps the Enq, so EMPTY is a legal linearization
+    ops = [
+        op(0, 0, "Enq", [1], None, 0, 3),
+        op(1, 1, "Deq", [], -1, 1, 2),
+        op(2, 0, "Deq", [], 1, 4, 5),
+    ]
+    assert linearizable(ops, FifoQueueSpec()).ok
+
+
+def test_pending_op_may_take_effect():
+    ops = [
+        op(0, 0, "Enq", [7], None, 0, None),  # pending forever
+        op(1, 1, "Deq", [], 7, 1, 2),
+    ]
+    assert linearizable(ops, FifoQueueSpec()).ok
+
+
+def test_pending_op_may_be_dropped():
+    ops = [
+        op(0, 0, "Enq", [7], None, 0, None),
+        op(1, 1, "Deq", [], -1, 1, 2),
+    ]
+    assert linearizable(ops, FifoQueueSpec()).ok
+
+
+def test_fifo_order_violation_rejected():
+    ops = [
+        op(0, 0, "Enq", [1], None, 0, 1),
+        op(1, 0, "Enq", [2], None, 2, 3),
+        op(2, 1, "Deq", [], 2, 4, 5),
+        op(3, 1, "Deq", [], 1, 6, 7),
+    ]
+    assert not linearizable(ops, FifoQueueSpec()).ok
+
+
+def test_stack_spec_lifo():
+    ops = [
+        op(0, 0, "Push", [1], None, 0, 1),
+        op(1, 0, "Push", [2], None, 2, 3),
+        op(2, 0, "Pop", [], 2, 4, 5),
+    ]
+    assert linearizable(ops, StackSpec()).ok
+    ops[2] = op(2, 0, "Pop", [], 1, 4, 5)
+    assert not linearizable(ops, StackSpec()).ok
+
+
+def test_counter_spec():
+    ops = [
+        op(0, 0, "Inc", [], None, 0, 1),
+        op(1, 1, "Get", [], 1, 2, 3),
+    ]
+    assert linearizable(ops, CounterSpec()).ok
+    ops[1] = op(1, 1, "Get", [], 0, 2, 3)
+    assert not linearizable(ops, CounterSpec()).ok
+
+
+def test_register_spec():
+    ops = [
+        op(0, 0, "Write", [5], None, 0, 1),
+        op(1, 1, "Read", [], 5, 2, 3),
+    ]
+    assert linearizable(ops, RegisterSpec()).ok
+
+
+def test_semaphore_blocking_down_stays_pending():
+    spec = SemaphoreSpec(initial_value=1)
+    ops = [
+        op(0, 0, "Down", [], None, 0, 1),
+        op(1, 1, "Down", [], None, 2, None),  # blocked forever: pending
+    ]
+    assert linearizable(ops, spec).ok
+
+
+def test_semaphore_overdraw_rejected():
+    spec = SemaphoreSpec(initial_value=1)
+    ops = [
+        op(0, 0, "Down", [], None, 0, 1),
+        op(1, 1, "Down", [], None, 2, 3),  # completed: impossible
+    ]
+    assert not linearizable(ops, spec).ok
+
+
+def test_witness_is_a_legal_order():
+    ops = [
+        op(0, 0, "Enq", [1], None, 0, 5),
+        op(1, 1, "Deq", [], 1, 2, 3),
+    ]
+    result = linearizable(ops, FifoQueueSpec())
+    assert result.ok
+    assert [o.proc for o in result.witness] == ["Enq", "Deq"]
+
+
+# -- oracle property --------------------------------------------------------------------
+
+@st.composite
+def _histories(draw):
+    n = draw(st.integers(1, 5))
+    events = []
+    ops = []
+    time = 0
+    for i in range(n):
+        tid = draw(st.integers(0, 1))
+        kind = draw(st.sampled_from(["enq", "deq"]))
+        inv = time
+        time += 1
+        pending = draw(st.booleans()) and i == n - 1
+        ret = None if pending else time
+        time += 0 if pending else 1
+        if kind == "enq":
+            ops.append(op(i, tid, "Enq", [draw(st.integers(1, 3))],
+                          None, inv, ret))
+        else:
+            result = draw(st.sampled_from([-1, 1, 2, 3]))
+            ops.append(op(i, tid, "Deq", [],
+                          None if pending else result, inv, ret))
+    return ops
+
+
+@given(_histories())
+@settings(max_examples=150, deadline=None)
+def test_checker_matches_bruteforce_oracle(ops):
+    spec = FifoQueueSpec()
+    assert linearizable(ops, spec).ok == linearizable_bruteforce(ops, spec)
+
+
+# -- corpus histories --------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(10))
+def test_nfq_histories_linearizable(seed):
+    interp = Interp(corpus.NFQ)
+    world = interp.make_world([
+        ThreadSpec.of(("Enq", 1), ("Deq",)),
+        ThreadSpec.of(("Enq", 2), ("Deq",), ("Deq",)),
+    ])
+    run_random(interp, world, seed=seed)
+    assert linearizable(world_history(world), FifoQueueSpec()).ok
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_nfq_prime_histories_linearizable(seed):
+    interp = Interp(corpus.NFQ_PRIME)
+    world = interp.make_world([
+        ThreadSpec.of(("AddNode", 1), ("AddNode", 2)),
+        ThreadSpec.of(("DeqP",), ("DeqP",), ("DeqP",)),
+        ThreadSpec.of(("UpdateTail",), repeat=True),
+    ])
+    run_random(interp, world, seed=seed, max_steps=20_000)
+    assert linearizable(world_history(world), FifoQueueSpec()).ok
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_treiber_histories_linearizable(seed):
+    interp = Interp(corpus.TREIBER_STACK)
+    world = interp.make_world([
+        ThreadSpec.of(("Push", 1), ("Pop",)),
+        ThreadSpec.of(("Push", 2), ("Pop",), ("Pop",)),
+    ])
+    run_random(interp, world, seed=seed)
+    assert linearizable(world_history(world), StackSpec()).ok
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_herlihy_histories_linearizable(seed):
+    interp = Interp(corpus.HERLIHY_SMALL)
+    world = interp.make_world([
+        ThreadSpec.of(("Apply", 3), ("ReadValue",)),
+        ThreadSpec.of(("Apply", 5), ("ReadValue",)),
+    ])
+    run_random(interp, world, seed=seed)
+    assert linearizable(world_history(world), HerlihyObjectSpec()).ok
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_cas_counter_histories_linearizable(seed):
+    interp = Interp(corpus.CAS_COUNTER)
+    world = interp.make_world([
+        ThreadSpec.of(("Inc",), ("Get",)),
+        ThreadSpec.of(("Inc",), ("Get",)),
+    ])
+    run_random(interp, world, seed=seed)
+    assert linearizable(world_history(world), CounterSpec()).ok
+
+
+def test_buggy_queue_produces_non_linearizable_history():
+    interp = Interp(corpus.NFQ_PRIME_BUGGY)
+    bad = 0
+    for seed in range(30):
+        world = interp.make_world([
+            ThreadSpec.of(("AddNode", 1),),
+            ThreadSpec.of(("AddNode", 2),),
+            ThreadSpec.of(("UpdateTail",), ("UpdateTail",)),
+            ThreadSpec.of(("DeqP",), ("DeqP",), ("DeqP",)),
+        ])
+        run_random(interp, world, seed=seed, max_steps=5000)
+        if not linearizable(world_history(world), FifoQueueSpec()).ok:
+            bad += 1
+    assert bad > 0

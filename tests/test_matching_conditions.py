@@ -1,0 +1,207 @@
+"""Matching LL / matching read discovery (§5.2) and local-condition
+blocks (§5.3)."""
+
+from repro.analysis.actions import location_target
+from repro.analysis.conditions import (blocks_of_proc, complementary,
+                                       condition_excludes)
+from repro.analysis.matching import matching_lls, matching_reads
+from repro.cfg import NodeKind, build_cfg
+from repro.synl import ast as A
+from repro.synl.resolve import load_program
+
+
+def _cfg(source, proc="P"):
+    prog = load_program(source)
+    return prog, build_cfg(prog.proc(proc))
+
+
+def _sc_node(cfg):
+    """The CFG node whose *own* actions include an SC (branch conditions,
+    bind initializers, simple statements — not nested block bodies)."""
+    for node in cfg.nodes:
+        roots = []
+        if node.expr is not None:
+            roots.append(node.expr)
+        if node.kind is NodeKind.STMT and node.stmt is not None:
+            roots.append(node.stmt)
+        for x in roots:
+            for sub in x.walk():
+                if isinstance(sub, A.SCExpr):
+                    return node, sub
+    raise AssertionError("no SC found")
+
+
+def test_unique_matching_ll():
+    prog, cfg = _cfg("""
+        global G;
+        proc P(v) {
+          local t = LL(G) in {
+            if (SC(G, v)) { return; }
+          }
+        }
+    """)
+    node, sc = _sc_node(cfg)
+    matches = matching_lls(cfg, node, location_target(sc.loc))
+    assert len(matches) == 1
+    assert next(iter(matches)).kind is NodeKind.BIND
+
+
+def test_two_matching_lls_through_branches():
+    """Both branches contain an LL; either can match (the paper's
+    example of a non-unique matching LL expression)."""
+    prog, cfg = _cfg("""
+        global G;
+        proc P(v) {
+          local t = 0 in {
+            if (v == 0) { t = LL(G); } else { t = LL(G); }
+            SC(G, v);
+          }
+        }
+    """)
+    node, sc = _sc_node(cfg)
+    matches = matching_lls(cfg, node, location_target(sc.loc))
+    assert len(matches) == 2
+
+
+def test_intervening_ll_shadows_earlier_one():
+    prog, cfg = _cfg("""
+        global G;
+        proc P(v) {
+          local a = LL(G) in
+          local b = LL(G) in {
+            SC(G, v);
+          }
+        }
+    """)
+    node, sc = _sc_node(cfg)
+    matches = matching_lls(cfg, node, location_target(sc.loc))
+    (m,) = matches
+    assert m.stmt.name == "b"
+
+
+def test_ll_on_other_variable_does_not_match():
+    prog, cfg = _cfg("""
+        global G; global H;
+        proc P(v) {
+          local t = LL(H) in {
+            SC(G, v);
+          }
+        }
+    """)
+    node, sc = _sc_node(cfg)
+    assert matching_lls(cfg, node, location_target(sc.loc)) == set()
+
+
+def test_matching_read_for_cas():
+    prog, cfg = _cfg("""
+        global versioned C;
+        proc P() {
+          local c = C in {
+            if (CAS(C, c, c + 1)) { return; }
+          }
+        }
+    """)
+    cas_node = next(n for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+    cas = cas_node.expr
+    matches = matching_reads(cfg, cas_node, cas)
+    assert len(matches) == 1
+
+
+def test_cas_with_constant_expected_has_no_matching_read():
+    prog, cfg = _cfg("""
+        global versioned C;
+        proc P() {
+          if (CAS(C, 0, 1)) { return; }
+        }
+    """)
+    cas_node = next(n for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+    assert matching_reads(cfg, cas_node, cas_node.expr) == set()
+
+
+# -- local conditions (§5.3) -----------------------------------------------------------
+
+def _variant_proc(source):
+    """Parse a straight-line variant-style procedure."""
+    prog = load_program(source)
+    return prog.procs[0]
+
+
+def test_llsc_block_detected_with_condition():
+    proc = _variant_proc("""
+        class Node { Next; }
+        global Tail;
+        proc AddNode(node) {
+          local t = LL(Tail) in
+          local next = LL(t.Next) in {
+            TRUE(next == null);
+            TRUE(SC(t.Next, node));
+          }
+        }
+    """)
+    blocks = blocks_of_proc(proc)
+    llsc = [b for b in blocks if b.kind == "llsc"]
+    assert len(llsc) == 1
+    assert llsc[0].svar.field == "Next"
+    assert llsc[0].condition == frozenset({("==", None)})
+
+
+def test_local_block_detected_with_condition():
+    proc = _variant_proc("""
+        class Node { Next; }
+        global Tail;
+        proc UpdateTail() {
+          local t = LL(Tail) in
+          local next = t.Next in {
+            TRUE(next != null);
+            TRUE(SC(Tail, next));
+          }
+        }
+    """)
+    blocks = blocks_of_proc(proc)
+    by_lvar = {b.decl.name: b for b in blocks}
+    assert by_lvar["next"].kind == "local"
+    assert by_lvar["next"].condition == frozenset({("!=", None)})
+    # the outer block on Tail IS an LL-SC block (SC(Tail, ...) inside)
+    assert by_lvar["t"].kind == "llsc"
+
+
+def test_updated_lvar_disqualifies_block():
+    proc = _variant_proc("""
+        global G;
+        proc P() {
+          local x = G in {
+            x = 1;
+            TRUE(x == 1);
+          }
+        }
+    """)
+    assert blocks_of_proc(proc) == []
+
+
+def test_condition_atoms_ignore_nested_assumes():
+    proc = _variant_proc("""
+        global G;
+        proc P() {
+          local x = G in {
+            if (G == 0) { TRUE(x == 1); }
+            TRUE(x != null);
+          }
+        }
+    """)
+    (block,) = blocks_of_proc(proc)
+    assert block.condition == frozenset({("!=", None)})
+
+
+def test_complementary_atoms():
+    assert complementary(("==", None), ("!=", None))
+    assert not complementary(("==", None), ("==", None))
+    assert complementary(("==", 1), ("==", 2))
+    assert not complementary(("!=", 1), ("!=", 2))
+
+
+def test_condition_excludes():
+    p = frozenset({("==", None)})
+    not_p = frozenset({("!=", None)})
+    assert condition_excludes(not_p, p)
+    assert not condition_excludes(p, p)
+    assert not condition_excludes(frozenset(), p)

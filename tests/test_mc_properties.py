@@ -1,0 +1,149 @@
+"""Model-checker property classes and the CLI."""
+
+import pytest
+
+from repro import corpus
+from repro.cli import main as cli_main
+from repro.interp import Interp, ThreadSpec, run_round_robin
+from repro.mc.properties import QueueContents, QueueShape, _QueueGhost
+from repro.interp.state import Event
+
+
+def _world(source, calls):
+    interp = Interp(source)
+    world = interp.make_world([ThreadSpec.of(*calls)])
+    return interp, world
+
+
+def test_queue_shape_holds_initially_and_after_ops():
+    interp, world = _world(corpus.NFQ_PRIME,
+                           [("AddNode", 1), ("AddNode", 2)])
+    prop = QueueShape()
+    assert prop.check_state(world, interp, None) is None
+    run_round_robin(interp, world)
+    assert prop.check_state(world, interp, None) is None
+
+
+def test_queue_shape_detects_cycle():
+    interp, world = _world(corpus.NFQ_PRIME, [("AddNode", 1)])
+    run_round_robin(interp, world)
+    # corrupt: make the first node point to itself
+    head = world.globals["Head"]
+    world.heap.write_field(head, "Next", head)
+    message = QueueShape().check_state(world, interp, None)
+    assert message is not None and "cyclic" in message
+
+
+def test_queue_shape_detects_detached_tail():
+    interp, world = _world(corpus.NFQ_PRIME, [("AddNode", 1)])
+    run_round_robin(interp, world)
+    world.globals["Tail"] = world.heap.alloc("Node")
+    message = QueueShape().check_state(world, interp, None)
+    assert message is not None and "Tail" in message
+
+
+def test_queue_contents_ghost_tracks_events():
+    prop = QueueContents()
+    ghost = prop.initial_ghost()
+    ghost = prop.on_event(ghost, Event("return", 0, "AddNode", (5,)))
+    ghost = prop.on_event(ghost, Event("return", 0, "DeqP", (), result=5))
+    assert ghost.enqueued == (5,) and ghost.dequeued == (5,)
+    # EMPTY dequeues and invokes are ignored
+    ghost2 = prop.on_event(ghost, Event("return", 0, "DeqP", (),
+                                        result=-1))
+    assert ghost2 is ghost
+    ghost3 = prop.on_event(ghost, Event("invoke", 0, "AddNode", (9,)))
+    assert ghost3 is ghost
+
+
+def test_queue_contents_quiescent_check():
+    interp, world = _world(corpus.NFQ_PRIME, [("AddNode", 7)])
+    run_round_robin(interp, world)
+    prop = QueueContents()
+    good = _QueueGhost(enqueued=(7,))
+    assert prop.check_quiescent(world, interp, good) is None
+    missing = _QueueGhost(enqueued=(7, 8))
+    message = prop.check_quiescent(world, interp, missing)
+    assert message is not None and "lost" in message
+    phantom = _QueueGhost(enqueued=(), dequeued=(3,))
+    message = prop.check_quiescent(world, interp, phantom)
+    assert message is not None and "never enqueued" in message
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+@pytest.fixture
+def sem_file(tmp_path):
+    path = tmp_path / "sem.synl"
+    path.write_text(corpus.SEMAPHORE)
+    return str(path)
+
+
+def test_cli_analyze_atomic_exits_zero(sem_file, capsys):
+    assert cli_main(["analyze", sem_file]) == 0
+    out = capsys.readouterr().out
+    assert "Down: ATOMIC" in out and "Up: ATOMIC" in out
+
+
+def test_cli_analyze_nonatomic_exits_one(tmp_path, capsys):
+    path = tmp_path / "nfq.synl"
+    path.write_text(corpus.NFQ)
+    assert cli_main(["analyze", str(path)]) == 1
+    assert cli_main(["analyze", "--lenient", str(path)]) == 0
+
+
+def test_cli_blocks(sem_file, capsys):
+    assert cli_main(["blocks", sem_file]) == 0
+    assert "atomic blocks" in capsys.readouterr().out
+
+
+def test_cli_variants(sem_file, capsys):
+    assert cli_main(["variants", sem_file]) == 0
+    assert "TRUE(SC(Sem, tmp - 1))" in capsys.readouterr().out
+
+
+def test_cli_run(sem_file, capsys):
+    code = cli_main(["run", sem_file, "Down(),Up()", "Down(),Up()",
+                     "--seed", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "all threads done" in out
+    assert "ret  Down()" in out
+
+
+def test_cli_mc_clean(sem_file, capsys):
+    code = cli_main(["mc", sem_file, "Down(),Up()", "Down(),Up()",
+                     "--mode", "atomic"])
+    assert code == 0
+    assert "[atomic]" in capsys.readouterr().out
+
+
+def test_cli_mc_violation(tmp_path, capsys):
+    path = tmp_path / "bad.synl"
+    path.write_text("""
+        global G;
+        init { G = 0; }
+        proc Boom() { assert(G == 1); }
+    """)
+    assert cli_main(["mc", str(path), "Boom()"]) == 1
+
+
+def test_cli_missing_file(capsys):
+    assert cli_main(["analyze", "/nonexistent.synl"]) == 2
+
+
+def test_cli_parse_error(tmp_path, capsys):
+    path = tmp_path / "broken.synl"
+    path.write_text("proc P( {")
+    assert cli_main(["analyze", str(path)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_experiments_unknown_name(capsys):
+    assert cli_main(["experiments", "nope"]) == 2
+
+
+def test_cli_experiments_section64(capsys):
+    assert cli_main(["experiments", "section64"]) == 0
+    out = capsys.readouterr().out
+    assert "15" in out and "74" in out

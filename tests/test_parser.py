@@ -1,0 +1,234 @@
+"""Parser unit tests: every construct, precedence, sugar, errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.synl import ast as A
+from repro.synl.parser import parse_expr, parse_program, parse_stmt
+from repro.synl.printer import pretty_expr, pretty_stmt
+
+
+# -- expressions ----------------------------------------------------------------
+
+def test_integer_and_negative_const_decl():
+    prog = parse_program("const X = -5;")
+    assert prog.consts[0].value.value == -5
+
+
+def test_boolean_and_null_literals():
+    assert parse_expr("true").value is True
+    assert parse_expr("false").value is False
+    assert parse_expr("null").value is None
+
+
+def test_precedence_mul_over_add():
+    e = parse_expr("1 + 2 * 3")
+    assert isinstance(e, A.Binary) and e.op == "+"
+    assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+
+def test_precedence_comparison_over_and():
+    e = parse_expr("a < b && c == d")
+    assert isinstance(e, A.Binary) and e.op == "&&"
+    assert e.left.op == "<" and e.right.op == "=="
+
+
+def test_precedence_and_over_or():
+    e = parse_expr("a || b && c")
+    assert e.op == "||" and e.right.op == "&&"
+
+
+def test_left_associativity_of_subtraction():
+    e = parse_expr("10 - 4 - 3")
+    assert e.op == "-" and isinstance(e.left, A.Binary)
+    assert e.left.op == "-"
+
+
+def test_parentheses_override_precedence():
+    e = parse_expr("(1 + 2) * 3")
+    assert e.op == "*" and e.left.op == "+"
+
+
+def test_unary_not_and_negation():
+    e = parse_expr("!a")
+    assert isinstance(e, A.Unary) and e.op == "!"
+    e = parse_expr("-x + 1")
+    assert e.op == "+" and isinstance(e.left, A.Unary)
+
+
+def test_field_and_index_postfix():
+    e = parse_expr("x.fd")
+    assert isinstance(e, A.Field) and e.name == "fd"
+    e = parse_expr("x.fd[i]")
+    assert isinstance(e, A.Index) and isinstance(e.base, A.Field)
+
+
+def test_ll_takes_location():
+    e = parse_expr("LL(x.Next)")
+    assert isinstance(e, A.LLExpr) and isinstance(e.loc, A.Field)
+
+
+def test_ll_rejects_non_location():
+    with pytest.raises(ParseError):
+        parse_expr("LL(x + 1)")
+
+
+def test_sc_and_vl_and_cas():
+    sc = parse_expr("SC(Tail, next)")
+    assert isinstance(sc, A.SCExpr)
+    vl = parse_expr("VL(Tail)")
+    assert isinstance(vl, A.VLExpr)
+    cas = parse_expr("CAS(X, a, a + 1)")
+    assert isinstance(cas, A.CASExpr) and isinstance(cas.new, A.Binary)
+
+
+def test_new_object_and_new_array():
+    assert isinstance(parse_expr("new Node"), A.New)
+    arr = parse_expr("new int[W + 1]")
+    assert isinstance(arr, A.NewArray) and isinstance(arr.size, A.Binary)
+
+
+def test_primitive_call():
+    e = parse_expr("compute(a, b)")
+    assert isinstance(e, A.PrimCall) and len(e.args) == 2
+
+
+# -- statements -------------------------------------------------------------------
+
+def test_assignment():
+    s = parse_stmt("x = 1;")
+    assert isinstance(s, A.Assign) and isinstance(s.target, A.Var)
+
+
+def test_assignment_to_non_location_rejected():
+    with pytest.raises(ParseError):
+        parse_stmt("x + 1 = 2;")
+
+
+def test_increment_desugars_to_assignment():
+    s = parse_stmt("i++;")
+    assert isinstance(s, A.Assign)
+    assert isinstance(s.value, A.Binary) and s.value.op == "+"
+    assert s.value.right.value == 1
+
+
+def test_decrement_desugars():
+    s = parse_stmt("i--;")
+    assert s.value.op == "-"
+
+
+def test_local_declaration_chain():
+    s = parse_stmt("local t = LL(Tail) in local next = t.Next in skip;")
+    assert isinstance(s, A.LocalDecl)
+    assert isinstance(s.body, A.LocalDecl)
+    assert isinstance(s.body.body, A.Skip)
+
+
+def test_if_with_and_without_else():
+    s = parse_stmt("if (x == 1) skip; else return;")
+    assert isinstance(s, A.If) and s.els is not None
+    s = parse_stmt("if (x == 1) skip;")
+    assert s.els is None
+
+
+def test_loop_statement():
+    s = parse_stmt("loop { skip; }")
+    assert isinstance(s, A.Loop) and s.label is None
+
+
+def test_labeled_loop_and_labeled_continue():
+    s = parse_stmt("a2: loop { continue a2; }")
+    assert isinstance(s, A.Loop) and s.label == "a2"
+    inner = s.body.stmts[0]
+    assert isinstance(inner, A.Continue) and inner.label == "a2"
+
+
+def test_while_desugars_to_loop_if_break():
+    s = parse_stmt("while (i < 3) { i++; }")
+    assert isinstance(s, A.Loop)
+    guard = s.body.stmts[0]
+    assert isinstance(guard, A.If)
+    assert isinstance(guard.els, A.Break)
+
+
+def test_break_and_return_forms():
+    assert isinstance(parse_stmt("break;"), A.Break)
+    assert parse_stmt("break out;").label == "out"
+    assert parse_stmt("return;").value is None
+    assert isinstance(parse_stmt("return v;").value, A.Var)
+
+
+def test_synchronized_statement():
+    s = parse_stmt("synchronized (Lk) { X = 1; }")
+    assert isinstance(s, A.Synchronized)
+
+
+def test_assume_and_assert():
+    assert isinstance(parse_stmt("TRUE(x == null);"), A.Assume)
+    assert isinstance(parse_stmt("assert(x != null);"), A.AssertStmt)
+
+
+def test_expression_statement_sugar():
+    s = parse_stmt("SC(Tail, next);")
+    assert isinstance(s, A.ExprStmt) and isinstance(s.expr, A.SCExpr)
+
+
+# -- programs --------------------------------------------------------------------
+
+def test_program_sections():
+    prog = parse_program("""
+        class Node { Value; Next; }
+        global Head, Tail;
+        global versioned Counter;
+        threadlocal prv;
+        const EMPTY = -1;
+        init { Head = null; }
+        threadinit { prv = new Node; }
+        proc P(a, b) { return a; }
+    """)
+    assert [d.name for d in prog.globals] == ["Head", "Tail", "Counter"]
+    assert prog.globals[2].versioned and not prog.globals[0].versioned
+    assert prog.threadlocals[0].name == "prv"
+    assert prog.consts[0].name == "EMPTY"
+    assert prog.classes[0].fields == ["Value", "Next"]
+    assert prog.procs[0].params == ["a", "b"]
+    assert prog.init is not None and prog.threadinit is not None
+
+
+def test_versioned_class_fields():
+    prog = parse_program("class Desc { versioned Anchor; Next; }")
+    assert prog.classes[0].versioned_fields == frozenset({"Anchor"})
+
+
+def test_duplicate_init_rejected():
+    with pytest.raises(ParseError):
+        parse_program("init { skip; } init { skip; }")
+
+
+def test_global_initializer_expression():
+    prog = parse_program("global X = 3 + 4;")
+    assert isinstance(prog.globals[0].init, A.Binary)
+
+
+def test_garbage_at_top_level_rejected():
+    with pytest.raises(ParseError):
+        parse_program("banana;")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_stmt("x = 1")
+
+
+def test_pretty_expr_inserts_minimal_parens():
+    e = parse_expr("(a + b) * c")
+    assert pretty_expr(e) == "(a + b) * c"
+    e = parse_expr("a + b * c")
+    assert pretty_expr(e) == "a + b * c"
+
+
+def test_pretty_stmt_roundtrips_if():
+    s = parse_stmt("if (!VL(Tail)) { continue; }")
+    text = pretty_stmt(s)
+    s2 = parse_stmt(text)
+    assert A.structural_eq(s, s2)

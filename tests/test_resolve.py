@@ -1,0 +1,121 @@
+"""Resolver tests: variable kinds, bindings, scoping errors."""
+
+import pytest
+
+from repro.errors import ResolveError
+from repro.synl import ast as A
+from repro.synl.parser import parse_program
+from repro.synl.resolve import load_program, resolve
+
+
+def _vars(prog, name):
+    return [n for n in prog.walk()
+            if isinstance(n, A.Var) and n.name == name]
+
+
+def test_global_kind_attached():
+    prog = load_program("global G; proc P() { G = 1; }")
+    (var,) = _vars(prog, "G")
+    assert var.kind is A.VarKind.GLOBAL
+
+
+def test_threadlocal_kind_attached():
+    prog = load_program("threadlocal t; proc P() { t = 1; }")
+    (var,) = _vars(prog, "t")
+    assert var.kind is A.VarKind.THREADLOCAL
+
+
+def test_param_kind_and_binding():
+    prog = load_program("proc P(a) { return a; }")
+    (var,) = _vars(prog, "a")
+    assert var.kind is A.VarKind.PARAM
+    assert var.binding == prog.procs[0].param_bindings["a"]
+
+
+def test_const_kind():
+    prog = load_program("const E = -1; proc P() { return E; }")
+    (var,) = _vars(prog, "E")
+    assert var.kind is A.VarKind.CONST
+
+
+def test_local_binding_links_occurrences_to_decl():
+    prog = load_program(
+        "proc P() { local x = 1 in { x = x + 1; } }")
+    decl = next(n for n in prog.walk() if isinstance(n, A.LocalDecl))
+    occurrences = _vars(prog, "x")
+    assert len(occurrences) == 2
+    assert all(v.binding == decl.binding for v in occurrences)
+
+
+def test_inner_local_shadows_outer():
+    prog = load_program("""
+        proc P() {
+          local x = 1 in
+          local x = 2 in { return x; }
+        }
+    """)
+    decls = [n for n in prog.walk() if isinstance(n, A.LocalDecl)]
+    (var,) = _vars(prog, "x")
+    assert var.binding == decls[1].binding != decls[0].binding
+
+
+def test_local_shadows_global():
+    prog = load_program("global X; proc P() { local X = 1 in return X; }")
+    (var,) = _vars(prog, "X")
+    assert var.kind is A.VarKind.LOCAL
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(ResolveError, match="undeclared"):
+        load_program("proc P() { x = 1; }")
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(ResolveError, match="duplicate"):
+        load_program("global X; global X;")
+
+
+def test_duplicate_procedure_rejected():
+    with pytest.raises(ResolveError, match="duplicate"):
+        load_program("proc P() { skip; } proc P() { skip; }")
+
+
+def test_duplicate_parameter_rejected():
+    with pytest.raises(ResolveError):
+        load_program("proc P(a, a) { skip; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(ResolveError, match="outside"):
+        load_program("proc P() { break; }")
+
+
+def test_unknown_loop_label_rejected():
+    with pytest.raises(ResolveError, match="label"):
+        load_program("proc P() { loop { continue zz; } }")
+
+
+def test_assignment_to_const_rejected():
+    with pytest.raises(ResolveError, match="constant"):
+        load_program("const E = 1; proc P() { E = 2; }")
+
+
+def test_deep_field_chain_rejected():
+    # Table 1: field bases must be variables; chains need locals
+    with pytest.raises(ResolveError, match="field base"):
+        load_program("global X; proc P() { return X.a.b; }")
+
+
+def test_param_bindings_unique_across_procs():
+    prog = load_program("proc P(a) { return a; } proc Q(a) { return a; }")
+    b1 = prog.procs[0].param_bindings["a"]
+    b2 = prog.procs[1].param_bindings["a"]
+    assert b1 != b2
+
+
+def test_resolution_reports_binding_info():
+    prog = parse_program("global G; proc P(a) { return a; }")
+    res = resolve(prog)
+    infos = {i.name: i.kind for i in res.bindings.values()}
+    assert infos["G"] is A.VarKind.GLOBAL
+    assert infos["a"] is A.VarKind.PARAM

@@ -1,0 +1,167 @@
+"""Class inference, alias analysis (§5.4 step 4) and locksets (Thm 5.1)."""
+
+from repro.analysis.actions import Target, node_actions
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.locks import common_lock, lockset_analysis
+from repro.analysis.typing import infer_classes
+from repro.cfg import NodeKind, build_cfg
+from repro.synl import ast as A
+from repro.synl.resolve import load_program
+
+QUEUEISH = """
+class Node { Value; Next; }
+class Other { Fd; }
+global Head;
+global Tail;
+init {
+  local d = new Node in { Head = d; Tail = d; }
+}
+proc P(v) {
+  local t = LL(Tail) in
+  local o = new Other in
+  local next = t.Next in {
+    SC(t.Next, next);
+    o.Fd = v;
+  }
+}
+"""
+
+
+def _bindings(prog):
+    return {d.name: d.binding for d in prog.walk()
+            if isinstance(d, A.LocalDecl)}
+
+
+def test_classes_flow_through_globals_and_ll():
+    prog = load_program(QUEUEISH)
+    env = infer_classes(prog)
+    b = _bindings(prog)
+    assert env.of_global("Tail") == frozenset({"Node"})
+    assert env.of_binding(b["t"]) == frozenset({"Node"})
+    assert env.of_binding(b["o"]) == frozenset({"Other"})
+
+
+def test_classes_flow_through_fields_and_sc():
+    prog = load_program(QUEUEISH)
+    env = infer_classes(prog)
+    b = _bindings(prog)
+    # t.Next receives Node refs via SC(t.Next, next) ... transitively
+    # nothing puts Nodes there in this program except the SC of `next`,
+    # whose own class comes from t.Next — the fixpoint stays empty.
+    assert env.of_binding(b["next"]) == frozenset()
+
+
+def test_field_flow_from_assignments():
+    prog = load_program("""
+        class Node { Next; }
+        global G;
+        proc P() {
+          local a = new Node in
+          local b = new Node in {
+            a.Next = b;
+            local c = a.Next in { G = c; }
+          }
+        }
+    """)
+    env = infer_classes(prog)
+    b = _bindings(prog)
+    assert env.of_binding(b["c"]) == frozenset({"Node"})
+    assert env.of_global("G") == frozenset({"Node"})
+
+
+def test_array_allocation_sites_distinct():
+    prog = load_program("""
+        global A; global B;
+        init { A = new int[4]; B = new int[4]; }
+        proc P() { skip; }
+    """)
+    env = infer_classes(prog)
+    assert env.of_global("A") != env.of_global("B")
+    assert len(env.of_global("A")) == 1
+
+
+# -- alias analysis ---------------------------------------------------------------
+
+def _alias(prog):
+    return AliasAnalysis(prog, infer_classes(prog))
+
+
+def test_globals_alias_by_name_only():
+    prog = load_program(QUEUEISH)
+    alias = _alias(prog)
+    head = Target("global", name="Head")
+    tail = Target("global", name="Tail")
+    assert alias.may_alias(head, head)
+    assert not alias.may_alias(head, tail)
+    assert alias.must_alias(head, head)
+
+
+def test_fields_alias_only_with_same_field_and_class():
+    prog = load_program(QUEUEISH)
+    alias = _alias(prog)
+    b = _bindings(prog)
+    t_next = Target("field", name="t", binding=b["t"], field="Next")
+    o_fd = Target("field", name="o", binding=b["o"], field="Fd")
+    assert not alias.may_alias(t_next, o_fd)   # different fields
+    o_next = Target("field", name="o", binding=b["o"], field="Next")
+    assert not alias.may_alias(t_next, o_next)  # disjoint classes
+    t2_next = Target("field", name="t2", binding=b["next"], field="Next")
+    # `next` has unknown classes: conservative may-alias
+    assert alias.may_alias(t_next, t2_next)
+
+
+def test_global_never_aliases_heap_cell():
+    prog = load_program(QUEUEISH)
+    alias = _alias(prog)
+    b = _bindings(prog)
+    head = Target("global", name="Head")
+    t_next = Target("field", name="t", binding=b["t"], field="Next")
+    assert not alias.may_alias(head, t_next)
+
+
+def test_must_alias_same_binding_same_field():
+    prog = load_program(QUEUEISH)
+    alias = _alias(prog)
+    b = _bindings(prog)
+    x = Target("field", name="t", binding=b["t"], field="Next")
+    y = Target("field", name="t", binding=b["t"], field="Next")
+    assert alias.must_alias(x, y)
+
+
+# -- locksets ----------------------------------------------------------------------
+
+LOCKED = """
+class LockObj { unused; }
+global L1; global L2; global V;
+init { L1 = new LockObj; L2 = new LockObj; V = 0; }
+proc P() {
+  synchronized (L1) {
+    V = 1;
+    synchronized (L2) { V = 2; }
+  }
+  V = 3;
+}
+"""
+
+
+def test_lockset_tracks_nesting():
+    prog = load_program(LOCKED)
+    cfg = build_cfg(prog.proc("P"))
+    locks = lockset_analysis(cfg)
+    writes = [n for n in cfg.nodes if n.kind is NodeKind.STMT
+              and isinstance(n.stmt, A.Assign)]
+    v1, v2, v3 = writes
+    assert {t.name for t in locks.held_at(v1)} == {"L1"}
+    assert {t.name for t in locks.held_at(v2)} == {"L1", "L2"}
+    assert locks.held_at(v3) == frozenset()
+
+
+def test_common_lock_requires_shared_name():
+    prog = load_program(LOCKED)
+    alias = _alias(prog)
+    l1 = frozenset({Target("global", name="L1")})
+    l2 = frozenset({Target("global", name="L2")})
+    both = l1 | l2
+    assert common_lock(alias, l1, both)
+    assert not common_lock(alias, l1, l2)
+    assert not common_lock(alias, l1, frozenset())

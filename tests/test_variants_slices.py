@@ -1,0 +1,167 @@
+"""Exceptional slices and variant generation (§5.2)."""
+
+import pytest
+
+from repro import corpus
+from repro.analysis.escape import escape_analysis
+from repro.analysis.purity import pure_loops
+from repro.analysis.slices import negate, split_bare_sc
+from repro.analysis.uniqueness import uniqueness_analysis
+from repro.analysis.variants import make_variants
+from repro.synl import ast as A
+from repro.synl.parser import parse_expr, parse_stmt
+from repro.synl.printer import pretty, pretty_expr
+from repro.cfg import build_cfg
+from repro.synl.resolve import load_program
+
+
+def variants_of(source):
+    prog = load_program(source)
+    cfgs = {p.name: build_cfg(p) for p in prog.procs}
+    unique = uniqueness_analysis(prog, cfgs)
+    purity = {p.name: pure_loops(cfgs[p.name], prog,
+                                 escape_analysis(cfgs[p.name]),
+                                 unique.unique_bindings())
+              for p in prog.procs}
+    return make_variants(prog, cfgs, purity)
+
+
+# -- negate -------------------------------------------------------------------------
+
+@pytest.mark.parametrize("before,after", [
+    ("a == b", "a != b"),
+    ("a != b", "a == b"),
+    ("a < b", "a >= b"),
+    ("a >= b", "a < b"),
+    ("!VL(X)", "VL(X)"),
+    ("true", "false"),
+    ("VL(X)", "!VL(X)"),
+])
+def test_negate_simplifies(before, after):
+    assert pretty_expr(negate(parse_expr(before))) == after
+
+
+# -- bare SC success split ------------------------------------------------------------
+
+def test_split_bare_sc_produces_both_outcomes():
+    stmt = parse_stmt("{ SC(X, v); return; }")
+    alternatives = split_bare_sc(stmt.stmts)
+    assert len(alternatives) == 2
+    texts = {pretty_expr(alt[0].cond) for alt in alternatives}
+    assert texts == {"SC(X, v)", "!SC(X, v)"}
+
+
+def test_split_bare_sc_leaves_other_statements_alone():
+    stmt = parse_stmt("{ x = 1; return; }")
+    alternatives = split_bare_sc(stmt.stmts)
+    assert len(alternatives) == 1
+
+
+def test_split_two_bare_scs_gives_four_alternatives():
+    stmt = parse_stmt("{ SC(X, a); SC(Y, b); }")
+    assert len(split_bare_sc(stmt.stmts)) == 4
+
+
+# -- variant structure ------------------------------------------------------------------
+
+def test_nfq_prime_variant_counts():
+    vs = variants_of(corpus.NFQ_PRIME)
+    assert len(vs.of("AddNode")) == 1
+    assert len(vs.of("UpdateTail")) == 2  # SC success split
+    assert len(vs.of("DeqP")) == 2        # two return exits
+
+
+def test_addnode_variant_is_straight_line_with_assumes():
+    vs = variants_of(corpus.NFQ_PRIME)
+    (variant,) = vs.of("AddNode")
+    text = pretty(variant.proc)
+    assert "loop" not in text
+    assert "TRUE(VL(Tail))" in text
+    assert "TRUE(next == null)" in text
+    assert "TRUE(SC(t.Next, node))" in text
+
+
+def test_deqp_variants_select_opposite_branches():
+    vs = variants_of(corpus.NFQ_PRIME)
+    texts = [pretty(v.proc) for v in vs.of("DeqP")]
+    assert any("TRUE(next == null)" in t for t in texts)
+    assert any("TRUE(next != null)" in t for t in texts)
+    assert any("TRUE(h != LL(Tail))" in t for t in texts)
+
+
+def test_variant_exits_recorded():
+    vs = variants_of(corpus.NFQ_PRIME)
+    exits = {e for v in vs.of("DeqP") for e in v.exits.values()}
+    assert exits == {"return EMPTY", "return value"}
+
+
+def test_non_pure_loops_kept_verbatim():
+    vs = variants_of(corpus.NFQ)
+    (enq,) = vs.of("Enq")
+    assert "loop" in pretty(enq.proc)
+
+
+def test_gh_variant_keeps_residual_copy_loop():
+    vs = variants_of(corpus.GH_PROGRAM1)
+    (variant,) = vs.of("Apply")
+    text = pretty(variant.proc)
+    assert "loop" in text                   # the inner copy loop stays
+    assert "TRUE(VL(SharedObj))" in text    # continue-a2 paths sliced out
+    assert "continue" not in text
+    assert "TRUE(SC(SharedObj, prvObj))" in text
+
+
+def test_variant_program_is_resolved():
+    vs = variants_of(corpus.NFQ_PRIME)
+    for variant in vs.variants:
+        for node in variant.proc.body.walk():
+            if isinstance(node, A.Var):
+                assert node.kind is not None, node.name
+
+
+def test_code_after_pure_loop_survives_break_exits():
+    vs = variants_of("""
+        global G;
+        proc P(v) {
+          loop {
+            local t = LL(G) in {
+              if (t == v) { break; }
+              if (SC(G, v)) { break; }
+            }
+          }
+          G = 9;
+        }
+    """)
+    texts = [pretty(v.proc) for v in vs.of("P")]
+    assert all("G = 9" in t for t in texts)
+    # the SC-guarded break yields a TRUE(SC(...)) variant
+    assert any("TRUE(SC(G, v))" in t for t in texts)
+
+
+def test_code_after_return_exit_is_dropped():
+    vs = variants_of("""
+        global G;
+        proc P(v) {
+          loop {
+            local t = LL(G) in {
+              if (SC(G, v)) { return; }
+            }
+          }
+          G = 9;
+        }
+    """)
+    (variant,) = vs.of("P")
+    assert "G = 9" not in pretty(variant.proc)
+
+
+def test_nested_pure_loops_expand_recursively_via_checker():
+    """The allocator's anchor-pop loop sits inside the credit loop; the
+    full checker expands both (fixpoint iteration)."""
+    from repro.analysis import analyze_program
+
+    result = analyze_program(corpus.ALLOCATOR)
+    names = [v.variant.name
+             for v in result.verdicts["MallocFromActive"].variants]
+    assert len(names) == 2
+    for report in result.verdicts["MallocFromActive"].variants:
+        assert "loop" not in pretty(report.variant.proc)

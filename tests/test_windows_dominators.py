@@ -1,0 +1,195 @@
+"""Window machinery (Thms 5.3/5.4) and dominator computation."""
+
+from repro.analysis.windows import WindowIndex
+from repro.cfg import NodeKind, build_cfg
+from repro.cfg.dominators import Dominators
+from repro.synl.resolve import load_program
+
+
+def _setup(source, proc="P", cas_ok=lambda root: True):
+    prog = load_program(source)
+    cfg = build_cfg(prog.proc(proc))
+    dom = Dominators(cfg)
+    return cfg, dom, WindowIndex(cfg, dom, cas_ok)
+
+
+VARIANT = """
+global Tail;
+class Node { Next; }
+proc P(node) {
+  local t = LL(Tail) in
+  local next = LL(t.Next) in {
+    TRUE(VL(Tail));
+    TRUE(next == null);
+    TRUE(SC(t.Next, node));
+    return;
+  }
+}
+"""
+
+
+def _assumes(cfg):
+    from repro.synl import ast as A
+
+    return [n for n in cfg.nodes
+            if n.kind is NodeKind.STMT and isinstance(n.stmt, A.Assume)]
+
+
+def test_windows_built_for_vl_and_sc():
+    cfg, dom, windows = _setup(VARIANT)
+    kinds = sorted(w.kind for w in windows.windows)
+    assert kinds == ["SC", "VL"]
+
+
+def test_window_endpoints():
+    cfg, dom, windows = _setup(VARIANT)
+    sc = next(w for w in windows.windows if w.kind == "SC")
+    vl = next(w for w in windows.windows if w.kind == "VL")
+    binds = [n for n in cfg.nodes if n.kind is NodeKind.BIND]
+    assert sc.ll_node is binds[1]  # LL(t.Next)
+    assert vl.ll_node is binds[0]  # LL(Tail)
+    assert sc.ll_binding == binds[1].stmt.binding
+
+
+def test_interior_protected_both_sides():
+    cfg, dom, windows = _setup(VARIANT)
+    sc = next(w for w in windows.windows if w.kind == "SC")
+    vl_assume = _assumes(cfg)[0]  # TRUE(VL(Tail)) — interior of SC window
+    assert windows.protected(sc, vl_assume, "before")
+    assert windows.protected(sc, vl_assume, "after")
+
+
+def test_ll_unprotected_before_end_unprotected_after():
+    cfg, dom, windows = _setup(VARIANT)
+    sc = next(w for w in windows.windows if w.kind == "SC")
+    assert not windows.protected(sc, sc.ll_node, "before")
+    assert windows.protected(sc, sc.ll_node, "after")
+    assert windows.protected(sc, sc.end_node, "before")
+    assert not windows.protected(sc, sc.end_node, "after")
+
+
+def test_membership_inclusive_of_endpoints():
+    cfg, dom, windows = _setup(VARIANT)
+    sc = next(w for w in windows.windows if w.kind == "SC")
+    assert windows.inside(sc, sc.ll_node)
+    assert windows.inside(sc, sc.end_node)
+    blocks = windows.sc_block_memberships(sc.ll_node)
+    assert sc in blocks
+
+
+def test_window_spans_residual_loop():
+    """GH shape: the VL inside the copy loop is dominated by the LL and
+    postdominated by the SC."""
+    source = """
+    const W = 2;
+    global S;
+    class Obj { data; }
+    threadlocal p;
+    threadinit { p = new Obj; p.data = new int[W + 1]; }
+    proc P(m0) {
+      local m = LL(S) in
+      local i = 1 in {
+        loop {
+          if (i > W) { break; }
+          p.data[i] = m.data[i];
+          TRUE(VL(S));
+          i = i + 1;
+        }
+        TRUE(SC(S, p));
+        return;
+      }
+    }
+    """
+    cfg, dom, windows = _setup(source)
+    sc = next(w for w in windows.windows if w.kind == "SC")
+    inner_vl = next(n for n in _assumes(cfg)
+                    if "VL" in repr(n.stmt.cond))
+    assert windows.protected(sc, inner_vl, "before")
+    assert windows.protected(sc, inner_vl, "after")
+
+
+def test_no_window_without_success_assumption():
+    source = """
+    global G;
+    proc P(v) {
+      local t = LL(G) in {
+        if (SC(G, v)) { return; }
+      }
+    }
+    """
+    cfg, dom, windows = _setup(source)
+    assert windows.windows == []  # the SC is a branch, not assumed
+
+
+def test_cas_window_gated_by_callback():
+    source = """
+    global versioned C;
+    proc P() {
+      local c = C in {
+        TRUE(CAS(C, c, c + 1));
+      }
+    }
+    """
+    cfg, dom, windows = _setup(source, cas_ok=lambda root: True)
+    assert [w.kind for w in windows.windows] == ["CAS"]
+    cfg2, dom2, none = _setup(source, cas_ok=lambda root: False)
+    assert none.windows == []
+
+
+def test_sc_with_multiple_matching_lls_reports_diagnostic():
+    source = """
+    global G;
+    proc P(v) {
+      local t = 0 in {
+        if (v == 0) { t = LL(G); } else { t = LL(G); }
+        TRUE(SC(G, v));
+      }
+    }
+    """
+    cfg, dom, windows = _setup(source)
+    assert windows.windows == []
+    assert windows.diagnostics
+
+
+# -- dominators --------------------------------------------------------------------
+
+def test_entry_dominates_everything():
+    cfg, dom, _ = _setup(VARIANT)
+    for node in cfg.nodes:
+        if node in cfg.reachable_from(cfg.entry):
+            assert dom.dominates(cfg.entry, node)
+
+
+def test_exit_postdominates_reachable_nodes():
+    cfg, dom, _ = _setup(VARIANT)
+    for node in cfg.reachable_from(cfg.entry):
+        assert dom.postdominates(cfg.exit, node)
+
+
+def test_branch_does_not_dominate_sibling():
+    prog = load_program("""
+        global G;
+        proc P() {
+          if (G == 0) { G = 1; } else { G = 2; }
+          G = 3;
+        }
+    """)
+    cfg = build_cfg(prog.proc("P"))
+    dom = Dominators(cfg)
+    stmts = [n for n in cfg.nodes if n.kind is NodeKind.STMT]
+    then_stmt, else_stmt, join_stmt = stmts
+    assert not dom.dominates(then_stmt, join_stmt)
+    assert not dom.postdominates(then_stmt, else_stmt)
+    assert dom.postdominates(join_stmt, then_stmt)
+
+
+def test_loop_head_dominates_body():
+    prog = load_program("""
+        global G;
+        proc P() { loop { if (G == 1) { break; } G = 2; } }
+    """)
+    cfg = build_cfg(prog.proc("P"))
+    dom = Dominators(cfg)
+    head = cfg.loops[0].head
+    for node in cfg.loops[0].body_nodes:
+        assert dom.dominates(head, node)
