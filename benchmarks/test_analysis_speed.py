@@ -1,5 +1,10 @@
 """Raw analysis throughput across the corpus (not a paper artifact —
-tracks the cost of the full steps 1–7 pipeline)."""
+tracks the cost of the full steps 1–7 pipeline).  Each case also
+contributes a ``BENCH_analysis.json`` record (one dedicated timed run:
+``pytest-benchmark`` stats are unavailable under
+``--benchmark-disable``, which the CI smoke job uses)."""
+
+import time
 
 import pytest
 
@@ -16,6 +21,10 @@ CASES = {
 
 
 @pytest.mark.parametrize("name", sorted(CASES))
-def test_analysis_speed(benchmark, name):
+def test_analysis_speed(benchmark, name, bench_collector):
     result = benchmark(analyze_program, CASES[name])
     assert result.verdicts
+    start = time.perf_counter()
+    analyze_program(CASES[name])
+    bench_collector.add_analysis(f"analysis/{name}",
+                                 time.perf_counter() - start)

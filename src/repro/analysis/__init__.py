@@ -7,7 +7,8 @@ from repro.analysis.blocks import (BlockPartition, partition_lines,
 from repro.analysis.inference import (AnalysisResult, AtomicityChecker,
                                       InferenceOptions, analyze_program)
 from repro.analysis.purity import PurityAnalysis, PurityInfo, pure_loops
-from repro.analysis.report import (line_atomicities, render_figure,
+from repro.analysis.report import (line_atomicities, line_provenance,
+                                   line_sites, render_figure,
                                    render_variant, variant_lines)
 from repro.analysis.variants import Variant, VariantSet, make_variants
 
@@ -37,4 +38,6 @@ __all__ = [
     "render_variant",
     "variant_lines",
     "line_atomicities",
+    "line_provenance",
+    "line_sites",
 ]

@@ -52,6 +52,9 @@ from repro.analysis.windows import Window, WindowIndex
 from repro.cfg.builder import build_cfg
 from repro.cfg.dominators import Dominators
 from repro.cfg.graph import CFGNode, NodeKind, ProcCFG
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import justify
+from repro.obs.tracing import NULL_TRACER
 from repro.synl import ast as A
 from repro.synl.resolve import load_program
 
@@ -82,6 +85,10 @@ class Site:
     is_local: bool = False
     atomicity: Atomicity = Atomicity.A
     steps: list[str] = field(default_factory=list)  # which rules fired
+    #: structured counterpart of ``steps``: one
+    #: :class:`~repro.obs.provenance.Justification` per rule firing,
+    #: naming the theorem behind the classification
+    provenance: list = field(default_factory=list)
 
 
 class VariantContext:
@@ -195,6 +202,16 @@ class AnalysisResult:
     contexts: dict[str, VariantContext]
     uniqueness: UniquenessResult
     diagnostics: list[str] = field(default_factory=list)
+    #: flat metrics snapshot (variant/site counts, per-theorem
+    #: exclusion tallies, mover distribution, phase info)
+    metrics: dict = field(default_factory=dict)
+    #: span tree (list of span dicts) when tracing was enabled
+    trace: list = field(default_factory=list)
+
+    def to_dict(self, include_provenance: bool = True) -> dict:
+        from repro.obs.export import analysis_to_dict
+
+        return analysis_to_dict(self, include_provenance)
 
     def is_atomic(self, proc_name: str) -> bool:
         return self.verdicts[proc_name].atomic
@@ -225,17 +242,33 @@ class AtomicityChecker:
     """Run the full inference on a SYNL program (source text or AST)."""
 
     def __init__(self, program: A.Program | str,
-                 options: InferenceOptions | None = None):
+                 options: InferenceOptions | None = None,
+                 tracer=None, metrics: MetricsRegistry | None = None):
+        self.tracer = tracer or NULL_TRACER
+        self.registry = metrics or MetricsRegistry()
+        #: lock-free hot-path tallies, flushed into ``registry`` once
+        #: at the end of :meth:`run`
+        self._counts: dict[str, int] = {}
         if isinstance(program, str):
-            program = load_program(program)
+            with self.tracer.span("analysis:parse-resolve"):
+                program = load_program(program)
         self.program = program
         self.options = options or InferenceOptions()
         self.diagnostics: list[str] = []
+
+    def _tally(self, name: str, n: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + n
 
     # -- pipeline -----------------------------------------------------------
     def _purity_of(self, program: A.Program,
                    cfgs: dict[str, ProcCFG]
                    ) -> dict[str, dict[A.Loop, PurityInfo]]:
+        with self.tracer.span("analysis:escape-uniqueness-purity"):
+            return self._purity_of_inner(program, cfgs)
+
+    def _purity_of_inner(self, program: A.Program,
+                         cfgs: dict[str, ProcCFG]
+                         ) -> dict[str, dict[A.Loop, PurityInfo]]:
         escapes = {name: escape_analysis(cfg) for name, cfg in cfgs.items()}
         unique = uniqueness_analysis(program, cfgs) \
             if self.options.enable_uniqueness else UniquenessResult()
@@ -291,38 +324,60 @@ class AtomicityChecker:
 
     def run(self) -> AnalysisResult:
         opts = self.options
-        variant_set, purity = self._expand_variants()
-        vprog = variant_set.program
-        self.env: ClassEnv = infer_classes(vprog)
-        self.alias = AliasAnalysis(vprog, self.env)
-        v_cfgs = {p.name: build_cfg(p) for p in vprog.procs}
-        self.unique = uniqueness_analysis(vprog, v_cfgs) \
-            if opts.enable_uniqueness else UniquenessResult()
-        blocks = blocks_of_program(vprog) if opts.enable_conditions else {}
+        with self.tracer.span("analysis:run"):
+            with self.tracer.span("analysis:variants"):
+                variant_set, purity = self._expand_variants()
+            vprog = variant_set.program
+            with self.tracer.span("analysis:classes-alias"):
+                self.env: ClassEnv = infer_classes(vprog)
+                self.alias = AliasAnalysis(vprog, self.env)
+            with self.tracer.span("analysis:escape-uniqueness"):
+                v_cfgs = {p.name: build_cfg(p) for p in vprog.procs}
+                self.unique = uniqueness_analysis(vprog, v_cfgs) \
+                    if opts.enable_uniqueness else UniquenessResult()
+                blocks = blocks_of_program(vprog) \
+                    if opts.enable_conditions else {}
 
-        self.contexts: dict[str, VariantContext] = {}
-        for variant in variant_set.variants:
-            cfg = v_cfgs[variant.name]
-            dom = Dominators(cfg)
-            windows = WindowIndex(cfg, dom, self._cas_root_ok)
-            if not opts.enable_windows:
-                windows.windows = []
-            ctx = VariantContext(
-                variant, cfg, escape_analysis(cfg),
-                lockset_analysis(cfg), dom, windows,
-                blocks.get(variant.name, []))
-            for diag in windows.diagnostics:
-                self.diagnostics.append(f"{variant.name}: {diag.message}")
-            self.contexts[variant.name] = ctx
+            with self.tracer.span("analysis:lockset-windows"):
+                self.contexts: dict[str, VariantContext] = {}
+                for variant in variant_set.variants:
+                    cfg = v_cfgs[variant.name]
+                    dom = Dominators(cfg)
+                    windows = WindowIndex(cfg, dom, self._cas_root_ok)
+                    if not opts.enable_windows:
+                        windows.windows = []
+                    ctx = VariantContext(
+                        variant, cfg, escape_analysis(cfg),
+                        lockset_analysis(cfg), dom, windows,
+                        blocks.get(variant.name, []))
+                    for diag in windows.diagnostics:
+                        self.diagnostics.append(
+                            f"{variant.name}: {diag.message}")
+                    self.contexts[variant.name] = ctx
 
-        self._collect_sites()
-        self._classify_sites()
-        verdicts = self._verdicts(variant_set)
+            with self.tracer.span("analysis:collect-sites"):
+                self._collect_sites()
+            with self.tracer.span("analysis:classify"):
+                self._classify_sites()
+            with self.tracer.span("analysis:propagate-verdicts"):
+                verdicts = self._verdicts(variant_set)
+
+        self._tally("analysis.variants", len(variant_set.variants))
+        self._tally("analysis.sites",
+                    sum(len(c.sites) for c in self.contexts.values()))
+        self._tally("analysis.windows",
+                    sum(len(c.windows.windows)
+                        for c in self.contexts.values()))
+        self._tally("analysis.condition_blocks",
+                    sum(len(c.blocks) for c in self.contexts.values()))
+        self.registry.merge_counts(self._counts)
         return AnalysisResult(
             program=self.program, options=opts, purity=purity,
             variant_set=variant_set, verdicts=verdicts,
             contexts=self.contexts, uniqueness=self.unique,
-            diagnostics=self.diagnostics)
+            diagnostics=self.diagnostics,
+            metrics=self.registry.snapshot(),
+            trace=self.tracer.to_dict() if self.tracer.enabled else [])
 
     # -- discipline queries ---------------------------------------------------
     def _versioned(self, target: Target) -> bool:
@@ -423,16 +478,18 @@ class AtomicityChecker:
             return self._cas_discipline(w.root)
         return True
 
-    def _step2_types(self, ctx: VariantContext) -> dict[tuple, Atomicity]:
-        """(node uid, action index) -> L/R from Theorem 5.3 (step 2)."""
-        out: dict[tuple, Atomicity] = {}
+    def _step2_types(self, ctx: VariantContext) -> dict[tuple, tuple]:
+        """(node uid, region, slot) -> (L/R, window kind) from
+        Theorem 5.3 (SC/VL windows) and 5.4 (CAS windows), step 2."""
+        out: dict[tuple, tuple] = {}
         for w in ctx.windows.windows:
             if w.kind in ("SC", "VL") and not self._sc_only(w.root):
                 continue
             if w.kind == "CAS" and not self._cas_discipline(w.root):
                 continue
-            out[(w.end_node.uid, target_region(w.root), "end")] = AT.L
-            out[(w.ll_node.uid, target_region(w.root), "ll")] = AT.R
+            region = target_region(w.root)
+            out[(w.end_node.uid, region, "end")] = (AT.L, w.kind)
+            out[(w.ll_node.uid, region, "ll")] = (AT.R, w.kind)
         return out
 
     def _classify_sites(self) -> None:
@@ -441,43 +498,84 @@ class AtomicityChecker:
             for name, ctx in self.contexts.items()}
         for ctx in self.contexts.values():
             for site in ctx.sites:
-                site.atomicity = self._site_atomicity(site, step2[ctx.name])
+                site.atomicity = self._site_atomicity(site,
+                                                      step2[ctx.name])
+                self._tally(f"analysis.movers.{site.atomicity}")
 
     def _site_atomicity(self, site: Site, step2: dict) -> Atomicity:
         action = site.action
         if site.is_local or action.op == "alloc":
             site.steps.append("step1:local")
+            site.provenance.append(justify(
+                "step1", "local", mover="B",
+                detail="allocation" if action.op == "alloc"
+                else f"local action on {action.target}"))
             return AT.B
         if action.op == "acquire":
             site.steps.append("step1:acquire")
+            site.provenance.append(justify(
+                "step1", "acquire", mover="R",
+                detail=f"lock acquire of {action.target}"))
             return AT.R
         if action.op == "release":
             site.steps.append("step1:release")
+            site.provenance.append(justify(
+                "step1", "release", mover="L",
+                detail=f"lock release of {action.target}"))
             return AT.L
         region = target_region(action.target)
         candidates: list[Atomicity] = []
         if action.op == "write" and action.via in ("SC", "CAS"):
-            t2 = step2.get((site.node.uid, region, "end"))
-            if t2 is not None:
+            hit = step2.get((site.node.uid, region, "end"))
+            if hit is not None:
+                t2, _kind = hit
                 candidates.append(t2)
                 site.steps.append("step2:successful-" + action.via)
+                site.provenance.append(justify(
+                    "step2", "successful-" + action.via, mover=str(t2),
+                    detail=f"successful {action.via} on {action.target}"))
         if action.op == "read":
             if action.via in ("LL", "plain"):
-                t2 = step2.get((site.node.uid, region, "ll"))
-                if t2 is not None:
+                hit = step2.get((site.node.uid, region, "ll"))
+                if hit is not None:
+                    t2, kind = hit
                     candidates.append(t2)
                     site.steps.append("step2:matching-" + action.via)
+                    rule = "matching-CAS-read" if kind == "CAS" \
+                        else "matching-" + action.via
+                    what = "successful CAS" if kind == "CAS" \
+                        else f"successful {kind}"
+                    site.provenance.append(justify(
+                        "step2", rule, mover=str(t2),
+                        detail=f"matching {action.via} of a {what} "
+                               f"on {action.target}"))
             if action.via == "VL":
-                t2 = step2.get((site.node.uid, region, "end"))
-                if t2 is not None:
+                hit = step2.get((site.node.uid, region, "end"))
+                if hit is not None:
+                    t2, _kind = hit
                     candidates.append(t2)
                     site.steps.append("step2:successful-VL")
-        mover = self._step4_mover(site)
+                    site.provenance.append(justify(
+                        "step2", "successful-VL", mover=str(t2),
+                        detail=f"successful VL on {action.target}"))
+        mover, reasons = self._step4_mover(site)
         if mover is not None:
             candidates.append(mover)
             site.steps.append(f"step4:{mover}")
+            sides = {AT.B: "no conflicting access can occur adjacently",
+                     AT.L: "no conflicting access can occur "
+                           "immediately before",
+                     AT.R: "no conflicting access can occur "
+                           "immediately after"}
+            site.provenance.append(justify(
+                "step4", "adjacency-exclusion", mover=str(mover),
+                detail=sides[mover], counts=reasons))
         if not candidates:
             site.steps.append("step5:default-A")
+            site.provenance.append(justify(
+                "step5", "default", mover="A",
+                detail=f"unclassified global action on {action.target}"))
+            self._tally("analysis.movers.A-default")
             return AT.A
         out = candidates[0]
         for c in candidates[1:]:
@@ -503,33 +601,53 @@ class AtomicityChecker:
             out.append(other)
         return out
 
-    def _step4_mover(self, site: Site) -> Atomicity | None:
+    def _step4_mover(self, site: Site
+                     ) -> tuple[Atomicity | None, dict[str, int]]:
+        """The step-3/4 mover for a global access, plus a tally of the
+        theorems whose exclusions closed the successful side(s)."""
         if site.action.op not in ("read", "write"):
-            return None
+            return None, {}
         conflicts = self._conflicts(site)
-        left = all(self._excluded(site, other, "before")
+        self._tally("analysis.conflict_pairs", len(conflicts))
+        left_r: dict[str, int] = {}
+        right_r: dict[str, int] = {}
+        left = all(self._excluded(site, other, "before", left_r)
                    for other in conflicts)
-        right = all(self._excluded(site, other, "after")
+        right = all(self._excluded(site, other, "after", right_r)
                     for other in conflicts)
         if left and right:
-            return AT.B
+            merged = dict(left_r)
+            for tag, n in right_r.items():
+                merged[tag] = merged.get(tag, 0) + n
+            return AT.B, merged
         if left:
-            return AT.L
+            return AT.L, left_r
         if right:
-            return AT.R
-        return None
+            return AT.R, right_r
+        return None, {}
 
     # -- the adjacency-exclusion engine ----------------------------------------------
-    def _excluded(self, a: Site, b: Site, side: str) -> bool:
+    def _excluded(self, a: Site, b: Site, side: str,
+                  reasons: dict[str, int] | None = None) -> bool:
         """Can action ``b`` (from another thread) be shown NOT to occur
-        immediately ``side`` (before/after) action ``a``?"""
+        immediately ``side`` (before/after) action ``a``?
+
+        When ``reasons`` is given and the exclusion succeeds, the tags
+        of every rule that contributed a mark (``5.1``, ``5.3``,
+        ``5.4``, ``5.5``, ``agreement``) are tallied into it — an
+        aggregate attribution over the alias case split, not a minimal
+        proof core (see :mod:`repro.obs.provenance`)."""
         opts = self.options
         self._unconditional = False
+        self._fired: set[str] = set()
         pair_flags: dict[tuple, list[bool]] = {}
 
-        def mark(pair: tuple, aliased: bool) -> None:
+        def mark(pair: tuple, aliased: bool, tag: str | None = None
+                 ) -> None:
             flags = pair_flags.setdefault(pair, [False, False])
             flags[0 if aliased else 1] = True
+            if tag is not None:
+                self._fired.add(tag)
 
         # conflict-pair case split: when the two locations are distinct
         # cells (heap cells via different bindings, or different elements
@@ -548,7 +666,7 @@ class AtomicityChecker:
         if opts.enable_locks and common_lock(
                 self.alias, a.ctx.lockset.held_at(a.node),
                 b.ctx.lockset.held_at(b.node)):
-            return True
+            return self._conclude(True, {"5.1"}, reasons)
 
         if opts.enable_windows:
             self._window_rules(a, b, side, mark, pair_flags)
@@ -557,10 +675,22 @@ class AtomicityChecker:
         if opts.enable_agreement and side == "after":
             self._agreement_rule(a, b, mark)
 
-        for flags in pair_flags.values():
-            if flags[0] and flags[1]:
-                return True
-        return self._unconditional
+        if any(pair is not _P0 for pair in pair_flags):
+            self._tally("analysis.case_splits")
+        excluded = self._unconditional or any(
+            flags[0] and flags[1] for flags in pair_flags.values())
+        return self._conclude(excluded, self._fired, reasons)
+
+    def _conclude(self, excluded: bool, fired: set[str],
+                  reasons: dict[str, int] | None) -> bool:
+        if excluded:
+            for tag in fired:
+                self._tally(f"analysis.exclusions.thm{tag}"
+                            if tag[0].isdigit()
+                            else f"analysis.exclusions.{tag}")
+                if reasons is not None:
+                    reasons[tag] = reasons.get(tag, 0) + 1
+        return excluded
 
     def _window_rules(self, a: Site, b: Site, side: str, mark,
                       pair_flags) -> None:
@@ -569,10 +699,11 @@ class AtomicityChecker:
             if not self._window_valid(w):
                 continue
             family = ("SC",) if w.kind in ("SC", "VL") else ("CAS",)
+            tag = "5.3" if family == ("SC",) else "5.4"
             # W1: a successful SC on v cannot occur inside the window
             if b.action.op == "write" and b.action.via in family:
                 self._mark_alias(w.root, b.action.target, a, b, mark,
-                                 a_side_target=w.root)
+                                 a_side_target=w.root, tag=tag)
             # W2: nothing from a competing SC-block on v can occur inside
             for wb in b.ctx.windows.sc_block_memberships(b.node):
                 if not self._window_valid(wb):
@@ -581,39 +712,44 @@ class AtomicityChecker:
                     continue
                 self._mark_alias(w.root, wb.root, a, b, mark,
                                  a_side_target=w.root,
-                                 b_side_target=wb.root)
+                                 b_side_target=wb.root, tag=tag)
         # symmetric: b protected in its own window against a
         flip = "after" if side == "before" else "before"
         for wb in b.ctx.windows.windows_protecting(b.node, flip):
             if not self._window_valid(wb):
                 continue
             family = ("SC",) if wb.kind in ("SC", "VL") else ("CAS",)
+            tag = "5.3" if family == ("SC",) else "5.4"
             if a.action.op == "write" and a.action.via in family:
                 self._mark_alias(wb.root, a.action.target, a, b, mark,
                                  b_side_target=wb.root,
-                                 swap=True)
+                                 swap=True, tag=tag)
             for wa in a.ctx.windows.sc_block_memberships(a.node):
                 if not self._window_valid(wa) or wa.kind not in family:
                     continue
                 self._mark_alias(wb.root, wa.root, a, b, mark,
                                  a_side_target=wa.root,
-                                 b_side_target=wb.root)
+                                 b_side_target=wb.root, tag=tag)
 
     _unconditional = False
 
     def _mark_alias(self, v: Target, u: Target, a: Site, b: Site, mark,
                     a_side_target: Target | None = None,
                     b_side_target: Target | None = None,
-                    swap: bool = False) -> None:
+                    swap: bool = False,
+                    tag: str | None = None) -> None:
         """Record an exclusion that holds when u and v denote the same
         cell: unconditional for same-named globals; an aliased-case mark
         on the (a-side binding, b-side binding) pair for heap cells; and
         an aliased-case mark on the conflict pair itself when the rule
         pair covers the conflicting locations' regions (then "not
-        aliased" already means "no conflict")."""
+        aliased" already means "no conflict").  ``tag`` names the
+        theorem the mark came from, for provenance."""
         if v.kind == "global" and u.kind == "global":
             if v.name == u.name:
                 self._unconditional = True
+                if tag is not None:
+                    self._fired.add(tag)
             return
         if v.kind != u.kind or v.field != u.field:
             return
@@ -624,12 +760,13 @@ class AtomicityChecker:
         b_target = b_side_target if b_side_target is not None \
             else (v if swap else u)
         if a_target.binding is not None and b_target.binding is not None:
-            mark((a_target.binding, b_target.binding), aliased=True)
+            mark((a_target.binding, b_target.binding), aliased=True,
+                 tag=tag)
         regions = getattr(self, "_conflict_regions", None)
         if regions is not None \
                 and target_region(a_target) == regions[0] \
                 and target_region(b_target) == regions[1]:
-            mark(_P0, aliased=True)
+            mark(_P0, aliased=True, tag=tag)
 
     def _condition_rule(self, a: Site, b: Site, side: str, mark) -> None:
         """Theorem 5.5: an LL-SC block with condition p and a local block
@@ -669,18 +806,19 @@ class AtomicityChecker:
                             and b2.svar.kind == "global":
                         if b1.svar.name == b2.svar.name:
                             self._unconditional = True
+                            self._fired.add("5.5")
                         continue
                     a_svar = b1.svar if first is a else b2.svar
                     b_svar = b2.svar if first is a else b1.svar
                     if a_svar.binding is not None \
                             and b_svar.binding is not None:
                         mark((a_svar.binding, b_svar.binding),
-                             aliased=True)
+                             aliased=True, tag="5.5")
                     regions = getattr(self, "_conflict_regions", None)
                     if regions is not None \
                             and target_region(a_svar) == regions[0] \
                             and target_region(b_svar) == regions[1]:
-                        mark(_P0, aliased=True)
+                        mark(_P0, aliased=True, tag="5.5")
 
     def _uniform_condition(self, b1: BlockInfo) -> bool:
         """All LL-SC blocks on (aliases of) b1.svar share one condition."""
@@ -717,7 +855,8 @@ class AtomicityChecker:
                     continue
                 if w.ll_binding is None or wb.ll_binding is None:
                     continue
-                mark((w.ll_binding, wb.ll_binding), aliased=False)
+                mark((w.ll_binding, wb.ll_binding), aliased=False,
+                     tag="agreement")
 
     # -- steps 6/7: propagation and verdicts --------------------------------------------
     def _node_atom(self, ctx: VariantContext, node: CFGNode) -> Atomicity:
@@ -796,7 +935,10 @@ class AtomicityChecker:
 
 
 def analyze_program(source: A.Program | str,
-                    options: InferenceOptions | None = None
+                    options: InferenceOptions | None = None,
+                    tracer=None,
+                    metrics: MetricsRegistry | None = None
                     ) -> AnalysisResult:
     """Convenience entry point: run the full inference."""
-    return AtomicityChecker(source, options).run()
+    return AtomicityChecker(source, options, tracer=tracer,
+                            metrics=metrics).run()

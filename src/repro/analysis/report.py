@@ -111,18 +111,65 @@ def variant_lines(report: VariantReport, prefix: str) -> list[ReportLine]:
     return lines
 
 
-def render_variant(report: VariantReport, prefix: str) -> str:
+def _line_nodes(report: VariantReport, line: ReportLine) -> list[CFGNode]:
+    """The CFG nodes whose actions a report line accounts for —
+    mirrors the node selection of :func:`variant_lines`, except that
+    composite lines (rendered as ``if (...) ...``) cover their whole
+    statement subtree so no provenance is lost."""
+    ctx = report.ctx
+    s = line.stmt
+    if isinstance(s, A.LocalDecl):
+        return [n for n in ctx.stmt_nodes.get(s.nid, [])
+                if n.kind is NodeKind.BIND]
+    if isinstance(s, (A.If, A.Loop, A.Synchronized)):
+        nids = {x.nid for x in s.walk() if isinstance(x, A.Stmt)}
+        return [n for nid in sorted(nids)
+                for n in ctx.stmt_nodes.get(nid, [])]
+    return ctx.stmt_nodes.get(s.nid, [])
+
+
+def line_sites(report: VariantReport, line: ReportLine):
+    """The classified sites behind a report line, in site order."""
+    nodes = set(_line_nodes(report, line))
+    return [s for s in report.ctx.sites if s.node in nodes]
+
+
+def line_provenance(report: VariantReport, line: ReportLine) -> list:
+    """Flattened justification chain for a report line."""
+    out = []
+    for site in line_sites(report, line):
+        out.extend(site.provenance)
+    return out
+
+
+def _explain_lines(report: VariantReport, line: ReportLine,
+                   indent: str) -> list[str]:
+    out = []
+    for site in line_sites(report, line):
+        for j in site.provenance:
+            out.append(f"{indent}- {site.action!r}: {j.render()}")
+    return out
+
+
+def render_variant(report: VariantReport, prefix: str,
+                   explain: bool = False) -> str:
     header = (f"proc {report.variant.name}"
               f"({', '.join(report.variant.proc.params)})"
               f"    [atomicity: {report.body_atomicity}]")
-    body = "\n".join(line.render()
-                     for line in variant_lines(report, prefix))
-    return header + "\n" + body
+    chunks = [header]
+    for line in variant_lines(report, prefix):
+        chunks.append(line.render())
+        if explain:
+            chunks.extend(_explain_lines(report, line, " " * 8))
+    return "\n".join(chunks)
 
 
 def render_figure(result: AnalysisResult,
-                  proc_order: list[str] | None = None) -> str:
-    """Render all variants of all procedures, Figure-3 style."""
+                  proc_order: list[str] | None = None,
+                  explain: bool = False) -> str:
+    """Render all variants of all procedures, Figure-3 style.  With
+    ``explain``, each line is followed by its classification
+    provenance (one indented bullet per rule firing)."""
     order = proc_order or [p.name for p in result.program.procs]
     prefixes = iter(string.ascii_lowercase)
     chunks: list[str] = []
@@ -130,7 +177,7 @@ def render_figure(result: AnalysisResult,
         verdict = result.verdicts[name]
         for report in verdict.variants:
             prefix = next(prefixes, "z")
-            chunks.append(render_variant(report, prefix))
+            chunks.append(render_variant(report, prefix, explain))
     return "\n\n".join(chunks)
 
 

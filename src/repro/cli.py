@@ -12,22 +12,35 @@
 Thread specs for ``run``/``mc`` are comma-separated call lists, e.g.
 ``"AddNode(1),AddNode(2)"`` or ``"UpdateTail()*"`` (trailing ``*`` =
 repeat forever).
+
+``analyze``/``blocks``/``mc`` accept the observability flags
+``--trace`` (per-phase span timings), ``--metrics`` (counters/gauges)
+and ``--json`` (machine-readable output); ``analyze`` also accepts
+``--explain`` (per-line classification provenance).  ``REPRO_TRACE=1``
+/ ``REPRO_METRICS=1`` enable the same from the environment — see
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import analyze_program, render_figure
 from repro.analysis.blocks import partition_procedure
-from repro.errors import ReproError
+from repro.errors import AssertionViolation, ReproError
 from repro.interp import Interp, ThreadSpec, run_random
 from repro.mc import Explorer
+from repro.obs import ObsConfig, Tracer
 from repro.synl.inline import inline_calls
 from repro.synl.parser import parse_program
 from repro.synl.printer import pretty
 from repro.synl.resolve import resolve
+
+#: ``repro mc`` exit code when the state cap was hit (distinct from a
+#: property violation's 1 and a usage error's 2)
+EXIT_CAPPED = 3
 
 
 def _load(path: str, inline: bool = True):
@@ -68,23 +81,80 @@ def _parse_spec(text: str) -> ThreadSpec:
     return ThreadSpec.of(*calls, repeat=repeat)
 
 
+def _obs_setup(args) -> tuple[ObsConfig, Tracer]:
+    """Resolve REPRO_TRACE/REPRO_METRICS plus the CLI flags."""
+    cfg = ObsConfig.from_env().with_flags(
+        trace=getattr(args, "trace", False),
+        metrics=getattr(args, "metrics", False))
+    return cfg, Tracer(enabled=cfg.trace)
+
+
+def _emit_obs(cfg: ObsConfig, tracer: Tracer, metrics: dict) -> None:
+    if cfg.metrics and metrics:
+        print("\n-- metrics --")
+        for name, value in sorted(metrics.items()):
+            print(f"{name}: {value}")
+    if cfg.trace:
+        print("\n-- trace --")
+        print(tracer.render())
+
+
+def _analyze_with_obs(args):
+    cfg, tracer = _obs_setup(args)
+    with tracer.span("analysis:parse-resolve"):
+        program = _load(args.file)
+    return cfg, tracer, analyze_program(program, tracer=tracer)
+
+
 def cmd_analyze(args) -> int:
-    result = analyze_program(_load(args.file))
-    print(render_figure(result))
-    print()
-    for name, verdict in result.verdicts.items():
-        print(f"{name}: {'ATOMIC' if verdict.atomic else 'not shown atomic'}")
-    for diag in result.diagnostics:
-        print(f"note: {diag}")
+    cfg, tracer, result = _analyze_with_obs(args)
+    if args.json:
+        doc = result.to_dict()
+        if cfg.trace and not doc.get("trace"):
+            doc["trace"] = tracer.to_dict()
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_figure(result, explain=args.explain))
+        print()
+        for name, verdict in result.verdicts.items():
+            print(f"{name}: "
+                  f"{'ATOMIC' if verdict.atomic else 'not shown atomic'}")
+        for diag in result.diagnostics:
+            print(f"note: {diag}")
+        _emit_obs(cfg, tracer, result.metrics)
     return 0 if args.lenient or result.all_atomic else 1
 
 
 def cmd_blocks(args) -> int:
-    result = analyze_program(_load(args.file))
-    for name in result.verdicts:
-        for partition in partition_procedure(result, name):
+    cfg, tracer, result = _analyze_with_obs(args)
+    partitions = {name: partition_procedure(result, name)
+                  for name in result.verdicts}
+    if args.json:
+        doc = {
+            "procedures": [
+                {"name": name,
+                 "partitions": [
+                     {"variant": p.variant_name,
+                      "n_lines": p.n_lines,
+                      "n_blocks": p.n_blocks,
+                      "blocks": [
+                          {"atomicity": str(b.atomicity),
+                           "lines": [line.text for line in b.lines]}
+                          for b in p.blocks]}
+                     for p in parts]}
+                for name, parts in partitions.items()],
+        }
+        if result.metrics:
+            doc["metrics"] = dict(result.metrics)
+        if cfg.trace:
+            doc["trace"] = tracer.to_dict()
+        print(json.dumps(doc, indent=2))
+        return 0
+    for parts in partitions.values():
+        for partition in parts:
             print(partition.render())
             print()
+    _emit_obs(cfg, tracer, result.metrics)
     return 0
 
 
@@ -101,25 +171,48 @@ def cmd_run(args) -> int:
     interp = Interp(program)
     specs = [_parse_spec(s) for s in args.threads]
     world = interp.make_world(specs)
-    run_random(interp, world, seed=args.seed, max_steps=args.max_steps)
+    try:
+        run_random(interp, world, seed=args.seed,
+                   max_steps=args.max_steps)
+    except AssertionViolation as exc:
+        for event in world.history:
+            print(event)
+        print(f"-- assertion violation (seed={args.seed}): {exc}")
+        return 1
     for event in world.history:
         print(event)
     done = all(t.done for t in world.threads)
-    print(f"-- {'all threads done' if done else 'step budget exhausted'}")
+    status = "all threads done" if done else "step budget exhausted"
+    print(f"-- {status} (seed={args.seed})")
     return 0
 
 
 def cmd_mc(args) -> int:
+    cfg, tracer = _obs_setup(args)
     program = _load(args.file)
     interp = Interp(program)
     specs = [_parse_spec(s) for s in args.threads]
     result = Explorer(interp, specs, mode=args.mode,
-                      max_states=args.max_states).run()
-    print(result)
+                      max_states=args.max_states, tracer=tracer).run()
+    if args.json:
+        doc = result.to_dict()
+        if cfg.trace:
+            doc["spans"] = tracer.to_dict()
+        print(json.dumps(doc, indent=2))
+    else:
+        print(result)
+        if result.violation:
+            for step in result.trace:
+                print(f"  {step}")
+        _emit_obs(cfg, tracer, result.metrics)
     if result.violation:
-        for step in result.trace:
-            print(f"  {step}")
         return 1
+    if result.capped:
+        print(f"error: state cap reached ({result.states} states "
+              f"explored); the search is incomplete — raise "
+              f"--max-states (currently {args.max_states})",
+              file=sys.stderr)
+        return EXIT_CAPPED
     return 0
 
 
@@ -143,13 +236,29 @@ def build_parser() -> argparse.ArgumentParser:
                     "programs (Wang & Stoller, PPoPP 2005)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="run the atomicity inference")
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--trace", action="store_true",
+                     help="print per-phase span timings "
+                          "(also: REPRO_TRACE=1)")
+    obs.add_argument("--metrics", action="store_true",
+                     help="print the metrics report "
+                          "(also: REPRO_METRICS=1)")
+    obs.add_argument("--json", action="store_true",
+                     help="emit a machine-readable JSON document "
+                          "instead of text")
+
+    p = sub.add_parser("analyze", parents=[obs],
+                       help="run the atomicity inference")
     p.add_argument("file")
     p.add_argument("--lenient", action="store_true",
                    help="exit 0 even when procedures are not atomic")
+    p.add_argument("--explain", action="store_true",
+                   help="annotate every line with its classification "
+                        "provenance (which theorem fired)")
     p.set_defaults(fn=cmd_analyze)
 
-    p = sub.add_parser("blocks", help="atomic-block partition (§6.4)")
+    p = sub.add_parser("blocks", parents=[obs],
+                       help="atomic-block partition (§6.4)")
     p.add_argument("file")
     p.set_defaults(fn=cmd_blocks)
 
@@ -165,12 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=100_000)
     p.set_defaults(fn=cmd_run)
 
-    p = sub.add_parser("mc", help="explicit-state model checking")
+    p = sub.add_parser("mc", parents=[obs],
+                       help="explicit-state model checking")
     p.add_argument("file")
     p.add_argument("threads", nargs="+")
     p.add_argument("--mode", default="full",
                    choices=["full", "por", "atomic", "both"])
-    p.add_argument("--max-states", type=int, default=1_000_000)
+    p.add_argument("--max-states", type=int, default=1_000_000,
+                   help="abort the search after N states (a capped "
+                        "run exits with status 3)")
     p.set_defaults(fn=cmd_mc)
 
     p = sub.add_parser("experiments",

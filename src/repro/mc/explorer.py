@@ -30,6 +30,7 @@ from repro.mc.atomic import AtomicOutcome, run_to_commit, run_variant
 from repro.mc.canonical import quiescent_key, shared_key, state_key
 from repro.mc.por import SafetyCache
 from repro.mc.properties import Property
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass
@@ -41,6 +42,9 @@ class MCResult:
     violation: Optional[str] = None
     trace: list[str] = field(default_factory=list)
     capped: bool = False
+    #: explorer metrics snapshot (states/sec, canonical-hash cache
+    #: hits, ample-set reduction counts, …) — see ``Explorer._finish``
+    metrics: dict = field(default_factory=dict)
     quiescent: Optional[set] = None
     #: quiescent states where every thread's script has completed.
     #: ``full``/``por``/``atomic`` preserve the whole quiescent set;
@@ -49,6 +53,15 @@ class MCResult:
     #: different thread-private scratch objects.
     final: Optional[set] = None
     final_shared: Optional[set] = None
+
+    @property
+    def states_per_s(self) -> float:
+        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        from repro.obs.export import mc_to_dict
+
+        return mc_to_dict(self)
 
     def __str__(self) -> str:
         status = self.violation or ("CAPPED" if self.capped else "ok")
@@ -74,7 +87,8 @@ class Explorer:
                  variant_map: Optional[dict[str, list[str]]] = None,
                  commutes: Optional[Callable] = None,
                  collect_quiescent: bool = False,
-                 atomic_step_budget: int = 10_000):
+                 atomic_step_budget: int = 10_000,
+                 tracer=None):
         if mode not in ("full", "por", "atomic", "both"):
             raise ValueError(f"unknown mode {mode!r}")
         self.interp = interp
@@ -88,6 +102,10 @@ class Explorer:
         self.collect_quiescent = collect_quiescent
         self.atomic_step_budget = atomic_step_budget
         self.safety = SafetyCache()
+        self.tracer = tracer or NULL_TRACER
+        # ample-set bookkeeping (plain ints: DFS is single-threaded)
+        self._ample_reduced = 0
+        self._ample_full = 0
 
     # -- successor generation --------------------------------------------------
     def _step_thread(self, world: World, tid: int) -> _Succ:
@@ -117,7 +135,9 @@ class Explorer:
                     continue
                 if state_key(succ.world) in on_stack:
                     continue  # cycle proviso: fall back to full expansion
+                self._ample_reduced += 1
                 return [succ]
+            self._ample_full += 1
         return [self._step_thread(world, tid) for tid in enabled]
 
     def _atomic_one(self, world: World, tid: int) -> list[_Succ]:
@@ -156,7 +176,10 @@ class Explorer:
                     continue  # disabled here; try another thread
                 if any(state_key(s.world) in on_stack for s in real):
                     continue
+                self._ample_reduced += 1
                 return succs
+        if self.mode == "both":
+            self._ample_full += 1
         out: list[_Succ] = []
         for tid in live:
             out.extend(self._atomic_one(world, tid))
@@ -189,8 +212,40 @@ class Explorer:
         return None
 
     # -- the search ---------------------------------------------------------------
+    def _finish(self, result: MCResult, start: float,
+                cache_hits: int, max_depth: int) -> MCResult:
+        """Stamp timing and the metrics snapshot onto the result."""
+        result.elapsed = time.perf_counter() - start
+        lookups = cache_hits + result.states
+        ample_total = self._ample_reduced + self._ample_full
+        result.metrics = {
+            "mc.states": result.states,
+            "mc.transitions": result.transitions,
+            "mc.states_per_s": round(result.states_per_s, 3),
+            "mc.cache_hits": cache_hits,
+            "mc.cache_hit_ratio":
+                round(cache_hits / lookups, 6) if lookups else 0.0,
+            "mc.max_depth": max_depth,
+            "mc.ample_reduced": self._ample_reduced,
+            "mc.ample_full": self._ample_full,
+            "mc.ample_reduction_ratio":
+                round(self._ample_reduced / ample_total, 6)
+                if ample_total else 0.0,
+            "mc.safety_cache_hits": self.safety.hits,
+            "mc.safety_cache_misses": self.safety.misses,
+        }
+        return result
+
     def run(self) -> MCResult:
+        with self.tracer.span("mc:run", mode=self.mode):
+            return self._run()
+
+    def _run(self) -> MCResult:
         start = time.perf_counter()
+        self._ample_reduced = 0
+        self._ample_full = 0
+        cache_hits = 0  # canonical-hash lookups that found a seen state
+        max_depth = 1
         result = MCResult(self.mode)
         if self.collect_quiescent:
             result.quiescent = set()
@@ -206,18 +261,20 @@ class Explorer:
                 result.final.add(key)
                 result.final_shared.add(shared_key(world))
 
-        world0 = self.interp.make_world(self.specs)
-        ghosts0 = tuple(p.initial_ghost() for p in self.properties)
-        key0 = (state_key(world0), ghosts0)
-        seen = {key0}
-        result.states = 1
-        message = self._check(world0, ghosts0)
+        with self.tracer.span("mc:init"):
+            world0 = self.interp.make_world(self.specs)
+            ghosts0 = tuple(p.initial_ghost() for p in self.properties)
+            key0 = (state_key(world0), ghosts0)
+            seen = {key0}
+            result.states = 1
+            message = self._check(world0, ghosts0)
         if message is not None:
             result.violation = message
-            result.elapsed = time.perf_counter() - start
-            return result
+            return self._finish(result, start, cache_hits, max_depth)
         record_quiescent(world0)
 
+        dfs_span = self.tracer.span("mc:dfs")
+        dfs_span.__enter__()
         on_stack = {key0[0]}
         # stack entries: (key, world, ghosts, successor list, index, desc)
         stack = [[key0, world0, ghosts0, None, 0, "init"]]
@@ -243,6 +300,7 @@ class Explorer:
             new_ghosts = self._apply_events(ghosts, succ.events)
             new_key = (state_key(succ.world), new_ghosts)
             if new_key in seen:
+                cache_hits += 1
                 continue
             seen.add(new_key)
             result.states += 1
@@ -259,9 +317,11 @@ class Explorer:
             on_stack.add(new_key[0])
             stack.append([new_key, succ.world, new_ghosts, None, 0,
                           succ.desc])
+            if len(stack) > max_depth:
+                max_depth = len(stack)
+        dfs_span.__exit__(None, None, None)
 
-        result.elapsed = time.perf_counter() - start
-        return result
+        return self._finish(result, start, cache_hits, max_depth)
 
 
 def explore(interp: Interp, specs: list[ThreadSpec], mode: str = "full",

@@ -28,15 +28,23 @@ _SAFE_KINDS = {NodeKind.LOOP_HEAD, NodeKind.BREAK, NodeKind.CONTINUE,
 
 
 class SafetyCache:
-    """Caches per-node safety classifications."""
+    """Caches per-node safety classifications.
+
+    ``hits``/``misses`` count cache lookups for the explorer's metrics
+    report (``mc.safety_cache_*``) — plain ints, maintained on the DFS
+    hot path without locks (the explorer is single-threaded)."""
 
     def __init__(self) -> None:
         self._cache: dict[int, bool] = {}
+        self.hits = 0
+        self.misses = 0
 
     def node_safe(self, node: CFGNode) -> bool:
         cached = self._cache.get(node.uid)
         if cached is not None:
+            self.hits += 1
             return cached
+        self.misses += 1
         if node.kind in _SAFE_KINDS:
             safe = True
         elif node.kind in (NodeKind.ACQUIRE, NodeKind.RELEASE,

@@ -1,0 +1,37 @@
+"""Structured observability for the analysis pipeline (zero-dep).
+
+Three concerns, one package:
+
+* :mod:`repro.obs.tracing` — hierarchical wall-clock spans around the
+  §5.4 pipeline steps and the model checker's DFS phases;
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms
+  (states/sec, canonical-hash cache hits, ample-set reduction ratio,
+  per-theorem exclusion counts, …);
+* :mod:`repro.obs.provenance` — per-action justification chains naming
+  the theorem (5.1/5.3/5.4/5.5, …) behind every mover classification.
+
+:mod:`repro.obs.export` serializes analysis/model-checking results (and
+the ``BENCH_*.json`` benchmark records) against small self-validated
+JSON schemas; :mod:`repro.obs.config` reads the ``REPRO_TRACE`` /
+``REPRO_METRICS`` environment switches.
+
+``export`` is imported lazily (it reaches back into
+:mod:`repro.analysis`); everything else here is import-cycle-free.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.provenance import Justification
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Justification",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ObsConfig",
+    "Span",
+    "Tracer",
+]

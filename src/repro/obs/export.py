@@ -1,0 +1,290 @@
+"""JSON serialization + schema validation for analysis/MC results.
+
+Schemas are expressed in a small JSON-Schema subset (``type``,
+``required``, ``properties``, ``items``, ``enum``; ``type`` may be a
+list to express nullability) and checked by :func:`validate` — a
+zero-dependency stand-in for ``jsonschema`` so the benchmark smoke job
+and tests can assert well-formedness without installing anything.
+
+Benchmark records follow the fixed schema
+``{name, wall_s, states, transitions, states_per_s}`` (analysis
+records report 0 states/transitions), written by :func:`write_bench`
+as ``BENCH_analysis.json`` / ``BENCH_mc.json``.
+
+The analysis serializer reaches back into :mod:`repro.analysis.report`
+and is imported lazily to keep ``repro.obs`` free of import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Union
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[name])
+
+
+def validate(obj, schema: dict, path: str = "$") -> list[str]:
+    """Check ``obj`` against the schema subset; return error strings
+    (empty list = valid)."""
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(obj, n) for n in names):
+            errors.append(
+                f"{path}: expected {'/'.join(names)}, "
+                f"got {type(obj).__name__}")
+            return errors
+    if "enum" in schema and obj not in schema["enum"]:
+        errors.append(f"{path}: {obj!r} not in {schema['enum']}")
+    if isinstance(obj, dict):
+        for key in schema.get("required", []):
+            if key not in obj:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in obj:
+                errors.extend(validate(obj[key], sub, f"{path}.{key}"))
+    if isinstance(obj, list) and "items" in schema:
+        for i, item in enumerate(obj):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+# -- schemas -------------------------------------------------------------------
+
+JUSTIFICATION_SCHEMA = {
+    "type": "object",
+    "required": ["step", "rule"],
+    "properties": {
+        "step": {"type": "string"},
+        "rule": {"type": "string"},
+        "mover": {"type": "string"},
+        "theorem": {"type": "string"},
+        "detail": {"type": "string"},
+        "counts": {"type": "object"},
+    },
+}
+
+LINE_SCHEMA = {
+    "type": "object",
+    "required": ["label", "text", "atomicity"],
+    "properties": {
+        "label": {"type": "string"},
+        "text": {"type": "string"},
+        "atomicity": {"type": "string"},
+        "provenance": {"type": "array", "items": JUSTIFICATION_SCHEMA},
+    },
+}
+
+ANALYSIS_SCHEMA = {
+    "type": "object",
+    "required": ["procedures", "all_atomic", "diagnostics"],
+    "properties": {
+        "procedures": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "atomic", "variants"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "atomic": {"type": "boolean"},
+                    "variants": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["name", "body_atomicity",
+                                         "lines"],
+                            "properties": {
+                                "name": {"type": "string"},
+                                "body_atomicity": {"type": "string"},
+                                "read_only": {"type": "boolean"},
+                                "lines": {"type": "array",
+                                          "items": LINE_SCHEMA},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+        "all_atomic": {"type": "boolean"},
+        "diagnostics": {"type": "array", "items": {"type": "string"}},
+        "options": {"type": "object"},
+        "metrics": {"type": "object"},
+        "trace": {"type": "array"},
+    },
+}
+
+MC_SCHEMA = {
+    "type": "object",
+    "required": ["mode", "states", "transitions", "elapsed_s",
+                 "states_per_s", "capped"],
+    "properties": {
+        "mode": {"type": "string",
+                 "enum": ["full", "por", "atomic", "both"]},
+        "states": {"type": "integer"},
+        "transitions": {"type": "integer"},
+        "elapsed_s": {"type": "number"},
+        "states_per_s": {"type": "number"},
+        "violation": {"type": ["string", "null"]},
+        "capped": {"type": "boolean"},
+        "trace": {"type": "array", "items": {"type": "string"}},
+        "metrics": {"type": "object"},
+    },
+}
+
+BENCH_RECORD_SCHEMA = {
+    "type": "object",
+    "required": ["name", "wall_s", "states", "transitions",
+                 "states_per_s"],
+    "properties": {
+        "name": {"type": "string"},
+        "wall_s": {"type": "number"},
+        "states": {"type": "integer"},
+        "transitions": {"type": "integer"},
+        "states_per_s": {"type": "number"},
+    },
+}
+
+BENCH_FILE_SCHEMA = {"type": "array", "items": BENCH_RECORD_SCHEMA}
+
+
+# -- serializers ---------------------------------------------------------------
+
+def mc_to_dict(result) -> dict:
+    """Serialize an :class:`~repro.mc.explorer.MCResult`."""
+    elapsed = result.elapsed
+    out = {
+        "mode": result.mode,
+        "states": result.states,
+        "transitions": result.transitions,
+        "elapsed_s": round(elapsed, 6),
+        "states_per_s": round(result.states / elapsed, 3)
+        if elapsed > 0 else 0.0,
+        "violation": result.violation,
+        "capped": result.capped,
+        "trace": list(result.trace),
+        "metrics": dict(getattr(result, "metrics", {}) or {}),
+    }
+    return out
+
+
+def analysis_to_dict(result, include_provenance: bool = True) -> dict:
+    """Serialize an :class:`~repro.analysis.inference.AnalysisResult`
+    with per-line verdicts and provenance chains."""
+    import string
+
+    from repro.analysis.report import line_provenance, variant_lines
+
+    prefixes = iter(string.ascii_lowercase)
+    procedures = []
+    for name, verdict in result.verdicts.items():
+        variants = []
+        for report in verdict.variants:
+            prefix = next(prefixes, "z")
+            lines = []
+            for line in variant_lines(report, prefix):
+                entry: dict = {
+                    "label": line.label,
+                    "text": line.text,
+                    "atomicity": str(line.atomicity),
+                }
+                if include_provenance:
+                    entry["provenance"] = [
+                        j.to_dict()
+                        for j in line_provenance(report, line)]
+                lines.append(entry)
+            variants.append({
+                "name": report.variant.name,
+                "body_atomicity": str(report.body_atomicity),
+                "read_only": report.read_only,
+                "lines": lines,
+            })
+        procedures.append({"name": name, "atomic": verdict.atomic,
+                           "variants": variants})
+    out: dict = {
+        "procedures": procedures,
+        "all_atomic": result.all_atomic,
+        "diagnostics": list(result.diagnostics),
+        "options": {k: bool(v)
+                    for k, v in vars(result.options).items()},
+    }
+    if getattr(result, "metrics", None):
+        out["metrics"] = dict(result.metrics)
+    if getattr(result, "trace", None):
+        out["trace"] = list(result.trace)
+    return out
+
+
+# -- benchmark records ---------------------------------------------------------
+
+def bench_record(name: str, wall_s: float, states: int = 0,
+                 transitions: int = 0) -> dict:
+    """One ``BENCH_*.json`` entry; ``states_per_s`` is 0 for records
+    with no state count (pure analysis timings)."""
+    return {
+        "name": name,
+        "wall_s": round(float(wall_s), 6),
+        "states": int(states),
+        "transitions": int(transitions),
+        "states_per_s": round(states / wall_s, 3)
+        if wall_s > 0 and states else 0.0,
+    }
+
+
+def write_bench(path: Union[str, pathlib.Path],
+                records: list[dict]) -> pathlib.Path:
+    """Validate and write a benchmark record file."""
+    errors = validate(records, BENCH_FILE_SCHEMA)
+    if errors:
+        raise ValueError("invalid bench records: " + "; ".join(errors))
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    return path
+
+
+def validate_bench_file(path: Union[str, pathlib.Path]) -> list[dict]:
+    """Load + validate a ``BENCH_*.json`` file, returning its records.
+    Raises ``ValueError`` on schema violations."""
+    records = json.loads(pathlib.Path(path).read_text())
+    errors = validate(records, BENCH_FILE_SCHEMA)
+    if errors:
+        raise ValueError(f"{path}: " + "; ".join(errors))
+    return records
+
+
+def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover
+    """``python -m repro.obs.export FILE...`` — validate bench files."""
+    import sys
+
+    argv = sys.argv[1:] if argv is None else argv
+    status = 0
+    for name in argv:
+        try:
+            records = validate_bench_file(name)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {name}: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"ok {name}: {len(records)} record(s)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Thread-safe metric primitives and a flat registry.
+
+Three instrument kinds, one registry:
+
+* :class:`Counter` — monotonically increasing (``inc``);
+* :class:`Gauge` — last-write-wins scalar (``set``);
+* :class:`Histogram` — streaming count/sum/min/max/mean (``observe``).
+
+All instruments take an internal lock per update, so they aggregate
+correctly when the explorer or test harness drives them from several
+threads.  Hot loops that cannot afford a lock per event (the DFS inner
+loop, the O(sites²) conflict scan) accumulate plain integers locally
+and flush them into the registry once at the end — the registry is the
+*reporting* surface, not the accumulation surface.
+
+``snapshot()`` flattens everything into a JSON-ready ``dict``:
+counters/gauges as numbers, histograms as
+``{count, total, min, max, mean}`` sub-dicts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Union
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value: Union[int, float] = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary statistics (no buckets, no samples kept)."""
+
+    __slots__ = ("count", "total", "min", "max", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max,
+                "mean": round(self.mean, 9)}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter()
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge()
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram()
+            return inst
+
+    # -- convenience -------------------------------------------------------
+    def inc(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: Union[int, float]) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Union[int, float]) -> None:
+        self.histogram(name).observe(value)
+
+    def merge_counts(self, counts: dict) -> None:
+        """Flush a plain ``{name: n}`` dict of locally accumulated
+        counts (the lock-free hot-path pattern) into real counters."""
+        for name, n in counts.items():
+            self.counter(name).inc(n)
+
+    def snapshot(self) -> dict:
+        """Flat JSON-ready view, keys sorted for stable output."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        out: dict = {}
+        for name, c in counters.items():
+            out[name] = c.value
+        for name, g in gauges.items():
+            out[name] = g.value
+        for name, h in histograms.items():
+            out[name] = h.to_dict()
+        return dict(sorted(out.items()))
+
+    def render(self) -> str:
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                inner = " ".join(f"{k}={v}" for k, v in value.items())
+                lines.append(f"{name}: {inner}")
+            else:
+                lines.append(f"{name}: {value}")
+        return "\n".join(lines)

@@ -1,0 +1,369 @@
+"""The observability layer: span tracing, metric aggregation, JSON
+schema round-trips, classification provenance, and the CLI surfacing
+(--trace/--metrics/--json/--explain, REPRO_TRACE, exit codes)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import cli, corpus
+from repro.analysis import analyze_program
+from repro.analysis.report import (line_provenance, render_figure,
+                                   variant_lines)
+from repro.interp import Interp, ThreadSpec
+from repro.mc import Explorer
+from repro.obs import (Counter, Histogram, MetricsRegistry, ObsConfig,
+                       Tracer)
+from repro.obs.export import (ANALYSIS_SCHEMA, BENCH_FILE_SCHEMA,
+                              MC_SCHEMA, analysis_to_dict, bench_record,
+                              mc_to_dict, validate, validate_bench_file)
+from repro.experiments.common import BenchCollector
+
+
+# -- tracing ----------------------------------------------------------------------
+
+def test_span_nesting_and_timing_monotonicity():
+    tracer = Tracer()
+    with tracer.span("outer", key="v"):
+        with tracer.span("inner-1"):
+            pass
+        with tracer.span("inner-2"):
+            with tracer.span("leaf"):
+                pass
+    assert len(tracer.roots) == 1
+    outer = tracer.roots[0]
+    assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+    assert outer.children[1].children[0].name == "leaf"
+    # every span is closed, timed monotonically, and contained in its
+    # parent's interval
+    for span in outer.walk():
+        assert span.end is not None
+        assert span.end >= span.start
+    for child in outer.children:
+        assert child.start >= outer.start
+        assert child.end <= outer.end
+    assert outer.duration >= sum(c.duration for c in outer.children)
+    assert outer.attrs == {"key": "v"}
+
+
+def test_span_render_and_dict():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    text = tracer.render()
+    assert "a" in text and "  b" in text and "ms" in text
+    (root,) = tracer.to_dict()
+    assert root["name"] == "a"
+    assert root["children"][0]["name"] == "b"
+    assert root["duration_s"] >= root["children"][0]["duration_s"]
+
+
+def test_disabled_tracer_collects_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("ghost"):
+        pass
+    assert tracer.roots == []
+    assert tracer.render() == ""
+
+
+def test_spans_from_worker_threads_become_roots():
+    tracer = Tracer()
+
+    def work(i):
+        with tracer.span(f"worker-{i}"):
+            pass
+
+    with tracer.span("main"):
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    names = {s.name for s in tracer.roots}
+    assert "main" in names
+    assert {f"worker-{i}" for i in range(4)} <= names
+    # the main root must not have adopted other threads' spans
+    (main,) = [s for s in tracer.roots if s.name == "main"]
+    assert main.children == []
+
+
+# -- metrics ----------------------------------------------------------------------
+
+def test_counter_aggregation_under_threads():
+    counter = Counter()
+
+    def work():
+        for _ in range(10_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 80_000
+
+
+def test_registry_snapshot_and_histogram():
+    registry = MetricsRegistry()
+    registry.inc("c", 3)
+    registry.set("g", 7)
+    for v in (1.0, 2.0, 3.0):
+        registry.observe("h", v)
+    registry.merge_counts({"c": 2, "d": 1})
+    snap = registry.snapshot()
+    assert snap["c"] == 5 and snap["d"] == 1 and snap["g"] == 7
+    assert snap["h"]["count"] == 3
+    assert snap["h"]["min"] == 1.0 and snap["h"]["max"] == 3.0
+    assert snap["h"]["mean"] == pytest.approx(2.0)
+    assert "c: 5" in registry.render()
+
+
+def test_histogram_empty_mean():
+    assert Histogram().mean == 0.0
+
+
+# -- schema validation -------------------------------------------------------------
+
+def test_validate_rejects_bad_bench_records():
+    good = bench_record("x", 0.5, states=10, transitions=20)
+    assert validate([good], BENCH_FILE_SCHEMA) == []
+    assert validate([{"name": "x"}], BENCH_FILE_SCHEMA)  # missing keys
+    bad_type = dict(good, states="ten")
+    assert any("states" in e
+               for e in validate([bad_type], BENCH_FILE_SCHEMA))
+    assert validate({"not": "a list"}, BENCH_FILE_SCHEMA)
+
+
+def test_bench_collector_roundtrip(tmp_path):
+    collector = BenchCollector()
+    collector.add_analysis("analysis/queue", 0.25)
+    interp = Interp(corpus.NFQ_PRIME)
+    result = Explorer(interp, [ThreadSpec.of(("UpdateTail",))],
+                      mode="full").run()
+    collector.add_mc("mc/queue", result)
+    paths = collector.write(tmp_path)
+    assert sorted(p.name for p in paths) == ["BENCH_analysis.json",
+                                             "BENCH_mc.json"]
+    for path in paths:
+        records = validate_bench_file(path)
+        assert records and records[0]["wall_s"] >= 0
+    mc_records = validate_bench_file(tmp_path / "BENCH_mc.json")
+    assert mc_records[0]["states"] == result.states
+    (tmp_path / "broken.json").write_text('[{"name": 3}]')
+    with pytest.raises(ValueError):
+        validate_bench_file(tmp_path / "broken.json")
+
+
+# -- result serialization round-trips ----------------------------------------------
+
+def test_analysis_json_schema_roundtrip(nfq_prime_analysis):
+    doc = json.loads(json.dumps(analysis_to_dict(nfq_prime_analysis)))
+    assert validate(doc, ANALYSIS_SCHEMA) == []
+    procs = {p["name"]: p for p in doc["procedures"]}
+    assert procs["AddNode"]["atomic"]
+    assert doc["all_atomic"] is False or doc["all_atomic"] is True
+    # to_dict on the result object agrees with the module function
+    assert nfq_prime_analysis.to_dict() == analysis_to_dict(
+        nfq_prime_analysis)
+
+
+def test_mc_json_schema_roundtrip():
+    interp = Interp(corpus.NFQ_PRIME)
+    specs = [ThreadSpec.of(("AddNode", 1)),
+             ThreadSpec.of(("UpdateTail",))]
+    result = Explorer(interp, specs, mode="full").run()
+    doc = json.loads(json.dumps(mc_to_dict(result)))
+    assert validate(doc, MC_SCHEMA) == []
+    assert doc["states"] == result.states
+    assert doc["states_per_s"] > 0
+    assert doc["metrics"]["mc.cache_hits"] >= 0
+    assert result.to_dict()["mode"] == "full"
+
+
+def test_analysis_metrics_populated(nfq_prime_analysis):
+    metrics = nfq_prime_analysis.metrics
+    assert metrics["analysis.variants"] == 5
+    assert metrics["analysis.sites"] > 0
+    assert metrics["analysis.exclusions.thm5.3"] > 0
+    assert metrics["analysis.movers.B"] > 0
+
+
+def test_explorer_metrics_and_ample_ratio():
+    interp = Interp(corpus.NFQ_PRIME)
+    specs = [ThreadSpec.of(("AddNode", 1)),
+             ThreadSpec.of(("DeqP",))]
+    full = Explorer(interp, specs, mode="full").run()
+    por = Explorer(interp, specs, mode="por").run()
+    assert full.metrics["mc.states"] == full.states
+    assert full.metrics["mc.max_depth"] > 1
+    assert por.metrics["mc.ample_reduced"] > 0
+    assert 0 < por.metrics["mc.ample_reduction_ratio"] <= 1
+    assert por.metrics["mc.safety_cache_hits"] \
+        + por.metrics["mc.safety_cache_misses"] > 0
+
+
+def test_explorer_tracing():
+    tracer = Tracer()
+    interp = Interp(corpus.NFQ_PRIME)
+    result = Explorer(interp, [ThreadSpec.of(("UpdateTail",))],
+                      mode="full", tracer=tracer).run()
+    assert result.states > 0
+    (root,) = tracer.roots
+    assert root.name == "mc:run"
+    assert [c.name for c in root.children] == ["mc:init", "mc:dfs"]
+
+
+def test_analysis_tracing_covers_pipeline_phases():
+    tracer = Tracer()
+    result = analyze_program(corpus.NFQ_PRIME, tracer=tracer)
+    assert result.verdicts
+    names = {s.name for root in tracer.roots for s in root.walk()}
+    for phase in ("analysis:run", "analysis:variants",
+                  "analysis:escape-uniqueness-purity",
+                  "analysis:lockset-windows", "analysis:collect-sites",
+                  "analysis:classify", "analysis:propagate-verdicts"):
+        assert phase in names, phase
+    assert result.trace  # span tree stored on the result
+
+
+# -- provenance golden test (§6.1 queue, Thm 5.3) ----------------------------------
+
+def _addnode_report(result):
+    for verdict in result.verdicts.values():
+        for report in verdict.variants:
+            if report.variant.name == "AddNode":
+                return report
+    raise AssertionError("AddNode variant not found")
+
+
+def test_explain_names_thm53_on_matching_ll_lines(nfq_prime_analysis):
+    report = _addnode_report(nfq_prime_analysis)
+    ll_lines = [line for line in variant_lines(report, "a")
+                if "LL(" in line.text and "local" in line.text]
+    assert ll_lines, "expected LL binding lines in AddNode"
+    for line in ll_lines:
+        chain = line_provenance(report, line)
+        assert any(j.theorem == "5.3" and j.rule.startswith("matching")
+                   for j in chain), line.text
+    # rendered --explain output names the theorem on those lines
+    text = render_figure(nfq_prime_analysis, explain=True)
+    assert "matching LL" in text and "Thm 5.3" in text
+
+
+def test_provenance_rendering_shapes(nfq_prime_analysis):
+    report = _addnode_report(nfq_prime_analysis)
+    for line in variant_lines(report, "a"):
+        for j in line_provenance(report, line):
+            rendered = j.render()
+            assert rendered  # never empty
+            d = j.to_dict()
+            assert d["step"] and d["rule"]
+            if j.theorem is not None:
+                assert f"Thm {j.theorem}" in rendered
+
+
+# -- CLI surfacing ------------------------------------------------------------------
+
+@pytest.fixture
+def queue_file(tmp_path):
+    path = tmp_path / "queue.synl"
+    path.write_text(corpus.NFQ_PRIME)
+    return str(path)
+
+
+def test_cli_analyze_json(queue_file, capsys):
+    assert cli.main(["analyze", "--json", queue_file]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert validate(doc, ANALYSIS_SCHEMA) == []
+    assert {p["name"] for p in doc["procedures"]} == {
+        "AddNode", "UpdateTail", "DeqP"}
+
+
+def test_cli_analyze_explain_and_metrics(queue_file, capsys):
+    assert cli.main(["analyze", "--explain", "--metrics",
+                     queue_file]) == 0
+    out = capsys.readouterr().out
+    assert "Thm 5.3" in out
+    assert "-- metrics --" in out
+    assert "analysis.variants: 5" in out
+
+
+def test_cli_analyze_trace_flag_and_env(queue_file, capsys,
+                                        monkeypatch):
+    assert cli.main(["analyze", "--trace", queue_file]) == 0
+    assert "analysis:classify" in capsys.readouterr().out
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert cli.main(["analyze", queue_file]) == 0
+    assert "analysis:classify" in capsys.readouterr().out
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    assert cli.main(["analyze", queue_file]) == 0
+    assert "analysis:classify" not in capsys.readouterr().out
+
+
+def test_cli_blocks_json(queue_file, capsys):
+    assert cli.main(["blocks", "--json", queue_file]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    names = {p["name"] for p in doc["procedures"]}
+    assert "AddNode" in names
+    first = doc["procedures"][0]["partitions"][0]
+    assert first["n_blocks"] >= 1 and first["blocks"]
+
+
+def test_cli_mc_metrics_and_json(queue_file, capsys):
+    argv = ["mc", queue_file, "UpdateTail()", "--metrics"]
+    assert cli.main(argv) == 0
+    assert "mc.states_per_s" in capsys.readouterr().out
+    assert cli.main(["mc", "--json", queue_file, "UpdateTail()"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert validate(doc, MC_SCHEMA) == []
+
+
+def test_cli_mc_capped_exits_nonzero(queue_file, capsys):
+    argv = ["mc", queue_file, "AddNode(1)", "AddNode(2)",
+            "--max-states", "5"]
+    code = cli.main(argv)
+    captured = capsys.readouterr()
+    assert code == cli.EXIT_CAPPED
+    assert "CAPPED" in captured.out
+    assert "state cap reached" in captured.err
+    assert "--max-states" in captured.err
+
+
+def test_cli_run_echoes_seed_on_success(queue_file, capsys):
+    assert cli.main(["run", queue_file, "UpdateTail()",
+                     "--seed", "11"]) == 0
+    assert "(seed=11)" in capsys.readouterr().out
+
+
+def test_cli_run_assertion_violation_exits_nonzero(tmp_path, capsys):
+    path = tmp_path / "bad.synl"
+    path.write_text("""
+global X;
+init { X = 0; }
+proc P() {
+  X = 1;
+  assert(X == 2);
+}
+""")
+    assert cli.main(["run", str(path), "P()", "--seed", "5"]) == 1
+    out = capsys.readouterr().out
+    assert "assertion violation" in out
+    assert "(seed=5)" in out
+
+
+# -- config -------------------------------------------------------------------------
+
+def test_obs_config_env_parsing():
+    cfg = ObsConfig.from_env({"REPRO_TRACE": "1"})
+    assert cfg.trace and not cfg.metrics
+    assert not ObsConfig.from_env({"REPRO_TRACE": "off"}).trace
+    assert not ObsConfig.from_env({}).metrics
+    merged = ObsConfig.from_env({"REPRO_METRICS": "yes"}).with_flags(
+        trace=True)
+    assert merged.trace and merged.metrics
