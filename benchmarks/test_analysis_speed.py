@@ -1,8 +1,10 @@
 """Raw analysis throughput across the corpus (not a paper artifact —
 tracks the cost of the full steps 1–7 pipeline).  Each case also
-contributes a ``BENCH_analysis.json`` record (one dedicated timed run:
+contributes a ``BENCH_analysis.json`` record (dedicated timed runs:
 ``pytest-benchmark`` stats are unavailable under
-``--benchmark-disable``, which the CI smoke job uses)."""
+``--benchmark-disable``, which the CI smoke job uses); the extra
+rounds feed a wall-time histogram so the record carries p50/p95/p99
+tail-latency estimates for the regression watchdog."""
 
 import time
 
@@ -10,6 +12,7 @@ import pytest
 
 from repro import corpus
 from repro.analysis import analyze_program
+from repro.obs import Histogram
 
 CASES = {
     "nfq_prime": corpus.NFQ_PRIME,
@@ -19,12 +22,17 @@ CASES = {
     "treiber": corpus.TREIBER_STACK,
 }
 
+ROUNDS = 5
+
 
 @pytest.mark.parametrize("name", sorted(CASES))
 def test_analysis_speed(benchmark, name, bench_collector):
     result = benchmark(analyze_program, CASES[name])
     assert result.verdicts
-    start = time.perf_counter()
-    analyze_program(CASES[name])
-    bench_collector.add_analysis(f"analysis/{name}",
-                                 time.perf_counter() - start)
+    hist = Histogram()
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        analyze_program(CASES[name])
+        hist.observe(time.perf_counter() - start)
+    bench_collector.add_analysis(f"analysis/{name}", hist.min,
+                                 histogram=hist)

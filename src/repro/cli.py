@@ -13,12 +13,15 @@ Thread specs for ``run``/``mc`` are comma-separated call lists, e.g.
 ``"AddNode(1),AddNode(2)"`` or ``"UpdateTail()*"`` (trailing ``*`` =
 repeat forever).
 
-``analyze``/``blocks``/``mc`` accept the observability flags
-``--trace`` (per-phase span timings), ``--metrics`` (counters/gauges)
-and ``--json`` (machine-readable output); ``analyze`` also accepts
-``--explain`` (per-line classification provenance).  ``REPRO_TRACE=1``
-/ ``REPRO_METRICS=1`` enable the same from the environment — see
-docs/OBSERVABILITY.md.
+``analyze``/``blocks``/``variants``/``run``/``mc`` accept the
+observability flags ``--trace`` (per-phase span timings),
+``--metrics`` (counters/gauges), ``--json`` (machine-readable output),
+``--trace-out FILE`` (Chrome/Perfetto trace-event export) and
+``--events-out FILE`` (structured event stream as JSONL); ``analyze``
+also accepts ``--explain`` (per-line classification provenance), and
+``run``/``mc`` accept ``--explain-cex`` (annotated counterexample
+timeline on violation).  ``REPRO_TRACE=1`` / ``REPRO_METRICS=1``
+enable the same from the environment — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -86,7 +89,27 @@ def _obs_setup(args) -> tuple[ObsConfig, Tracer]:
     cfg = ObsConfig.from_env().with_flags(
         trace=getattr(args, "trace", False),
         metrics=getattr(args, "metrics", False))
-    return cfg, Tracer(enabled=cfg.trace)
+    # --trace-out needs recorded spans even without --trace output
+    enabled = cfg.trace or bool(getattr(args, "trace_out", None))
+    return cfg, Tracer(enabled=enabled)
+
+
+def _events_for(args):
+    """An :class:`EventStream` when any sink flag asks for one."""
+    if getattr(args, "trace_out", None) or \
+            getattr(args, "events_out", None):
+        from repro.obs.events import EventStream
+        return EventStream()
+    return None
+
+
+def _write_obs_outputs(args, tracer, events) -> None:
+    if getattr(args, "events_out", None) and events is not None:
+        events.write_jsonl(args.events_out)
+    if getattr(args, "trace_out", None):
+        from repro.obs import chrometrace
+        chrometrace.write_trace(args.trace_out, tracer=tracer,
+                                events=events)
 
 
 def _emit_obs(cfg: ObsConfig, tracer: Tracer, metrics: dict) -> None:
@@ -108,6 +131,7 @@ def _analyze_with_obs(args):
 
 def cmd_analyze(args) -> int:
     cfg, tracer, result = _analyze_with_obs(args)
+    _write_obs_outputs(args, tracer, None)
     if args.json:
         doc = result.to_dict()
         if cfg.trace and not doc.get("trace"):
@@ -129,6 +153,7 @@ def cmd_blocks(args) -> int:
     cfg, tracer, result = _analyze_with_obs(args)
     partitions = {name: partition_procedure(result, name)
                   for name in result.verdicts}
+    _write_obs_outputs(args, tracer, None)
     if args.json:
         doc = {
             "procedures": [
@@ -159,49 +184,121 @@ def cmd_blocks(args) -> int:
 
 
 def cmd_variants(args) -> int:
-    result = analyze_program(_load(args.file))
+    cfg, tracer = _obs_setup(args)
+    with tracer.span("variants:parse-resolve"):
+        program = _load(args.file)
+    result = analyze_program(program, tracer=tracer)
+    _write_obs_outputs(args, tracer, None)
+    if args.json:
+        doc = {"variants": [{"name": v.name,
+                             "procedure": v.proc.name,
+                             "source": pretty(v.proc)}
+                            for v in result.variant_set.variants]}
+        if result.metrics:
+            doc["metrics"] = dict(result.metrics)
+        if cfg.trace:
+            doc["trace"] = tracer.to_dict()
+        print(json.dumps(doc, indent=2))
+        return 0
     for variant in result.variant_set.variants:
         print(pretty(variant.proc))
         print()
+    _emit_obs(cfg, tracer, result.metrics)
     return 0
 
 
+def _explain_cex(args, result, interp):
+    """Annotate a violating path against a fresh analysis of the same
+    source (best-effort: an unanalyzable program still renders the
+    bare timeline)."""
+    from repro.mc.cex import build_cex
+
+    try:
+        analysis = analyze_program(_load(args.file))
+    except ReproError:
+        analysis = None
+    return build_cex(result, interp, analysis)
+
+
 def cmd_run(args) -> int:
-    program = _load(args.file)
-    interp = Interp(program)
+    cfg, tracer = _obs_setup(args)
+    events = _events_for(args)
+    with tracer.span("run:parse-resolve"):
+        program = _load(args.file)
+    interp = Interp(program, events=events)
     specs = [_parse_spec(s) for s in args.threads]
     world = interp.make_world(specs)
-    try:
-        run_random(interp, world, seed=args.seed,
-                   max_steps=args.max_steps)
-    except AssertionViolation as exc:
-        for event in world.history:
-            print(event)
-        print(f"-- assertion violation (seed={args.seed}): {exc}")
-        return 1
+    path_log = [] if (args.explain_cex or args.json) else None
+    violation = None
+    with tracer.span("run:execute", seed=args.seed):
+        try:
+            run_random(interp, world, seed=args.seed,
+                       max_steps=args.max_steps, path_log=path_log,
+                       events=events)
+        except AssertionViolation as exc:
+            violation = str(exc)
+    cex = None
+    if violation is not None and args.explain_cex:
+        from repro.mc.cex import RunResultView
+        cex = _explain_cex(
+            args, RunResultView(violation, path_log), interp)
+    _write_obs_outputs(args, tracer, events)
+    done = all(t.done for t in world.threads)
+    if args.json:
+        doc = {
+            "seed": args.seed,
+            "violation": violation,
+            "done": done,
+            "history": [str(e) for e in world.history],
+        }
+        if path_log is not None:
+            doc["path"] = path_log
+        if cex is not None:
+            doc["counterexample"] = cex.to_dict()
+        if cfg.trace:
+            doc["spans"] = tracer.to_dict()
+        print(json.dumps(doc, indent=2))
+        return 1 if violation is not None else 0
     for event in world.history:
         print(event)
-    done = all(t.done for t in world.threads)
+    if violation is not None:
+        print(f"-- assertion violation (seed={args.seed}): {violation}")
+        if cex is not None:
+            print()
+            print(cex.render())
+        return 1
     status = "all threads done" if done else "step budget exhausted"
     print(f"-- {status} (seed={args.seed})")
+    _emit_obs(cfg, tracer, {})
     return 0
 
 
 def cmd_mc(args) -> int:
     cfg, tracer = _obs_setup(args)
+    events = _events_for(args)
     program = _load(args.file)
-    interp = Interp(program)
+    interp = Interp(program, events=events)
     specs = [_parse_spec(s) for s in args.threads]
     result = Explorer(interp, specs, mode=args.mode,
-                      max_states=args.max_states, tracer=tracer).run()
+                      max_states=args.max_states, tracer=tracer,
+                      events=events).run()
+    cex = None
+    if result.violation and args.explain_cex:
+        cex = _explain_cex(args, result, interp)
+    _write_obs_outputs(args, tracer, events)
     if args.json:
         doc = result.to_dict()
+        if cex is not None:
+            doc["counterexample"] = cex.to_dict()
         if cfg.trace:
             doc["spans"] = tracer.to_dict()
         print(json.dumps(doc, indent=2))
     else:
         print(result)
-        if result.violation:
+        if cex is not None:
+            print()
+            print(cex.render())
+        elif result.violation:
             for step in result.trace:
                 print(f"  {step}")
         _emit_obs(cfg, tracer, result.metrics)
@@ -246,6 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--json", action="store_true",
                      help="emit a machine-readable JSON document "
                           "instead of text")
+    obs.add_argument("--trace-out", metavar="FILE",
+                     help="write spans + event stream as a Chrome/"
+                          "Perfetto trace-event file")
+    obs.add_argument("--events-out", metavar="FILE",
+                     help="write the structured event stream as JSONL")
 
     p = sub.add_parser("analyze", parents=[obs],
                        help="run the atomicity inference")
@@ -262,16 +364,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(fn=cmd_blocks)
 
-    p = sub.add_parser("variants", help="print exceptional variants")
+    p = sub.add_parser("variants", parents=[obs],
+                       help="print exceptional variants")
     p.add_argument("file")
     p.set_defaults(fn=cmd_variants)
 
-    p = sub.add_parser("run", help="execute under a random schedule")
+    p = sub.add_parser("run", parents=[obs],
+                       help="execute under a random schedule")
     p.add_argument("file")
     p.add_argument("threads", nargs="+",
                    help='thread specs, e.g. "Enq(1),Deq()" "Up()*"')
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-steps", type=int, default=100_000)
+    p.add_argument("--explain-cex", action="store_true",
+                   help="on violation, render the interleaving as an "
+                        "annotated per-thread timeline (mover types + "
+                        "theorem citations)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("mc", parents=[obs],
@@ -283,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-states", type=int, default=1_000_000,
                    help="abort the search after N states (a capped "
                         "run exits with status 3)")
+    p.add_argument("--explain-cex", action="store_true",
+                   help="on violation, render the counterexample as "
+                        "an annotated per-thread timeline (mover "
+                        "types + theorem citations)")
     p.set_defaults(fn=cmd_mc)
 
     p = sub.add_parser("experiments",

@@ -10,9 +10,9 @@ from repro.corpus.herlihy import HERLIHY_SMALL
 from repro.corpus.gao_hesselink import (GH_PROGRAM1, GH_PROGRAM2,
                                         GH_FULL, GH_FULL_FIXED)
 from repro.corpus.allocator import ALLOCATOR
-from repro.corpus.extras import (CAS_COUNTER, SEMAPHORE, SPIN_LOCK,
-                                 TREIBER_STACK, LOCKED_REGISTER,
-                                 VERSIONED_CELL)
+from repro.corpus.extras import (BROKEN_SEMAPHORE, CAS_COUNTER,
+                                 SEMAPHORE, SPIN_LOCK, TREIBER_STACK,
+                                 LOCKED_REGISTER, VERSIONED_CELL)
 
 __all__ = [
     "NFQ",
@@ -24,6 +24,7 @@ __all__ = [
     "GH_FULL",
     "GH_FULL_FIXED",
     "ALLOCATOR",
+    "BROKEN_SEMAPHORE",
     "CAS_COUNTER",
     "SEMAPHORE",
     "SPIN_LOCK",

@@ -12,6 +12,10 @@ analysis beyond the paper's four case studies.
   (the paper notes the analysis "applies equally to non-blocking objects
   and blocking objects").
 * ``LOCKED_REGISTER`` — lock-based register exercising Theorem 5.1.
+* ``BROKEN_SEMAPHORE`` — a *non-atomic* semaphore whose stale read
+  outside the LL/SC window both defeats the analysis and gives the
+  model checker a reachable assertion violation (the ``--explain-cex``
+  demo program).
 """
 
 SEMAPHORE = """
@@ -135,6 +139,36 @@ proc GetCell() {
   local r = C in
   local v = r.V in {
     return v;
+  }
+}
+"""
+
+#: A deliberately *non-atomic* semaphore: ``DownBad`` tests the
+#: counter against a *stale* plain read taken outside the LL/SC
+#: window.  With ``Sem = 1`` two concurrent ``DownBad()`` calls can
+#: both pass the test and both decrement, driving the count to ``-1``
+#: and tripping ``assert(Sem >= 0)``.  The stale read defeats the
+#: analysis (no LL match, so it stays a non-mover and the retry loop
+#: is not pure) *and* gives the model checker a reachable violation,
+#: which makes this the canonical demo for the annotated
+#: counterexample timeline (``mc --explain-cex``).
+BROKEN_SEMAPHORE = """
+global Sem;
+
+init { Sem = 1; }
+
+proc DownBad() {
+  local tmp = Sem in {
+    loop {
+      if (tmp > 0) {
+        local cur = LL(Sem) in {
+          if (SC(Sem, cur - 1)) {
+            assert(Sem >= 0);
+            return;
+          }
+        }
+      }
+    }
   }
 }
 """

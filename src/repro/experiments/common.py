@@ -60,14 +60,27 @@ class BenchCollector:
         self.analysis: list[dict] = []
         self.mc: list[dict] = []
 
-    def add_analysis(self, name: str, wall_s: float) -> None:
-        self.analysis.append(bench_record(name, wall_s))
+    @staticmethod
+    def _percentiles(histogram) -> dict | None:
+        if histogram is None or not histogram.count:
+            return None
+        snap = histogram.to_dict()
+        return {k: snap[k] for k in ("p50", "p95", "p99")}
 
-    def add_mc(self, name: str, result) -> None:
+    def add_analysis(self, name: str, wall_s: float,
+                     histogram=None) -> None:
+        """``histogram`` is an optional per-round wall-time
+        :class:`~repro.obs.metrics.Histogram` contributing tail-latency
+        percentiles to the record."""
+        self.analysis.append(bench_record(
+            name, wall_s, percentiles=self._percentiles(histogram)))
+
+    def add_mc(self, name: str, result, histogram=None) -> None:
         """Record an :class:`~repro.mc.explorer.MCResult`."""
-        self.mc.append(bench_record(name, result.elapsed,
-                                    states=result.states,
-                                    transitions=result.transitions))
+        self.mc.append(bench_record(
+            name, result.elapsed, states=result.states,
+            transitions=result.transitions,
+            percentiles=self._percentiles(histogram)))
 
     def write(self, out_dir) -> list[pathlib.Path]:
         out_dir = pathlib.Path(out_dir)

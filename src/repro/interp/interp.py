@@ -47,10 +47,15 @@ class Interp:
 
     def __init__(self, program: A.Program | str,
                  primitives: Optional[dict] = None,
-                 extra_procs: Optional[list[A.Procedure]] = None):
+                 extra_procs: Optional[list[A.Procedure]] = None,
+                 events=None):
         if isinstance(program, str):
             program = load_program(program)
         self.program = program
+        #: optional :class:`repro.obs.events.EventStream` receiving
+        #: ``interp.sc`` / ``interp.cas`` events (None = off; the hot
+        #: path pays one attribute check)
+        self.events = events
         self.primitives = default_primitives()
         if primitives:
             self.primitives.update(primitives)
@@ -438,24 +443,30 @@ class Interp:
         if isinstance(e, A.SCExpr):
             value = self._eval(world, thread, e.value)
             addr = self._addr(world, thread, e.loc)
-            if thread.reservations.get(addr, False):
+            ok = bool(thread.reservations.get(addr, False))
+            if ok:
                 self._store(world, thread, addr, value)
-                return True
-            return False
+            if self.events is not None:
+                self.events.emit("interp.sc", tid=thread.tid,
+                                 addr=repr(addr), ok=ok)
+            return ok
         if isinstance(e, A.CASExpr):
             expected = self._eval(world, thread, e.expected)
             new = self._eval(world, thread, e.new)
             versioned = self._loc_versioned(world, thread, e.loc)
             addr = self._addr(world, thread, e.loc)
             current = self._load(world, thread, addr)
-            if current != expected or (
-                    isinstance(current, bool) != isinstance(expected, bool)):
-                return False
-            if versioned and addr in thread.observed \
+            ok = current == expected and \
+                isinstance(current, bool) == isinstance(expected, bool)
+            if ok and versioned and addr in thread.observed \
                     and thread.observed[addr] != world.versions.get(addr, 0):
-                return False  # the modification counter moved: ABA defence
-            self._store(world, thread, addr, new)
-            return True
+                ok = False  # the modification counter moved: ABA defence
+            if ok:
+                self._store(world, thread, addr, new)
+            if self.events is not None:
+                self.events.emit("interp.cas", tid=thread.tid,
+                                 addr=repr(addr), ok=ok)
+            return ok
         raise InterpError(f"cannot evaluate {type(e).__name__}")
 
     def _binary(self, world: World, thread: Thread, e: A.Binary) -> Value:
@@ -505,12 +516,43 @@ class Interp:
 
 
 def run(interp: Interp, world: World, schedule: Callable[[World, list[int]], int],
-        max_steps: int = 100_000) -> World:
+        max_steps: int = 100_000, path_log: Optional[list] = None,
+        events=None) -> World:
     """Run until all threads are done or the step budget is exhausted.
-    ``schedule(world, enabled)`` picks the next thread id."""
+    ``schedule(world, enabled)`` picks the next thread id.
+
+    ``path_log`` (when given) collects one step dict per executed
+    transition — the same ``{tid, uid, desc, kind, via, proc}`` shape
+    the model checker records on :attr:`MCResult.path` — so a
+    violating schedule can be rendered as an annotated counterexample
+    (:mod:`repro.mc.cex`).  ``events`` receives ``sched.switch``
+    events on every context switch."""
+    last: Optional[int] = None
     for _ in range(max_steps):
         enabled = interp.enabled_threads(world)
         if not enabled:
             return world
-        interp.step(world, schedule(world, enabled))
+        tid = schedule(world, enabled)
+        if events is not None and tid != last:
+            events.emit("sched.switch", tid=tid,
+                        prev=-1 if last is None else last)
+        last = tid
+        if path_log is not None:
+            thread = world.threads[tid]
+            frame = thread.frame
+            if frame is None:
+                name, args = thread.current_call()
+                path_log.append({"tid": tid, "uid": None,
+                                 "desc": f"t{tid}:{name}{args}",
+                                 "kind": "invoke", "via": None,
+                                 "proc": name})
+            else:
+                node = frame.node
+                uid = node.uid if node is not None else None
+                kind = "stmt" if node is not None else "return"
+                path_log.append({"tid": tid, "uid": uid,
+                                 "desc": f"t{tid}@{uid}",
+                                 "kind": kind, "via": None,
+                                 "proc": frame.proc_name})
+        interp.step(world, tid)
     return world

@@ -41,6 +41,12 @@ class MCResult:
     elapsed: float = 0.0
     violation: Optional[str] = None
     trace: list[str] = field(default_factory=list)
+    #: structured counterpart of ``trace`` (only on violation): one
+    #: ``{tid, uid, desc, kind, via}`` dict per transition, enough to
+    #: rebuild an annotated interleaving (:mod:`repro.mc.cex`).
+    #: ``kind`` is ``init`` | ``invoke`` | ``stmt`` | ``atomic``; ``uid``
+    #: is the CFG-node uid for ``stmt`` steps, else ``None``.
+    path: list[dict] = field(default_factory=list)
     capped: bool = False
     #: explorer metrics snapshot (states/sec, canonical-hash cache
     #: hits, ample-set reduction counts, …) — see ``Explorer._finish``
@@ -76,6 +82,16 @@ class _Succ:
     world: Optional[World]
     events: list[Event]
     violation: Optional[str] = None
+    # provenance for counterexample reconstruction
+    tid: int = -1
+    uid: Optional[int] = None        # CFG node uid ('stmt' steps only)
+    kind: str = "stmt"               # 'invoke'|'stmt'|'return'|'atomic'
+    via: Optional[str] = None        # exceptional-variant name, if any
+    proc: Optional[str] = None       # procedure being executed/invoked
+
+    def step_info(self) -> dict:
+        return {"tid": self.tid, "uid": self.uid, "desc": self.desc,
+                "kind": self.kind, "via": self.via, "proc": self.proc}
 
 
 class Explorer:
@@ -88,7 +104,7 @@ class Explorer:
                  commutes: Optional[Callable] = None,
                  collect_quiescent: bool = False,
                  atomic_step_budget: int = 10_000,
-                 tracer=None):
+                 tracer=None, events=None):
         if mode not in ("full", "por", "atomic", "both"):
             raise ValueError(f"unknown mode {mode!r}")
         self.interp = interp
@@ -103,6 +119,10 @@ class Explorer:
         self.atomic_step_budget = atomic_step_budget
         self.safety = SafetyCache()
         self.tracer = tracer or NULL_TRACER
+        #: optional :class:`repro.obs.events.EventStream` receiving
+        #: ``mc.push`` / ``mc.pop`` / ``mc.ample`` / ``mc.violation`` /
+        #: ``mc.cap`` events (None = off)
+        self.events = events
         # ample-set bookkeeping (plain ints: DFS is single-threaded)
         self._ample_reduced = 0
         self._ample_full = 0
@@ -111,15 +131,25 @@ class Explorer:
     def _step_thread(self, world: World, tid: int) -> _Succ:
         w = world.copy()
         thread = w.threads[tid]
-        node = thread.frame.node if thread.frame is not None else None
+        frame = thread.frame
+        node = frame.node if frame is not None else None
+        uid = node.uid if node is not None else None
+        if frame is None:
+            kind, proc = "invoke", thread.current_call()[0]
+        else:
+            kind = "stmt" if node is not None else "return"
+            proc = frame.proc_name
         desc = f"t{tid}@{node.uid if node else 'call'}"
         try:
             event = self.interp.step(w, tid)
         except AssumeFailed:
-            return _Succ(desc, None, [])
+            return _Succ(desc, None, [], tid=tid, uid=uid, kind=kind,
+                         proc=proc)
         except AssertionViolation as exc:
-            return _Succ(desc, None, [], violation=str(exc))
-        return _Succ(desc, w, [event] if event is not None else [])
+            return _Succ(desc, None, [], violation=str(exc),
+                         tid=tid, uid=uid, kind=kind, proc=proc)
+        return _Succ(desc, w, [event] if event is not None else [],
+                     tid=tid, uid=uid, kind=kind, proc=proc)
 
     def _interleaved(self, world: World,
                      on_stack: set) -> list[_Succ]:
@@ -136,6 +166,8 @@ class Explorer:
                 if state_key(succ.world) in on_stack:
                     continue  # cycle proviso: fall back to full expansion
                 self._ample_reduced += 1
+                if self.events is not None:
+                    self.events.emit("mc.ample", tid=tid, desc=succ.desc)
                 return [succ]
             self._ample_full += 1
         return [self._step_thread(world, tid) for tid in enabled]
@@ -149,12 +181,16 @@ class Explorer:
                                       world, tid, vname,
                                       self.atomic_step_budget)
                 out.append(_Succ(outcome.desc, outcome.world,
-                                 outcome.events, outcome.violation))
+                                 outcome.events, outcome.violation,
+                                 tid=tid, kind="atomic", via=vname,
+                                 proc=name))
             return out
+        name, _args = world.threads[tid].current_call()
         outcome = run_to_commit(self.interp, world, tid,
                                 self.atomic_step_budget)
         return [_Succ(outcome.desc, outcome.world, outcome.events,
-                      outcome.violation)]
+                      outcome.violation, tid=tid, kind="atomic",
+                      proc=name)]
 
     def _atomic(self, world: World, on_stack: set) -> list[_Succ]:
         live = [t.tid for t in world.threads if not t.done]
@@ -177,6 +213,9 @@ class Explorer:
                 if any(state_key(s.world) in on_stack for s in real):
                     continue
                 self._ample_reduced += 1
+                if self.events is not None:
+                    self.events.emit("mc.ample", tid=tid,
+                                     desc=real[0].desc)
                 return succs
         if self.mode == "both":
             self._ample_full += 1
@@ -276,23 +315,36 @@ class Explorer:
         dfs_span = self.tracer.span("mc:dfs")
         dfs_span.__enter__()
         on_stack = {key0[0]}
-        # stack entries: (key, world, ghosts, successor list, index, desc)
-        stack = [[key0, world0, ghosts0, None, 0, "init"]]
+        init_step = {"tid": -1, "uid": None, "desc": "init",
+                     "kind": "init", "via": None}
+
+        def record_violation(message: str, succ: _Succ) -> None:
+            result.violation = message
+            result.path = [dict(e[5]) for e in stack] \
+                + [succ.step_info()]
+            result.trace = [s["desc"] for s in result.path]
+            if self.events is not None:
+                self.events.emit("mc.violation", desc=succ.desc,
+                                 message=message)
+
+        # stack entries: (key, world, ghosts, successor list, index, step)
+        stack = [[key0, world0, ghosts0, None, 0, init_step]]
         while stack:
             entry = stack[-1]
-            key, world, ghosts, succs, index, _desc = entry
+            key, world, ghosts, succs, index, _step = entry
             if succs is None:
                 succs = self._successors(world, on_stack)
                 entry[3] = succs
             if index >= len(succs):
                 stack.pop()
                 on_stack.discard(key[0])
+                if self.events is not None:
+                    self.events.emit("mc.pop", depth=len(stack))
                 continue
             entry[4] += 1
             succ = succs[index]
             if succ.violation is not None:
-                result.violation = succ.violation
-                result.trace = [e[5] for e in stack] + [succ.desc]
+                record_violation(succ.violation, succ)
                 break
             if succ.world is None:
                 continue  # disabled transition
@@ -306,19 +358,23 @@ class Explorer:
             result.states += 1
             message = self._check(succ.world, new_ghosts)
             if message is not None:
-                result.violation = message
-                result.trace = [e[5] for e in stack] + [succ.desc]
+                record_violation(message, succ)
                 break
             record_quiescent(succ.world)
             if self.max_states is not None \
                     and result.states >= self.max_states:
                 result.capped = True
+                if self.events is not None:
+                    self.events.emit("mc.cap", states=result.states)
                 break
             on_stack.add(new_key[0])
             stack.append([new_key, succ.world, new_ghosts, None, 0,
-                          succ.desc])
+                          succ.step_info()])
             if len(stack) > max_depth:
                 max_depth = len(stack)
+            if self.events is not None:
+                self.events.emit("mc.push", depth=len(stack),
+                                 desc=succ.desc, states=result.states)
         dfs_span.__exit__(None, None, None)
 
         return self._finish(result, start, cache_hits, max_depth)

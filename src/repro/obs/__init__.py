@@ -8,7 +8,14 @@ Three concerns, one package:
   (states/sec, canonical-hash cache hits, ample-set reduction ratio,
   per-theorem exclusion counts, …);
 * :mod:`repro.obs.provenance` — per-action justification chains naming
-  the theorem (5.1/5.3/5.4/5.5, …) behind every mover classification.
+  the theorem (5.1/5.3/5.4/5.5, …) behind every mover classification;
+* :mod:`repro.obs.events` — a schema-versioned, bounded structured
+  event stream (ring buffer + optional JSONL sink) fed by the model
+  checker, the scheduler, and the dynamic checker;
+* :mod:`repro.obs.chrometrace` — span-tree + event-stream export in
+  Chrome trace-event format (``--trace-out``, loadable in Perfetto);
+* :mod:`repro.obs.regress` — the bench regression watchdog
+  (``python -m repro.obs.regress``).
 
 :mod:`repro.obs.export` serializes analysis/model-checking results (and
 the ``BENCH_*.json`` benchmark records) against small self-validated
@@ -20,12 +27,14 @@ JSON schemas; :mod:`repro.obs.config` reads the ``REPRO_TRACE`` /
 """
 
 from repro.obs.config import ObsConfig
+from repro.obs.events import EventStream
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
 from repro.obs.provenance import Justification
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
 
 __all__ = [
     "Counter",
+    "EventStream",
     "Gauge",
     "Histogram",
     "Justification",

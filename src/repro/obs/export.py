@@ -131,6 +131,20 @@ ANALYSIS_SCHEMA = {
     },
 }
 
+PATH_STEP_SCHEMA = {
+    "type": "object",
+    "required": ["tid", "desc", "kind"],
+    "properties": {
+        "tid": {"type": "integer"},
+        "uid": {"type": ["integer", "null"]},
+        "desc": {"type": "string"},
+        "kind": {"type": "string",
+                 "enum": ["init", "invoke", "stmt", "return", "atomic"]},
+        "via": {"type": ["string", "null"]},
+        "proc": {"type": ["string", "null"]},
+    },
+}
+
 MC_SCHEMA = {
     "type": "object",
     "required": ["mode", "states", "transitions", "elapsed_s",
@@ -145,7 +159,41 @@ MC_SCHEMA = {
         "violation": {"type": ["string", "null"]},
         "capped": {"type": "boolean"},
         "trace": {"type": "array", "items": {"type": "string"}},
+        "path": {"type": "array", "items": PATH_STEP_SCHEMA},
         "metrics": {"type": "object"},
+        "counterexample": {"type": "object"},
+    },
+}
+
+CEX_STEP_SCHEMA = {
+    "type": "object",
+    "required": ["seq", "tid", "kind", "desc", "text", "mover",
+                 "citation", "theorems"],
+    "properties": {
+        "seq": {"type": "integer"},
+        "tid": {"type": "integer"},
+        "kind": {"type": "string",
+                 "enum": ["invoke", "stmt", "return", "atomic"]},
+        "desc": {"type": "string"},
+        "text": {"type": "string"},
+        "proc": {"type": ["string", "null"]},
+        "variant": {"type": ["string", "null"]},
+        "mover": {"type": "string"},
+        "citation": {"type": "string"},
+        "theorems": {"type": "array", "items": {"type": "string"}},
+        "provenance": {"type": "array", "items": JUSTIFICATION_SCHEMA},
+    },
+}
+
+CEX_SCHEMA = {
+    "type": "object",
+    "required": ["v", "violation", "mode", "annotated", "steps"],
+    "properties": {
+        "v": {"type": "integer"},
+        "violation": {"type": "string"},
+        "mode": {"type": "string"},
+        "annotated": {"type": "boolean"},
+        "steps": {"type": "array", "items": CEX_STEP_SCHEMA},
     },
 }
 
@@ -159,6 +207,15 @@ BENCH_RECORD_SCHEMA = {
         "states": {"type": "integer"},
         "transitions": {"type": "integer"},
         "states_per_s": {"type": "number"},
+        "percentiles": {
+            "type": "object",
+            "required": ["p50", "p95", "p99"],
+            "properties": {
+                "p50": {"type": "number"},
+                "p95": {"type": "number"},
+                "p99": {"type": "number"},
+            },
+        },
     },
 }
 
@@ -182,6 +239,9 @@ def mc_to_dict(result) -> dict:
         "trace": list(result.trace),
         "metrics": dict(getattr(result, "metrics", {}) or {}),
     }
+    path = getattr(result, "path", None)
+    if path:
+        out["path"] = [dict(step) for step in path]
     return out
 
 
@@ -235,10 +295,14 @@ def analysis_to_dict(result, include_provenance: bool = True) -> dict:
 # -- benchmark records ---------------------------------------------------------
 
 def bench_record(name: str, wall_s: float, states: int = 0,
-                 transitions: int = 0) -> dict:
+                 transitions: int = 0,
+                 percentiles: Optional[dict] = None) -> dict:
     """One ``BENCH_*.json`` entry; ``states_per_s`` is 0 for records
-    with no state count (pure analysis timings)."""
-    return {
+    with no state count (pure analysis timings).  ``percentiles`` is
+    an optional ``{p50, p95, p99}`` dict of per-round wall times (from
+    :meth:`repro.obs.metrics.Histogram.to_dict`) so the regression
+    watchdog can gate tail latency, not just the headline number."""
+    out = {
         "name": name,
         "wall_s": round(float(wall_s), 6),
         "states": int(states),
@@ -246,6 +310,10 @@ def bench_record(name: str, wall_s: float, states: int = 0,
         "states_per_s": round(states / wall_s, 3)
         if wall_s > 0 and states else 0.0,
     }
+    if percentiles is not None:
+        out["percentiles"] = {k: round(float(percentiles[k]), 6)
+                              for k in ("p50", "p95", "p99")}
+    return out
 
 
 def write_bench(path: Union[str, pathlib.Path],

@@ -4,7 +4,8 @@ Three instrument kinds, one registry:
 
 * :class:`Counter` — monotonically increasing (``inc``);
 * :class:`Gauge` — last-write-wins scalar (``set``);
-* :class:`Histogram` — streaming count/sum/min/max/mean (``observe``).
+* :class:`Histogram` — streaming count/sum/min/max/mean plus
+  fixed-bucket p50/p95/p99 estimates (``observe``).
 
 All instruments take an internal lock per update, so they aggregate
 correctly when the explorer or test harness drives them from several
@@ -15,13 +16,34 @@ and flush them into the registry once at the end — the registry is the
 
 ``snapshot()`` flattens everything into a JSON-ready ``dict``:
 counters/gauges as numbers, histograms as
-``{count, total, min, max, mean}`` sub-dicts.
+``{count, total, min, max, mean, p50, p95, p99}`` sub-dicts.
+
+Percentiles use fixed log-spaced buckets (4 per power of two, so the
+upper-bound estimate is within ~19% of the true value) rather than
+kept samples: memory stays O(1) per histogram no matter how many
+observations, which matters when the DFS loop observes per-state
+timings.  Estimates are clamped to the observed min/max, so histograms
+with a single value report it exactly.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Optional, Union
+
+#: log-spaced bucket resolution: boundaries at ``2**(i / 4)``
+_BUCKETS_PER_OCTAVE = 4
+#: quarter-octave index clamp — covers ~1e-9 .. ~1e9
+_BUCKET_LO = -30 * _BUCKETS_PER_OCTAVE
+_BUCKET_HI = 30 * _BUCKETS_PER_OCTAVE
+
+
+def _bucket_index(value: float) -> int:
+    if value <= 0:
+        return _BUCKET_LO
+    i = math.floor(math.log2(value) * _BUCKETS_PER_OCTAVE)
+    return max(_BUCKET_LO, min(_BUCKET_HI, i))
 
 
 class Counter:
@@ -61,15 +83,17 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary statistics (no buckets, no samples kept)."""
+    """Streaming summary statistics over sparse log-spaced buckets
+    (no samples kept; percentiles are upper-bound estimates)."""
 
-    __slots__ = ("count", "total", "min", "max", "_lock")
+    __slots__ = ("count", "total", "min", "max", "_buckets", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._buckets: dict[int, int] = {}
         self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
@@ -80,15 +104,39 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            index = _bucket_index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (``0 < q <= 1``): the upper bound
+        of the bucket holding the rank-``ceil(q * count)`` sample,
+        clamped to the observed range."""
+        with self._lock:
+            if not self.count:
+                return None
+            rank = max(1, math.ceil(q * self.count))
+            seen = 0
+            for index in sorted(self._buckets):
+                seen += self._buckets[index]
+                if seen >= rank:
+                    upper = 2 ** ((index + 1) / _BUCKETS_PER_OCTAVE)
+                    return max(self.min, min(self.max, upper))
+            return self.max  # pragma: no cover — rank <= count
+
     def to_dict(self) -> dict:
+        def rounded(value: Optional[float]) -> Optional[float]:
+            return round(value, 9) if value is not None else None
+
         return {"count": self.count, "total": self.total,
                 "min": self.min, "max": self.max,
-                "mean": round(self.mean, 9)}
+                "mean": round(self.mean, 9),
+                "p50": rounded(self.percentile(0.50)),
+                "p95": rounded(self.percentile(0.95)),
+                "p99": rounded(self.percentile(0.99))}
 
 
 class MetricsRegistry:

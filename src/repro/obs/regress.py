@@ -1,0 +1,303 @@
+"""Bench regression watchdog: gate fresh ``BENCH_*.json`` files
+against committed baselines.
+
+The benchmark suite writes machine-readable perf records
+(``benchmarks/out/BENCH_analysis.json`` / ``BENCH_mc.json``, schema in
+:mod:`repro.obs.export`).  This module compares a fresh set against
+the committed baselines under ``benchmarks/baselines/`` with
+per-metric relative thresholds:
+
+* ``wall_s`` — regression when more than 25% *slower*;
+* ``states_per_s`` — regression when more than 25% lower throughput;
+* ``percentiles.p95`` — regression when tail latency grew over 30%
+  (only checked when both sides carry percentiles).
+
+Timings under a 5 ms noise floor are never flagged (interpreter-level
+micro-benchmarks jitter far more than 25% at that scale); state or
+transition *count* changes are reported as notes, not failures — the
+searches are deterministic, so a count drift means the checker itself
+changed and the baseline wants a refresh.
+
+Every check appends one JSON line to an append-only history file
+(``benchmarks/out/REGRESS_history.jsonl`` by default), giving CI a
+perf trajectory that survives baseline refreshes.
+
+CLI (also ``python -m repro.obs.regress``)::
+
+    python -m repro.obs.regress --check benchmarks/out
+    python -m repro.obs.regress --check benchmarks/out --update
+    python -m repro.obs.regress --check benchmarks/out --json
+
+Exit codes: 0 = within thresholds, 1 = regression, 2 = usage error
+(missing files, malformed records).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.obs.export import validate_bench_file
+
+#: maximum allowed relative increase (wall_s, p95) / decrease
+#: (states_per_s) before a record is flagged
+DEFAULT_THRESHOLDS = {
+    "wall_s": 0.25,
+    "states_per_s": 0.25,
+    "p95": 0.30,
+}
+
+#: timings at or below this are pure scheduler jitter — never flagged
+NOISE_FLOOR_S = 0.005
+
+#: the file pair the watchdog knows about
+BENCH_FILES = ("BENCH_analysis.json", "BENCH_mc.json")
+
+DEFAULT_HISTORY = "REGRESS_history.jsonl"
+
+
+@dataclass
+class Finding:
+    """One comparison outcome for (record, metric)."""
+
+    file: str
+    name: str
+    metric: str
+    severity: str            # 'regression' | 'note'
+    message: str
+    baseline: Optional[float] = None
+    fresh: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"file": self.file, "name": self.name,
+                     "metric": self.metric, "severity": self.severity,
+                     "message": self.message}
+        if self.baseline is not None:
+            out["baseline"] = self.baseline
+        if self.fresh is not None:
+            out["fresh"] = self.fresh
+        return out
+
+    def render(self) -> str:
+        flag = "REGRESSION" if self.severity == "regression" else "note"
+        return f"[{flag}] {self.file} {self.name}: {self.message}"
+
+
+def _pct(new: float, old: float) -> float:
+    return (new - old) / old * 100.0
+
+
+def compare_records(fresh: list[dict], baseline: list[dict],
+                    thresholds: Optional[dict] = None,
+                    file: str = "") -> list[Finding]:
+    """Compare two record lists (matched by ``name``)."""
+    limits = dict(DEFAULT_THRESHOLDS, **(thresholds or {}))
+    by_name = {r["name"]: r for r in baseline}
+    findings: list[Finding] = []
+    seen = set()
+    for record in fresh:
+        name = record["name"]
+        seen.add(name)
+        base = by_name.get(name)
+        if base is None:
+            findings.append(Finding(
+                file, name, "presence", "note",
+                "new record with no committed baseline"))
+            continue
+        findings.extend(_compare_one(file, name, record, base, limits))
+    for name in sorted(set(by_name) - seen):
+        findings.append(Finding(
+            file, name, "presence", "regression",
+            "baseline record missing from the fresh run"))
+    return findings
+
+
+def _compare_one(file: str, name: str, fresh: dict, base: dict,
+                 limits: dict) -> list[Finding]:
+    out: list[Finding] = []
+
+    def slower(metric: str, new: float, old: float, limit: float,
+               floor: float = 0.0) -> None:
+        if max(new, old) <= floor:
+            return
+        if old > 0 and new > old * (1 + limit):
+            out.append(Finding(
+                file, name, metric, "regression",
+                f"{metric} {old:.6g} -> {new:.6g} "
+                f"(+{_pct(new, old):.1f}%, limit +{limit * 100:.0f}%)",
+                baseline=old, fresh=new))
+
+    slower("wall_s", fresh["wall_s"], base["wall_s"],
+           limits["wall_s"], floor=NOISE_FLOOR_S)
+
+    new_rate, old_rate = fresh["states_per_s"], base["states_per_s"]
+    # rate gating only matters for real searches, and only when the
+    # baseline wall time clears the noise floor
+    if old_rate > 0 and base["wall_s"] > NOISE_FLOOR_S \
+            and new_rate < old_rate * (1 - limits["states_per_s"]):
+        out.append(Finding(
+            file, name, "states_per_s", "regression",
+            f"states_per_s {old_rate:.6g} -> {new_rate:.6g} "
+            f"({_pct(new_rate, old_rate):.1f}%, limit "
+            f"-{limits['states_per_s'] * 100:.0f}%)",
+            baseline=old_rate, fresh=new_rate))
+
+    fresh_p = fresh.get("percentiles")
+    base_p = base.get("percentiles")
+    if fresh_p and base_p:
+        slower("p95", fresh_p["p95"], base_p["p95"],
+               limits["p95"], floor=NOISE_FLOOR_S)
+
+    for metric in ("states", "transitions"):
+        if fresh[metric] != base[metric]:
+            out.append(Finding(
+                file, name, metric, "note",
+                f"{metric} changed {base[metric]} -> {fresh[metric]} "
+                f"(deterministic search drift — refresh the baseline "
+                f"if intended)",
+                baseline=float(base[metric]),
+                fresh=float(fresh[metric])))
+    return out
+
+
+def check_dir(out_dir: Union[str, pathlib.Path],
+              baseline_dir: Union[str, pathlib.Path],
+              thresholds: Optional[dict] = None) -> dict:
+    """Compare every known bench file present in ``out_dir`` against
+    its committed baseline.  Returns a JSON-ready report; raises
+    ``ValueError`` when a present file is malformed or has no
+    baseline."""
+    out_dir = pathlib.Path(out_dir)
+    baseline_dir = pathlib.Path(baseline_dir)
+    findings: list[Finding] = []
+    compared: list[str] = []
+    for filename in BENCH_FILES:
+        fresh_path = out_dir / filename
+        if not fresh_path.exists():
+            continue
+        baseline_path = baseline_dir / filename
+        if not baseline_path.exists():
+            raise ValueError(
+                f"{fresh_path} has no baseline {baseline_path} — "
+                f"run with --update to record one")
+        fresh = validate_bench_file(fresh_path)
+        baseline = validate_bench_file(baseline_path)
+        findings.extend(compare_records(fresh, baseline, thresholds,
+                                        file=filename))
+        compared.append(filename)
+    if not compared:
+        raise ValueError(f"no {' / '.join(BENCH_FILES)} under {out_dir}")
+    regressions = [f for f in findings if f.severity == "regression"]
+    return {
+        "compared": compared,
+        "status": "regression" if regressions else "ok",
+        "regressions": len(regressions),
+        "notes": len(findings) - len(regressions),
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
+def update_baselines(out_dir: Union[str, pathlib.Path],
+                     baseline_dir: Union[str, pathlib.Path]
+                     ) -> list[pathlib.Path]:
+    """Copy (validated) fresh bench files over the baselines."""
+    out_dir = pathlib.Path(out_dir)
+    baseline_dir = pathlib.Path(baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for filename in BENCH_FILES:
+        fresh_path = out_dir / filename
+        if not fresh_path.exists():
+            continue
+        validate_bench_file(fresh_path)
+        target = baseline_dir / filename
+        target.write_text(fresh_path.read_text())
+        written.append(target)
+    if not written:
+        raise ValueError(f"no bench files under {out_dir} to promote")
+    return written
+
+
+def append_history(path: Union[str, pathlib.Path],
+                   report: dict) -> pathlib.Path:
+    """Append one summary line (never rewrites earlier entries)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "at": round(time.time(), 3),
+        "status": report["status"],
+        "regressions": report["regressions"],
+        "notes": report["notes"],
+        "compared": report["compared"],
+    }
+    with path.open("a") as handle:
+        handle.write(json.dumps(entry) + "\n")
+    return path
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="compare fresh BENCH_*.json files against "
+                    "committed baselines")
+    parser.add_argument("--check", metavar="DIR",
+                        default="benchmarks/out",
+                        help="directory holding the fresh bench files "
+                             "(default: benchmarks/out)")
+    parser.add_argument("--baselines", metavar="DIR",
+                        default="benchmarks/baselines",
+                        help="committed baseline directory "
+                             "(default: benchmarks/baselines)")
+    parser.add_argument("--update", action="store_true",
+                        help="promote the fresh files to baselines "
+                             "instead of checking")
+    parser.add_argument("--history", metavar="FILE",
+                        help="append-only JSONL perf history (default: "
+                             "<check-dir>/REGRESS_history.jsonl; "
+                             "'-' disables)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        try:
+            written = update_baselines(args.check, args.baselines)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for path in written:
+            print(f"baseline updated: {path}")
+        return 0
+
+    try:
+        report = check_dir(args.check, args.baselines)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    history = args.history
+    if history != "-":
+        if history is None:
+            history = pathlib.Path(args.check) / DEFAULT_HISTORY
+        append_history(history, report)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in report["findings"]:
+            flag = ("REGRESSION" if finding["severity"] == "regression"
+                    else "note")
+            print(f"[{flag}] {finding['file']} {finding['name']}: "
+                  f"{finding['message']}")
+        print(f"{report['status']}: {report['regressions']} "
+              f"regression(s), {report['notes']} note(s) across "
+              f"{', '.join(report['compared'])}")
+    return 1 if report["status"] == "regression" else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

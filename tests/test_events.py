@@ -1,0 +1,178 @@
+"""The structured event stream: ring bounds, schema round-trips, and
+the emitters in the explorer, interpreter, scheduler, and dynamic
+checker."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import corpus
+from repro.dynamic import TracingInterp
+from repro.interp import Interp, ThreadSpec, run_random
+from repro.mc import Explorer
+from repro.obs.events import (EVENT_SCHEMA, KINDS, EventStream,
+                              read_jsonl)
+from repro.obs.export import validate
+from repro.synl.parser import parse_program
+from repro.synl.resolve import resolve
+
+
+# -- the stream itself -------------------------------------------------------------
+
+def test_emit_stamps_version_seq_and_clock():
+    stream = EventStream()
+    first = stream.emit("sched.seed", seed=7)
+    second = stream.emit("sched.switch", tid=1, prev=0)
+    assert first["v"] == 1 and first["seq"] == 0 and first["seed"] == 7
+    assert second["seq"] == 1
+    assert second["t"] >= first["t"]
+    assert len(stream) == stream.emitted == 2
+    assert stream.dropped == 0
+
+
+def test_ring_bounds_and_drop_accounting():
+    stream = EventStream(capacity=8)
+    for i in range(20):
+        stream.emit("mc.pop", depth=i)
+    assert len(stream) == 8
+    assert stream.emitted == 20
+    assert stream.dropped == 12
+    depths = [e["depth"] for e in stream.snapshot()]
+    assert depths == list(range(12, 20))  # oldest evicted first
+
+
+def test_snapshot_filters_by_kind():
+    stream = EventStream()
+    stream.emit("mc.pop", depth=1)
+    stream.emit("sched.seed", seed=0)
+    stream.emit("mc.pop", depth=0)
+    assert [e["depth"] for e in stream.snapshot("mc.pop")] == [1, 0]
+    assert stream.snapshot("interp.sc") == []
+
+
+def test_sink_outlives_ring_eviction():
+    sink = io.StringIO()
+    stream = EventStream(capacity=2, sink=sink)
+    for i in range(5):
+        stream.emit("mc.pop", depth=i)
+    stream.close()
+    lines = [json.loads(l) for l in sink.getvalue().splitlines()]
+    assert [e["depth"] for e in lines] == [0, 1, 2, 3, 4]
+    assert len(stream) == 2  # ring kept only the tail
+
+
+def test_jsonl_roundtrip_validates_schema(tmp_path):
+    stream = EventStream()
+    stream.emit("interp.sc", tid=0, addr="('g', 'Sem')", ok=True)
+    stream.emit("mc.violation", desc="t0@9", message="assertion failed")
+    path = stream.write_jsonl(tmp_path / "events.jsonl")
+    events = read_jsonl(path)
+    assert [e["kind"] for e in events] == ["interp.sc", "mc.violation"]
+    assert events[0]["ok"] is True
+
+
+def test_read_jsonl_rejects_unknown_kind(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"v": 1, "seq": 0, "t": 0.0, "kind": "nope"}\n')
+    with pytest.raises(ValueError):
+        read_jsonl(path)
+
+
+def test_file_sink_and_context_manager(tmp_path):
+    path = tmp_path / "sink.jsonl"
+    with EventStream(sink=path) as stream:
+        stream.emit("sched.seed", seed=3)
+    events = read_jsonl(path)
+    assert events[0]["seed"] == 3
+
+
+def test_every_declared_kind_passes_schema():
+    stream = EventStream()
+    for kind, fields in KINDS.items():
+        event = stream.emit(kind, **{f: 0 for f in fields})
+        assert validate(event, EVENT_SCHEMA) == [], kind
+
+
+# -- emitters ----------------------------------------------------------------------
+
+def test_explorer_emits_push_pop_violation():
+    events = EventStream()
+    program = parse_program(corpus.BROKEN_SEMAPHORE)
+    resolve(program)
+    interp = Interp(program, events=events)
+    specs = [ThreadSpec.of(("DownBad",)), ThreadSpec.of(("DownBad",))]
+    result = Explorer(interp, specs, mode="full",
+                      events=events).run()
+    assert result.violation
+    kinds = {e["kind"] for e in events.snapshot()}
+    assert {"mc.push", "mc.pop", "mc.violation"} <= kinds
+    (violation,) = events.snapshot("mc.violation")
+    assert violation["message"] == result.violation
+    pushes = events.snapshot("mc.push")
+    assert pushes[0]["states"] >= 1
+    assert all(p["depth"] >= 1 for p in pushes)
+
+
+def test_explorer_emits_ample_in_por_mode():
+    events = EventStream()
+    interp = Interp(corpus.NFQ_PRIME, events=events)
+    specs = [ThreadSpec.of(("AddNode", 1)), ThreadSpec.of(("DeqP",))]
+    result = Explorer(interp, specs, mode="por", events=events).run()
+    assert result.violation is None
+    amples = events.snapshot("mc.ample")
+    assert amples and all("tid" in e and "desc" in e for e in amples)
+
+
+def test_interpreter_emits_sc_events_and_sched_metadata():
+    events = EventStream()
+    interp = Interp(corpus.SEMAPHORE, events=events)
+    world = interp.make_world([ThreadSpec.of(("Down",)),
+                               ThreadSpec.of(("Up",))])
+    run_random(interp, world, seed=1, events=events)
+    (seed_ev,) = events.snapshot("sched.seed")
+    assert seed_ev["seed"] == 1
+    scs = events.snapshot("interp.sc")
+    assert scs and any(e["ok"] for e in scs)
+    assert all("Sem" in e["addr"] for e in scs)
+    switches = events.snapshot("sched.switch")
+    assert switches and switches[0]["prev"] == -1
+
+
+def test_interpreter_emits_cas_events():
+    events = EventStream()
+    interp = Interp(corpus.CAS_COUNTER, events=events)
+    world = interp.make_world([ThreadSpec.of(("Inc",))])
+    run_random(interp, world, seed=0, events=events)
+    cas = events.snapshot("interp.cas")
+    assert cas and cas[-1]["ok"] is True
+
+
+def test_dynamic_checker_emits_invocations_and_verdicts():
+    events = EventStream()
+    interp = TracingInterp(corpus.SEMAPHORE, events=events)
+    world = interp.make_world([ThreadSpec.of(("Down",)),
+                               ThreadSpec.of(("Up",))])
+    run_random(interp, world, seed=0, events=events)
+    interp.checker.verdicts()
+    invocations = events.snapshot("dyn.invocation")
+    assert {e["proc"] for e in invocations} == {"Down", "Up"}
+    verdicts = events.snapshot("dyn.verdict")
+    assert {e["proc"] for e in verdicts} == {"Down", "Up"}
+    assert all(isinstance(e["atomic"], bool) for e in verdicts)
+
+
+def test_run_path_log_matches_schema():
+    from repro.obs.export import PATH_STEP_SCHEMA
+
+    interp = Interp(corpus.SEMAPHORE)
+    world = interp.make_world([ThreadSpec.of(("Down",))])
+    path_log: list = []
+    run_random(interp, world, seed=0, path_log=path_log)
+    assert path_log and path_log[0]["kind"] == "invoke"
+    for step in path_log:
+        assert validate(step, PATH_STEP_SCHEMA) == []
+    assert any(s["kind"] == "stmt" and s["uid"] is not None
+               for s in path_log)

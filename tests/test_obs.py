@@ -126,6 +126,56 @@ def test_registry_snapshot_and_histogram():
 
 def test_histogram_empty_mean():
     assert Histogram().mean == 0.0
+    empty = Histogram().to_dict()
+    assert empty["p50"] is None and empty["p95"] is None
+
+
+def test_histogram_percentiles_single_value_exact():
+    h = Histogram()
+    h.observe(0.25)
+    assert h.percentile(0.5) == 0.25
+    assert h.percentile(0.99) == 0.25
+
+
+def test_histogram_percentiles_bucketed_estimates():
+    h = Histogram()
+    for v in range(1, 101):  # 1..100
+        h.observe(float(v))
+    # log-bucket estimates are upper bounds within ~19% of the truth
+    p50, p95, p99 = (h.percentile(q) for q in (0.50, 0.95, 0.99))
+    assert 50 <= p50 <= 50 * 1.19
+    assert 95 <= p95 <= 95 * 1.19
+    assert 99 <= p99 <= 99 * 1.19
+    assert p50 <= p95 <= p99 <= h.max
+    snap = h.to_dict()
+    assert snap["p50"] == pytest.approx(p50)
+
+
+def test_histogram_percentiles_clamped_and_nonpositive():
+    h = Histogram()
+    h.observe(0.0)     # lands in the underflow bucket
+    h.observe(-1.0)
+    h.observe(2.0)
+    # underflow bucket: a tiny upper bound, clamped to observed range
+    assert h.min <= h.percentile(0.01) <= 1e-8
+    assert h.percentile(1.0) <= h.max
+
+
+def test_bench_record_carries_percentiles():
+    h = Histogram()
+    for v in (0.01, 0.02, 0.04):
+        h.observe(v)
+    snap = h.to_dict()
+    record = bench_record("x", 0.01, percentiles={
+        k: snap[k] for k in ("p50", "p95", "p99")})
+    assert validate([record], BENCH_FILE_SCHEMA) == []
+    assert record["percentiles"]["p95"] >= record["percentiles"]["p50"]
+    collector = BenchCollector()
+    collector.add_analysis("analysis/x", 0.01, histogram=h)
+    collector.add_analysis("analysis/empty", 0.01,
+                           histogram=Histogram())
+    assert "percentiles" in collector.analysis[0]
+    assert "percentiles" not in collector.analysis[1]
 
 
 # -- schema validation -------------------------------------------------------------
@@ -254,6 +304,39 @@ def test_explain_names_thm53_on_matching_ll_lines(nfq_prime_analysis):
     # rendered --explain output names the theorem on those lines
     text = render_figure(nfq_prime_analysis, explain=True)
     assert "matching LL" in text and "Thm 5.3" in text
+
+
+def test_explain_names_thm54_on_cas_counter():
+    result = analyze_program(corpus.CAS_COUNTER)
+    justifications = [
+        j
+        for verdict in result.verdicts.values()
+        for report in verdict.variants
+        for line in variant_lines(report, "a")
+        for j in line_provenance(report, line)]
+    assert any(j.theorem == "5.4" and j.rule == "successful-CAS"
+               for j in justifications)
+    assert any(j.theorem == "5.4" and j.rule == "matching-CAS-read"
+               for j in justifications)
+    text = render_figure(result, explain=True)
+    assert "Thm 5.4" in text
+
+
+def test_step4_aggregates_tally_thm55(nfq_prime_analysis):
+    # the §5.5 loop-condition argument contributes marks to the
+    # adjacency-exclusion case splits on NFQ' (e.g. UpdateTail's
+    # `local next = t.Next in` read)
+    counts: dict = {}
+    for verdict in nfq_prime_analysis.verdicts.values():
+        for report in verdict.variants:
+            for line in variant_lines(report, "a"):
+                for j in line_provenance(report, line):
+                    for theorem, n in j.counts.items():
+                        counts[theorem] = counts.get(theorem, 0) + n
+    assert counts.get("5.5", 0) > 0
+    assert counts.get("5.3", 0) > 0
+    text = render_figure(nfq_prime_analysis, explain=True)
+    assert "Thm 5.5 x" in text
 
 
 def test_provenance_rendering_shapes(nfq_prime_analysis):

@@ -1,0 +1,211 @@
+"""The bench regression watchdog: threshold logic, noise floor,
+baseline lifecycle, history append, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import bench_record, write_bench
+from repro.obs.regress import (DEFAULT_THRESHOLDS, NOISE_FLOOR_S,
+                               append_history, check_dir,
+                               compare_records, main,
+                               update_baselines)
+
+
+def _mc(name="mc/x", wall_s=0.1, states=1000, transitions=2000,
+        percentiles=None):
+    return bench_record(name, wall_s, states=states,
+                        transitions=transitions,
+                        percentiles=percentiles)
+
+
+# -- comparison logic --------------------------------------------------------------
+
+def test_identical_records_pass():
+    records = [_mc(), bench_record("analysis/y", 0.05)]
+    assert compare_records(records, records) == []
+
+
+def test_slowdown_beyond_threshold_is_flagged():
+    base = [_mc(wall_s=0.1, states=0)]
+    fresh = [_mc(wall_s=0.14, states=0)]
+    (finding,) = compare_records(fresh, base)
+    assert finding.severity == "regression"
+    assert finding.metric == "wall_s"
+    assert "+40.0%" in finding.message
+
+
+def test_slowdown_within_threshold_passes():
+    base = [_mc(wall_s=0.1, states=0)]
+    fresh = [_mc(wall_s=0.12, states=0)]  # +20% < 25%
+    assert compare_records(fresh, base) == []
+
+
+def test_noise_floor_suppresses_micro_timings():
+    base = [_mc(wall_s=0.001, states=0)]
+    fresh = [_mc(wall_s=0.004, states=0)]  # 4x, but both under 5ms
+    assert compare_records(fresh, base) == []
+    assert NOISE_FLOOR_S == 0.005
+
+
+def test_throughput_drop_is_flagged():
+    base = [_mc(wall_s=0.1, states=1000)]
+    fresh = [_mc(wall_s=0.1, states=1000)]
+    fresh[0]["states_per_s"] = base[0]["states_per_s"] * 0.5
+    findings = compare_records(fresh, base)
+    assert any(f.metric == "states_per_s"
+               and f.severity == "regression" for f in findings)
+
+
+def test_p95_growth_is_flagged_only_when_both_sides_have_it():
+    pct = {"p50": 0.1, "p95": 0.1, "p99": 0.1}
+    worse = {"p50": 0.1, "p95": 0.2, "p99": 0.2}
+    base = [_mc(percentiles=pct)]
+    assert compare_records([_mc(percentiles=worse)], base, ) \
+        and compare_records([_mc(percentiles=worse)], base)[0].metric \
+        == "p95"
+    # no percentiles on the fresh side: silently skipped
+    assert all(f.metric != "p95"
+               for f in compare_records([_mc()], base))
+
+
+def test_state_count_drift_is_a_note_not_a_failure():
+    base = [_mc(states=1000)]
+    fresh = [_mc(states=900)]
+    fresh[0]["states_per_s"] = base[0]["states_per_s"]
+    findings = compare_records(fresh, base)
+    assert all(f.severity == "note" for f in findings)
+    assert any(f.metric == "states" for f in findings)
+
+
+def test_missing_baseline_record_is_a_regression():
+    base = [_mc("mc/a"), _mc("mc/b")]
+    findings = compare_records([_mc("mc/a")], base)
+    (finding,) = findings
+    assert finding.severity == "regression"
+    assert finding.name == "mc/b"
+
+
+def test_new_record_is_a_note():
+    findings = compare_records([_mc("mc/a"), _mc("mc/new")],
+                               [_mc("mc/a")])
+    (finding,) = findings
+    assert finding.severity == "note" and finding.name == "mc/new"
+
+
+def test_custom_thresholds_override_defaults():
+    base = [_mc(wall_s=0.1, states=0)]
+    fresh = [_mc(wall_s=0.12, states=0)]
+    assert compare_records(fresh, base) == []
+    assert compare_records(fresh, base, {"wall_s": 0.1})
+    assert DEFAULT_THRESHOLDS["wall_s"] == 0.25
+
+
+# -- directory-level checks --------------------------------------------------------
+
+@pytest.fixture
+def dirs(tmp_path):
+    out = tmp_path / "out"
+    baselines = tmp_path / "baselines"
+    out.mkdir()
+    baselines.mkdir()
+    records = [_mc("mc/nfq/full", wall_s=0.05, states=500)]
+    write_bench(out / "BENCH_mc.json", records)
+    write_bench(baselines / "BENCH_mc.json", records)
+    return out, baselines
+
+
+def test_check_dir_ok(dirs):
+    out, baselines = dirs
+    report = check_dir(out, baselines)
+    assert report["status"] == "ok"
+    assert report["compared"] == ["BENCH_mc.json"]
+    assert report["regressions"] == 0
+
+
+def test_check_dir_flags_degraded_file(dirs):
+    out, baselines = dirs
+    records = json.loads((out / "BENCH_mc.json").read_text())
+    records[0]["wall_s"] *= 3
+    records[0]["states_per_s"] /= 3
+    (out / "BENCH_mc.json").write_text(json.dumps(records))
+    report = check_dir(out, baselines)
+    assert report["status"] == "regression"
+    assert report["regressions"] == 2
+    metrics = {f["metric"] for f in report["findings"]}
+    assert metrics == {"wall_s", "states_per_s"}
+
+
+def test_check_dir_requires_baseline(dirs):
+    out, baselines = dirs
+    (baselines / "BENCH_mc.json").unlink()
+    with pytest.raises(ValueError, match="no baseline"):
+        check_dir(out, baselines)
+
+
+def test_check_dir_requires_some_bench_file(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ValueError, match="no BENCH"):
+        check_dir(empty, tmp_path)
+
+
+def test_update_baselines_promotes_fresh_files(dirs):
+    out, baselines = dirs
+    records = json.loads((out / "BENCH_mc.json").read_text())
+    records[0]["wall_s"] *= 3
+    (out / "BENCH_mc.json").write_text(json.dumps(records))
+    assert check_dir(out, baselines)["status"] == "regression"
+    written = update_baselines(out, baselines)
+    assert [p.name for p in written] == ["BENCH_mc.json"]
+    assert check_dir(out, baselines)["status"] == "ok"
+
+
+def test_history_is_append_only(dirs, tmp_path):
+    out, baselines = dirs
+    history = tmp_path / "hist.jsonl"
+    for _ in range(3):
+        append_history(history, check_dir(out, baselines))
+    lines = [json.loads(l)
+             for l in history.read_text().splitlines()]
+    assert len(lines) == 3
+    assert all(e["status"] == "ok" and "at" in e for e in lines)
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+def test_main_exit_codes(dirs, tmp_path, capsys):
+    out, baselines = dirs
+    history = tmp_path / "hist.jsonl"
+    argv = ["--check", str(out), "--baselines", str(baselines),
+            "--history", str(history)]
+    assert main(argv) == 0
+    assert "ok: 0 regression(s)" in capsys.readouterr().out
+
+    records = json.loads((out / "BENCH_mc.json").read_text())
+    records[0]["wall_s"] *= 3
+    (out / "BENCH_mc.json").write_text(json.dumps(records))
+    assert main(argv) == 1
+    assert "[REGRESSION]" in capsys.readouterr().out
+    assert len(history.read_text().splitlines()) == 2
+
+    assert main(argv + ["--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["status"] == "regression"
+
+    assert main(["--check", str(tmp_path / "missing"),
+                 "--baselines", str(baselines)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_main_update_then_check(dirs, capsys):
+    out, baselines = dirs
+    records = json.loads((out / "BENCH_mc.json").read_text())
+    records[0]["wall_s"] *= 3
+    (out / "BENCH_mc.json").write_text(json.dumps(records))
+    argv = ["--check", str(out), "--baselines", str(baselines)]
+    assert main(argv + ["--update"]) == 0
+    assert "baseline updated" in capsys.readouterr().out
+    assert main(argv + ["--history", "-"]) == 0
