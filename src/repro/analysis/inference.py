@@ -69,6 +69,7 @@ class InferenceOptions:
     enable_conditions: bool = True   # Thm 5.5 local-condition rule
     enable_locks: bool = True        # Thm 5.1
     enable_agreement: bool = True    # LL-agreement case split
+    enable_lint: bool = True         # discipline linter + downgrades
 
 
 #: sentinel pair key for the conflict pair itself (see ``_excluded``)
@@ -207,6 +208,13 @@ class AnalysisResult:
     metrics: dict = field(default_factory=dict)
     #: span tree (list of span dicts) when tracing was enabled
     trace: list = field(default_factory=list)
+    #: discipline-lint findings for the source program
+    #: (:class:`repro.analysis.lint.LintResult`), None when disabled
+    lint: object = None
+    #: structured notes about theorem applications suppressed because
+    #: lint found the discipline they assume violated:
+    #: ``{"theorem", "region", "rules", "detail"}``
+    downgrades: list[dict] = field(default_factory=list)
 
     def to_dict(self, include_provenance: bool = True) -> dict:
         from repro.obs.export import analysis_to_dict
@@ -322,9 +330,66 @@ class AtomicityChecker:
         assert purity0 is not None
         return final_vs, purity0
 
+    #: lint error rules that void a mover theorem's side condition on
+    #: the affected region (llsc → Thm 5.3 windows, aba → Thm 5.4)
+    _DOWNGRADE_RULES = {
+        "llsc.multi-ll": "5.3",
+        "llsc.nested-ll": "5.3",
+        "llsc.plain-write": "5.3",
+        "aba.unversioned-cas": "5.4",
+        "aba.plain-write-versioned": "5.4",
+    }
+
+    def _run_lint(self) -> None:
+        """Run the discipline linter over the source program, attach
+        its findings, and derive the theorem-downgrade taint: regions
+        whose discipline a lint *error* refutes get no Thm 5.3/5.4
+        windows, and the suppression is recorded in ``downgrades`` /
+        ``diagnostics`` instead of being silently assumed."""
+        self.lint = None
+        self.downgrades: list[dict] = []
+        self._lint_taint: dict[tuple, dict[str, set[str]]] = {}
+        if not self.options.enable_lint:
+            return
+        from repro.analysis.lint import Severity, lint_program
+        with self.tracer.span("analysis:lint"):
+            self.lint = lint_program(self.program,
+                                     metrics=self.registry)
+        noted: dict[tuple, set[str]] = {}
+        for diag in self.lint.findings:
+            theorem = self._DOWNGRADE_RULES.get(diag.rule)
+            if theorem is None or diag.severity is not Severity.ERROR \
+                    or diag.region_key is None:
+                continue
+            per_region = self._lint_taint.setdefault(diag.region_key, {})
+            per_region.setdefault(theorem, set()).add(diag.rule)
+            noted.setdefault((theorem, diag.region), set()).add(diag.rule)
+        for (theorem, region), rules in sorted(noted.items()):
+            ids = ", ".join(sorted(rules))
+            self.downgrades.append({
+                "theorem": theorem,
+                "region": region,
+                "rules": sorted(rules),
+                "detail": f"Thm {theorem} windows on {region} are "
+                          f"suppressed: lint refutes the discipline "
+                          f"they assume ({ids})",
+            })
+            self.diagnostics.append(
+                f"lint: downgraded Thm {theorem} applications on "
+                f"{region} ({ids})")
+
+    def _lint_vetoes(self, root: Target, theorem: str) -> bool:
+        if not getattr(self, "_lint_taint", None):
+            return False
+        from repro.analysis.lint import region_key
+        key = region_key(root)
+        return key is not None \
+            and theorem in self._lint_taint.get(key, {})
+
     def run(self) -> AnalysisResult:
         opts = self.options
         with self.tracer.span("analysis:run"):
+            self._run_lint()
             with self.tracer.span("analysis:variants"):
                 variant_set, purity = self._expand_variants()
             vprog = variant_set.program
@@ -377,7 +442,8 @@ class AtomicityChecker:
             contexts=self.contexts, uniqueness=self.unique,
             diagnostics=self.diagnostics,
             metrics=self.registry.snapshot(),
-            trace=self.tracer.to_dict() if self.tracer.enabled else [])
+            trace=self.tracer.to_dict() if self.tracer.enabled else [],
+            lint=self.lint, downgrades=self.downgrades)
 
     # -- discipline queries ---------------------------------------------------
     def _versioned(self, target: Target) -> bool:
@@ -408,7 +474,10 @@ class AtomicityChecker:
     def _cas_root_ok(self, root: Target) -> bool:
         """CAS windows are built only for declared-versioned roots; the
         CAS-only-writes half of the discipline is re-checked lazily in
-        :meth:`_window_valid` (sites do not exist yet at build time)."""
+        :meth:`_window_valid` (sites do not exist yet at build time).
+        Regions whose ABA discipline lint refuted get no windows."""
+        if self._lint_vetoes(root, "5.4"):
+            return False
         return self._versioned(root)
 
     # -- site collection --------------------------------------------------------
@@ -474,6 +543,9 @@ class AtomicityChecker:
         return True
 
     def _window_valid(self, w: Window) -> bool:
+        theorem = "5.4" if w.kind == "CAS" else "5.3"
+        if self._lint_vetoes(w.root, theorem):
+            return False
         if w.kind == "CAS":
             return self._cas_discipline(w.root)
         return True
@@ -483,9 +555,13 @@ class AtomicityChecker:
         Theorem 5.3 (SC/VL windows) and 5.4 (CAS windows), step 2."""
         out: dict[tuple, tuple] = {}
         for w in ctx.windows.windows:
-            if w.kind in ("SC", "VL") and not self._sc_only(w.root):
+            if w.kind in ("SC", "VL") and (
+                    not self._sc_only(w.root)
+                    or self._lint_vetoes(w.root, "5.3")):
                 continue
-            if w.kind == "CAS" and not self._cas_discipline(w.root):
+            if w.kind == "CAS" and (
+                    not self._cas_discipline(w.root)
+                    or self._lint_vetoes(w.root, "5.4")):
                 continue
             region = target_region(w.root)
             out[(w.end_node.uid, region, "end")] = (AT.L, w.kind)

@@ -16,6 +16,8 @@ has a unique matching LL expression and each CAS a unique matching read.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.analysis.actions import Target, location_target, node_actions
 from repro.analysis.purity import target_region
 from repro.cfg.graph import CFGNode, NodeKind, ProcCFG
@@ -28,25 +30,45 @@ def _has_ll_on(node: CFGNode, region: tuple) -> bool:
                for a in node_actions(node))
 
 
-def matching_lls(cfg: ProcCFG, start: CFGNode,
-                 target: Target) -> set[CFGNode]:
-    """All LL nodes that can produce the matching LL action for an
-    SC/VL on ``target`` at ``start``."""
+@dataclass
+class LLSearch:
+    """Result of the backward matching-LL search: the matching LL
+    nodes, plus whether any path escaped to the procedure entry
+    without crossing an LL on the region (the lint ``llsc.ll-gap``
+    condition — an SC reachable from entry without a reservation)."""
+
+    matches: set[CFGNode] = field(default_factory=set)
+    reaches_entry: bool = False
+
+
+def matching_lls_search(cfg: ProcCFG, start: CFGNode,
+                        target: Target) -> LLSearch:
+    """Backward DFS from ``start`` collecting matching LL nodes and
+    recording whether the search reached the procedure entry."""
     region = target_region(target)
-    matches: set[CFGNode] = set()
+    out = LLSearch()
     seen: set[CFGNode] = {start}
     stack: list[CFGNode] = [start]
     while stack:
         node = stack.pop()
+        if node.kind is NodeKind.ENTRY:
+            out.reaches_entry = True
         for prev in cfg.predecessors(node):
             if prev in seen:
                 continue
             seen.add(prev)
             if _has_ll_on(prev, region):
-                matches.add(prev)
+                out.matches.add(prev)
                 continue  # do not go past an LL(v)
             stack.append(prev)
-    return matches
+    return out
+
+
+def matching_lls(cfg: ProcCFG, start: CFGNode,
+                 target: Target) -> set[CFGNode]:
+    """All LL nodes that can produce the matching LL action for an
+    SC/VL on ``target`` at ``start``."""
+    return matching_lls_search(cfg, start, target).matches
 
 
 def _binds_from_read_of(node: CFGNode, expected_binding: int,

@@ -7,6 +7,7 @@
     python -m repro variants FILE        # print the exceptional variants
     python -m repro run FILE T0 T1 ...   # execute under a random schedule
     python -m repro mc FILE T0 ... --mode atomic   # model-check
+    python -m repro lint FILE            # discipline linter (docs/LINT.md)
     python -m repro experiments NAME     # regenerate a table/figure
 
 Thread specs for ``run``/``mc`` are comma-separated call lists, e.g.
@@ -145,6 +146,16 @@ def cmd_analyze(args) -> int:
                   f"{'ATOMIC' if verdict.atomic else 'not shown atomic'}")
         for diag in result.diagnostics:
             print(f"note: {diag}")
+        if result.lint is not None and result.lint.findings:
+            print()
+            print("-- lint --")
+            for finding in result.lint.findings:
+                print(finding.render())
+        if args.explain and result.downgrades:
+            print()
+            print("-- downgraded theorem applications --")
+            for d in result.downgrades:
+                print(f"{d['detail']}")
         _emit_obs(cfg, tracer, result.metrics)
     return 0 if args.lenient or result.all_atomic else 1
 
@@ -313,6 +324,91 @@ def cmd_mc(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Discipline linter (docs/LINT.md).  Exit codes: 0 clean (or
+    manifest fully matched), 1 warnings only (or manifest deviation),
+    2 errors."""
+    from repro.analysis.lint import lint_program
+    from repro.obs.export import LINT_REPORT_SCHEMA, validate
+    from repro.obs.metrics import MetricsRegistry
+
+    cfg, tracer = _obs_setup(args)
+    events = _events_for(args)
+    registry = MetricsRegistry()
+    rules = [r.strip() for r in (args.rules or "").split(",")
+             if r.strip()] or None
+
+    targets: list[tuple[str, str]] = []
+    if args.corpus:
+        from repro import corpus as corpus_mod
+        for name in corpus_mod.__all__:
+            targets.append((name, getattr(corpus_mod, name)))
+    for path in args.files:
+        with open(path) as handle:
+            targets.append((path, handle.read()))
+    if not targets:
+        print("error: nothing to lint (give FILE arguments and/or "
+              "--corpus)", file=sys.stderr)
+        return 2
+
+    results = []
+    for label, source in targets:
+        with tracer.span("lint:target", target=label):
+            results.append(lint_program(
+                source, label=label, rules=rules,
+                metrics=registry, events=events))
+    _write_obs_outputs(args, tracer, events)
+
+    if args.manifest:
+        with open(args.manifest) as handle:
+            manifest = json.load(handle)
+        expected = manifest.get("expected", {})
+        failures: list[str] = []
+        seen = set()
+        for res in results:
+            seen.add(res.target)
+            want = expected.get(res.target, {})
+            got = res.counts_by_rule()
+            if got != want:
+                for rule in sorted(set(want) | set(got)):
+                    w, g = want.get(rule, 0), got.get(rule, 0)
+                    if w != g:
+                        failures.append(
+                            f"{res.target}: {rule} expected {w}, "
+                            f"got {g}")
+        for name in sorted(set(expected) - seen):
+            failures.append(f"{name}: listed in manifest but not "
+                            f"linted in this run")
+        if args.json:
+            print(json.dumps({"v": 1, "matched": not failures,
+                              "failures": failures}, indent=2))
+        elif failures:
+            for line in failures:
+                print(f"MISMATCH {line}")
+        else:
+            print(f"manifest ok: {len(results)} target(s) match "
+                  f"{args.manifest}")
+        return 1 if failures else 0
+
+    if args.json:
+        doc = {"v": 1, "targets": [r.to_dict() for r in results]}
+        errors = validate(doc, LINT_REPORT_SCHEMA)
+        if errors:  # defensive: to_dict and schema must stay in sync
+            print("error: lint JSON failed schema validation: "
+                  + "; ".join(errors), file=sys.stderr)
+            return 2
+        print(json.dumps(doc, indent=2))
+    else:
+        for res in results:
+            print(res.render())
+        _emit_obs(cfg, tracer, registry.snapshot())
+    if any(r.errors for r in results):
+        return 2
+    if any(r.warnings for r in results):
+        return 1
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro import experiments
 
@@ -397,10 +493,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "types + theorem citations)")
     p.set_defaults(fn=cmd_mc)
 
+    p = sub.add_parser("lint", parents=[obs],
+                       help="rule-based discipline linter "
+                            "(docs/LINT.md); exit 2 on errors")
+    p.add_argument("files", nargs="*",
+                   help="SYNL source files to lint")
+    p.add_argument("--corpus", action="store_true",
+                   help="also lint every shipped corpus program")
+    p.add_argument("--manifest", metavar="FILE",
+                   help="expected-findings manifest (JSON mapping "
+                        "target -> {rule: count}); exit 1 on any "
+                        "deviation, 0 when everything matches")
+    p.add_argument("--rules", metavar="IDS",
+                   help="comma-separated rule ids or family prefixes "
+                        "to report (e.g. 'llsc,race.unlocked')")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("experiments",
                        help="regenerate a table/figure of the paper")
     p.add_argument("name", help="figure3, figure4, figure567, table2, "
-                                "section63, section64, or ablations")
+                                "section63, section64, ablations, or "
+                                "crossval")
     p.set_defaults(fn=cmd_experiments)
     return parser
 

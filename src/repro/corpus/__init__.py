@@ -10,11 +10,16 @@ from repro.corpus.herlihy import HERLIHY_SMALL
 from repro.corpus.gao_hesselink import (GH_PROGRAM1, GH_PROGRAM2,
                                         GH_FULL, GH_FULL_FIXED)
 from repro.corpus.allocator import ALLOCATOR
+from repro.corpus.defects import (ABA_STACK, ABA_STACK_FIXED,
+                                  DOUBLE_LL_DOWN)
 from repro.corpus.extras import (BROKEN_SEMAPHORE, CAS_COUNTER,
                                  SEMAPHORE, SPIN_LOCK, TREIBER_STACK,
                                  LOCKED_REGISTER, VERSIONED_CELL)
 
 __all__ = [
+    "ABA_STACK",
+    "ABA_STACK_FIXED",
+    "DOUBLE_LL_DOWN",
     "NFQ",
     "NFQ_PRIME",
     "NFQ_PRIME_BUGGY",

@@ -1,0 +1,111 @@
+"""Seeded-defect programs for the discipline linter (docs/LINT.md).
+
+Each program violates one of the side conditions the mover theorems
+assume, is flagged by ``repro lint`` with a specific rule id, *and*
+has a reachable assertion violation the model checker finds — the
+lint ↔ MC cross-validation pair (tests/test_lint_mc_crossval.py).
+
+* ``ABA_STACK`` — a Treiber-style stack updated with *unversioned*
+  CAS (``aba.unversioned-cas``).  ``Recycle`` pops two nodes,
+  "frees" one (poisons its payload), "reallocates" the other and
+  pushes it back: a paused ``PopCheck`` whose expected value was read
+  before the recycling then succeeds on stale state (the classic ABA)
+  and the next pop returns the poisoned payload, tripping
+  ``assert(v > 0)``.  Run with threads ``PopCheck(),PopCheck()`` and
+  ``Recycle()``.
+* ``ABA_STACK_FIXED`` — the same program with
+  ``global versioned Top``: the modification counter (§5.2) makes the
+  stale CAS fail, so the assertion is unreachable.  The ``aba.*``
+  errors disappear; the unguarded payload writes still (correctly)
+  show up as ``race.unlocked``.
+* ``DOUBLE_LL_DOWN`` — a semaphore ``Down`` that conditionally
+  re-reads with a *second* ``LL(Sem)`` before its SC, so the SC has
+  two matching LLs (``llsc.multi-ll``) and the inner LL runs under a
+  live outer reservation (``llsc.nested-ll``).  The re-LL discards
+  the validation the outer reservation would have provided: the SC
+  succeeds against a value observed *after* other threads drained the
+  semaphore, driving it negative.  Run with threads ``DownCond()``
+  and ``DownCond(),DownCond()`` to reach ``assert(Sem >= 0)`` failing.
+"""
+
+ABA_STACK = """
+class ANode { AVal; ANext; }
+global Top;
+
+init {
+  local a = new ANode in
+  local b = new ANode in {
+    b.AVal = 2;
+    b.ANext = null;
+    a.AVal = 1;
+    a.ANext = b;
+    Top = a;
+  }
+}
+
+proc PopCheck() {
+  loop {
+    local t = Top in {
+      if (t == null) { return 0; }
+      local n = t.ANext in {
+        if (CAS(Top, t, n)) {
+          local v = t.AVal in {
+            assert(v > 0);
+            return v;
+          }
+        }
+      }
+    }
+  }
+}
+
+proc Recycle() {
+  local x = Top in {
+    if (x == null) { return 0; }
+    local y = x.ANext in {
+      if (CAS(Top, x, y)) {
+        if (y != null) {
+          local z = y.ANext in {
+            if (CAS(Top, y, z)) {
+              y.AVal = 0;
+              x.AVal = 7;
+              local h = Top in {
+                x.ANext = h;
+                if (CAS(Top, h, x)) { return 1; }
+              }
+            }
+          }
+        }
+      }
+    }
+    return 0;
+  }
+}
+"""
+
+ABA_STACK_FIXED = ABA_STACK.replace("global Top;",
+                                    "global versioned Top;")
+
+DOUBLE_LL_DOWN = """
+global Sem;
+
+init { Sem = 2; }
+
+proc DownCond() {
+  loop {
+    local t = LL(Sem) in {
+      if (t > 0) {
+        local u = t in {
+          if (t > 1) {
+            u = LL(Sem);
+          }
+          if (SC(Sem, u - 1)) {
+            assert(Sem >= 0);
+            return;
+          }
+        }
+      }
+    }
+  }
+}
+"""

@@ -3,9 +3,9 @@ evaluation (§6), plus ablations.  Each module has ``run()`` returning
 structured results and ``main()`` returning the rendered report.
 See DESIGN.md's per-experiment index."""
 
-from repro.experiments import (ablations, baseline_runtime, figure3,
-                               figure4, figure567, section63, section64,
-                               table2)
+from repro.experiments import (ablations, baseline_runtime, crossval,
+                               figure3, figure4, figure567, section63,
+                               section64, table2)
 
 __all__ = [
     "figure3",
@@ -16,4 +16,5 @@ __all__ = [
     "section64",
     "ablations",
     "baseline_runtime",
+    "crossval",
 ]

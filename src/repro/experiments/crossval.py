@@ -1,0 +1,145 @@
+"""Lint ↔ analysis ↔ model-checker cross-validation table.
+
+The discipline linter (docs/LINT.md) is calibrated against two ground
+truths at once:
+
+* **soundness of silence** — on programs with *no* lint errors where
+  the §5.4 analysis proves the procedures atomic, the model checker
+  must find no violation, and the full-interleaving exploration must
+  reach exactly the quiescent states of the atomic-mode exploration;
+* **usefulness of noise** — on the seeded-defect programs
+  (:mod:`repro.corpus.defects`), the lint error must coincide with a
+  model-checker-reachable assertion violation, and fixing the
+  discipline (``ABA_STACK_FIXED``) must silence *both*.
+
+This driver runs every configured program through all three tools and
+renders the coincidence table; ``Crossval.consistent`` is the
+machine-checkable statement of both properties (asserted by
+``tests/test_lint_mc_crossval.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import corpus
+from repro.analysis import analyze_program
+from repro.experiments.common import Table
+from repro.interp import Interp, ThreadSpec
+from repro.synl import load_program
+
+#: (corpus name, thread scripts, expect lint errors, expect violation)
+CASES = [
+    ("SEMAPHORE", [[("Down",)], [("Up",)]], False, False),
+    ("CAS_COUNTER", [[("Inc",)], [("Inc",), ("Get",)]], False, False),
+    ("TREIBER_STACK", [[("Push", 1)], [("Pop",)]], False, False),
+    ("VERSIONED_CELL", [[("IncCell",)], [("GetCell",)]], False, False),
+    ("ABA_STACK", [[("PopCheck",), ("PopCheck",)], [("Recycle",)]],
+     True, True),
+    ("ABA_STACK_FIXED", [[("PopCheck",), ("PopCheck",)], [("Recycle",)]],
+     True, False),  # aba.* gone; the race.unlocked payload errors remain
+    ("DOUBLE_LL_DOWN", [[("DownCond",)], [("DownCond",), ("DownCond",)]],
+     True, True),
+]
+
+
+@dataclass
+class CaseResult:
+    name: str
+    lint_errors: int
+    lint_rules: list[str]
+    atomic_procs: list[str]
+    violation: str
+    states: int
+    quiescent_match: bool | None  # None when not applicable
+    expect_errors: bool
+    expect_violation: bool
+
+    @property
+    def as_expected(self) -> bool:
+        if bool(self.lint_errors) != self.expect_errors:
+            return False
+        if bool(self.violation) != self.expect_violation:
+            return False
+        # lint-clean + proofs ⇒ the reductions must be exact
+        if not self.lint_errors and self.atomic_procs:
+            return self.quiescent_match is True
+        return True
+
+
+@dataclass
+class Crossval:
+    cases: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return all(c.as_expected for c in self.cases)
+
+
+def _explore(interp, specs, mode: str, collect: bool,
+             max_states: int):
+    from repro.mc import Explorer
+
+    return Explorer(interp, specs, mode=mode, collect_quiescent=collect,
+                    max_states=max_states).run()
+
+
+def run(cases=CASES, max_states: int = 100_000) -> Crossval:
+    out = Crossval()
+    for name, scripts, expect_errors, expect_violation in cases:
+        source = getattr(corpus, name)
+        program = load_program(source)
+        analysis = analyze_program(program)
+        lint = analysis.lint
+        error_findings = [d for d in lint.findings
+                          if d.severity.name == "ERROR"]
+        specs = [ThreadSpec.of(*calls) for calls in scripts]
+        full = _explore(Interp(program), specs, "full", True, max_states)
+
+        quiescent_match: bool | None = None
+        atomic_procs = sorted(p for p in analysis.verdicts
+                              if analysis.is_atomic(p))
+        if not error_findings and atomic_procs and not full.violation:
+            atomic = _explore(Interp(program), specs, "atomic", True,
+                              max_states)
+            quiescent_match = full.quiescent == atomic.quiescent
+
+        out.cases.append(CaseResult(
+            name=name,
+            lint_errors=len(error_findings),
+            lint_rules=sorted({d.rule for d in error_findings}),
+            atomic_procs=atomic_procs,
+            violation=full.violation or "",
+            states=full.states,
+            quiescent_match=quiescent_match,
+            expect_errors=expect_errors,
+            expect_violation=expect_violation))
+    return out
+
+
+def main(max_states: int = 100_000) -> str:
+    result = run(max_states=max_states)
+    table = Table(
+        "Lint <-> analysis <-> MC cross-validation "
+        "(clean corpus + seeded defects)",
+        ["program", "lint errors", "atomic procs", "MC (full)",
+         "quiescent", "ok"])
+    for c in result.cases:
+        rules = ", ".join(c.lint_rules) if c.lint_rules else "-"
+        table.add(
+            c.name,
+            f"{c.lint_errors} ({rules})" if c.lint_errors else "0",
+            ", ".join(c.atomic_procs) or "-",
+            c.violation or f"no violation ({c.states} states)",
+            {True: "full == atomic", False: "MISMATCH",
+             None: "n/a"}[c.quiescent_match],
+            "yes" if c.as_expected else "NO")
+    table.note("lint-clean + proved atomic => no violation and exact "
+               "quiescent sets; seeded defect => lint error + reachable "
+               "violation")
+    table.note(f"all cases consistent: {result.consistent}")
+    return table.render()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -182,15 +182,22 @@ class Counterexample:
     mode: str
     steps: list[CexStep]
     annotated: bool   # False when no analysis result was supplied
+    #: lint-driven theorem downgrades carried over from the analysis
+    #: (see ``AnalysisResult.downgrades``) — cited in the footer so a
+    #: reader knows which mover arguments were deliberately withheld
+    downgrades: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "v": SCHEMA_VERSION,
             "violation": self.violation,
             "mode": self.mode,
             "annotated": self.annotated,
             "steps": [s.to_dict() for s in self.steps],
         }
+        if self.downgrades:
+            out["downgrades"] = [dict(d) for d in self.downgrades]
+        return out
 
     def render(self, max_col: int = 44) -> str:
         """Per-thread timeline: one column per thread, each step
@@ -216,6 +223,13 @@ class Counterexample:
         lines.append("")
         lines.append(f"violation after step {self.steps[-1].seq}: "
                      f"{self.violation}" if self.steps else self.violation)
+        if self.downgrades:
+            lines.append("")
+            lines.append("lint downgrades in effect during analysis:")
+            for d in self.downgrades:
+                rules = ", ".join(d.get("rules", []))
+                lines.append(f"  - Thm {d['theorem']} on "
+                             f"{d['region']} ({rules})")
         return "\n".join(lines)
 
 
@@ -315,7 +329,10 @@ def build_cex(result, interp, analysis=None,
         steps.append(step)
     return Counterexample(violation=result.violation,
                           mode=getattr(result, "mode", "run"),
-                          steps=steps, annotated=analysis is not None)
+                          steps=steps, annotated=analysis is not None,
+                          downgrades=[dict(d) for d in
+                                      getattr(analysis, "downgrades",
+                                              None) or []])
 
 
 @dataclass

@@ -47,6 +47,8 @@ KINDS = {
     "sched.switch": ("tid", "prev"),                 # context switch
     "dyn.invocation": ("tid", "proc", "index"),      # checker saw a call
     "dyn.verdict": ("proc", "atomic", "witnesses"),  # checker concluded
+    "lint.finding": ("rule", "severity", "proc", "line"),  # one diagnostic
+    "lint.run": ("target", "errors", "warnings", "infos"),  # lint summary
 }
 
 #: JSON-schema (export.validate subset) for one event

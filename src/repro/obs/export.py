@@ -128,8 +128,76 @@ ANALYSIS_SCHEMA = {
         "options": {"type": "object"},
         "metrics": {"type": "object"},
         "trace": {"type": "array"},
+        # "lint" / "downgrades" are tightened to LINT_SCHEMA /
+        # DOWNGRADE_SCHEMA below, after those schemas are defined
+        "lint": {"type": "object"},
+        "downgrades": {"type": "array"},
     },
 }
+
+LINT_FINDING_SCHEMA = {
+    "type": "object",
+    "required": ["rule", "severity", "message", "line", "col"],
+    "properties": {
+        "rule": {"type": "string"},
+        "severity": {"type": "string",
+                     "enum": ["error", "warning", "info"]},
+        "message": {"type": "string"},
+        "proc": {"type": "string"},
+        "line": {"type": "integer"},
+        "col": {"type": "integer"},
+        "end_line": {"type": "integer"},
+        "end_col": {"type": "integer"},
+        "fix": {"type": "string"},
+        "region": {"type": "string"},
+    },
+}
+
+#: versioned shape of ``LintResult.to_dict()`` (one linted target)
+LINT_SCHEMA = {
+    "type": "object",
+    "required": ["v", "target", "findings", "summary"],
+    "properties": {
+        "v": {"type": "integer"},
+        "target": {"type": "string"},
+        "findings": {"type": "array", "items": LINT_FINDING_SCHEMA},
+        "summary": {
+            "type": "object",
+            "required": ["errors", "warnings", "infos", "suppressed"],
+            "properties": {
+                "errors": {"type": "integer"},
+                "warnings": {"type": "integer"},
+                "infos": {"type": "integer"},
+                "suppressed": {"type": "integer"},
+            },
+        },
+    },
+}
+
+#: ``repro lint --json`` output: a run over one or more targets
+LINT_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["v", "targets"],
+    "properties": {
+        "v": {"type": "integer"},
+        "targets": {"type": "array", "items": LINT_SCHEMA},
+    },
+}
+
+DOWNGRADE_SCHEMA = {
+    "type": "object",
+    "required": ["theorem", "region", "rules", "detail"],
+    "properties": {
+        "theorem": {"type": "string"},
+        "region": {"type": "string"},
+        "rules": {"type": "array", "items": {"type": "string"}},
+        "detail": {"type": "string"},
+    },
+}
+
+ANALYSIS_SCHEMA["properties"]["lint"] = LINT_SCHEMA
+ANALYSIS_SCHEMA["properties"]["downgrades"] = {
+    "type": "array", "items": DOWNGRADE_SCHEMA}
 
 PATH_STEP_SCHEMA = {
     "type": "object",
@@ -194,6 +262,7 @@ CEX_SCHEMA = {
         "mode": {"type": "string"},
         "annotated": {"type": "boolean"},
         "steps": {"type": "array", "items": CEX_STEP_SCHEMA},
+        "downgrades": {"type": "array", "items": DOWNGRADE_SCHEMA},
     },
 }
 
@@ -289,6 +358,12 @@ def analysis_to_dict(result, include_provenance: bool = True) -> dict:
         out["metrics"] = dict(result.metrics)
     if getattr(result, "trace", None):
         out["trace"] = list(result.trace)
+    lint = getattr(result, "lint", None)
+    if lint is not None:
+        out["lint"] = lint.to_dict()
+    downgrades = getattr(result, "downgrades", None)
+    if downgrades:
+        out["downgrades"] = [dict(d) for d in downgrades]
     return out
 
 

@@ -101,6 +101,24 @@ class Node:
         for child in self.children():
             yield from child.walk()
 
+    def span(self) -> tuple[Optional[SourcePos], Optional[SourcePos]]:
+        """Smallest source span covering this subtree: the (start, end)
+        pair of the minimum and maximum positions attached to any node
+        in it.  Either element is ``None`` when no node carries a
+        position (e.g. synthesized variants)."""
+        start: Optional[SourcePos] = None
+        end: Optional[SourcePos] = None
+        for node in self.walk():
+            pos = node.pos
+            if pos is None:
+                continue
+            key = (pos.line, pos.col)
+            if start is None or key < (start.line, start.col):
+                start = pos
+            if end is None or key > (end.line, end.col):
+                end = pos
+        return start, end
+
 
 def structural_eq(a: Node, b: Node) -> bool:
     """Structural equality, ignoring node identities and positions."""

@@ -1,0 +1,106 @@
+"""Unit coverage for the §5.4 step-4 alias analysis on syntactic
+targets: may/must/same-region across every target-kind pairing."""
+
+from repro.analysis.actions import Target
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.typing import infer_classes
+from repro.synl.resolve import load_program
+
+
+def _alias(source):
+    prog = load_program(source)
+    return AliasAnalysis(prog, infer_classes(prog))
+
+
+TWO_CLASSES = """
+class P { F; G; }
+class Q { F; }
+global A;
+global B;
+init { A = new P; B = new Q; }
+proc UseP() {
+  local x = A in
+  local w = A in { x.F = 1; w.F = 2; x.G = 3; }
+}
+proc UseQ() { local y = B in { y.F = 3; } }
+"""
+
+
+def test_globals_alias_iff_same_name():
+    aa = _alias(TWO_CLASSES)
+    a = Target("global", name="A")
+    assert aa.may_alias(a, Target("global", name="A"))
+    assert aa.must_alias(a, Target("global", name="A"))
+    assert not aa.may_alias(a, Target("global", name="B"))
+    assert not aa.must_alias(a, Target("global", name="B"))
+
+
+def test_global_never_aliases_field_or_var():
+    aa = _alias(TWO_CLASSES)
+    g = Target("global", name="A")
+    f = Target("field", name="x", binding=7, field="F")
+    v = Target("var", name="x", binding=7)
+    assert not aa.may_alias(g, f)
+    assert not aa.may_alias(f, g)
+    assert not aa.may_alias(g, v)
+    assert not aa.must_alias(g, f)
+
+
+def test_vars_alias_by_binding_not_name():
+    aa = _alias(TWO_CLASSES)
+    assert aa.may_alias(Target("var", name="x", binding=3),
+                        Target("var", name="y", binding=3))
+    assert not aa.may_alias(Target("var", name="x", binding=3),
+                            Target("var", name="x", binding=4))
+
+
+def test_fields_alias_only_on_same_field_name():
+    aa = _alias(TWO_CLASSES)
+    f1 = Target("field", name="x", binding=None, field="F")
+    g1 = Target("field", name="x", binding=None, field="G")
+    assert not aa.may_alias(f1, g1)
+
+
+def test_field_alias_requires_class_overlap():
+    aa = _alias(TWO_CLASSES)
+    # bindings: find the locals' binding ids through the env
+    bx, bw = sorted(b for b in range(0, 64)
+                    if aa.env.of_binding(b) == frozenset({"P"}))
+    by = next(b for b in range(0, 64)
+              if aa.env.of_binding(b) == frozenset({"Q"}))
+    xf = Target("field", name="x", binding=bx, field="F")
+    yf = Target("field", name="y", binding=by, field="F")
+    # same field name, disjoint base classes: no alias
+    assert not aa.may_alias(xf, yf)
+    # same class set, same field: may alias (but not must — different
+    # bindings)
+    wf = Target("field", name="w", binding=bw, field="F")
+    assert aa.may_alias(xf, wf)
+    assert not aa.must_alias(xf, wf)
+    assert aa.must_alias(xf, Target("field", name="x", binding=bx,
+                                    field="F"))
+
+
+def test_unknown_base_classes_are_conservative():
+    aa = _alias(TWO_CLASSES)
+    # binding 999 never appears: the class set is empty, so may_alias
+    # must answer True (conservative) for matching field names
+    unknown = Target("field", name="z", binding=999, field="F")
+    known = Target("field", name="x", binding=0, field="F")
+    assert aa.may_alias(unknown, known)
+
+
+def test_field_never_aliases_element():
+    aa = _alias(TWO_CLASSES)
+    f = Target("field", name="x", binding=1, field="F")
+    e = Target("elem", name="x", binding=1, field="F")
+    assert not aa.may_alias(f, e)
+    assert not aa.must_alias(f, e)
+
+
+def test_same_region_is_may_alias():
+    aa = _alias(TWO_CLASSES)
+    a = Target("global", name="A")
+    b = Target("global", name="B")
+    assert aa.same_region(a, a)
+    assert not aa.same_region(a, b)

@@ -4,8 +4,8 @@ configurations)."""
 
 import pytest
 
-from repro.experiments import (ablations, figure3, figure4, figure567,
-                               section63, section64, table2)
+from repro.experiments import (ablations, crossval, figure3, figure4,
+                               figure567, section63, section64, table2)
 
 
 def test_figure3_matches_paper():
@@ -75,3 +75,9 @@ def test_ablations_full_analysis_verifies_everything():
             continue
         ok, total = result.score(name)
         assert ok < total, name
+
+
+def test_crossval_table_is_consistent():
+    text = crossval.main()
+    assert "all cases consistent: True" in text
+    assert "DOUBLE_LL_DOWN" in text and "full == atomic" in text

@@ -1,0 +1,54 @@
+"""Tier-1 mirror of the CI lint gate: every corpus program and every
+shipped example file must produce *exactly* the findings recorded in
+``tests/lint_manifest.json`` — an unexpected finding fails, and so
+does a silently lost expected one."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import corpus
+from repro.analysis.lint import lint_program
+
+HERE = pathlib.Path(__file__).parent
+ROOT = HERE.parent
+MANIFEST = json.loads((HERE / "lint_manifest.json").read_text())
+EXPECTED = MANIFEST["expected"]
+
+CORPUS_TARGETS = [name for name in EXPECTED if name.isupper()]
+FILE_TARGETS = [name for name in EXPECTED if not name.isupper()]
+
+
+def test_manifest_covers_the_whole_corpus():
+    assert set(CORPUS_TARGETS) == set(corpus.__all__)
+
+
+def test_manifest_covers_every_shipped_example():
+    on_disk = sorted(str(p.relative_to(ROOT))
+                     for p in (ROOT / "examples" / "synl").glob("*.synl"))
+    assert sorted(FILE_TARGETS) == on_disk
+
+
+@pytest.mark.parametrize("name", CORPUS_TARGETS)
+def test_corpus_program_matches_manifest(name):
+    result = lint_program(getattr(corpus, name), label=name)
+    assert result.counts_by_rule() == EXPECTED[name]
+
+
+@pytest.mark.parametrize("relpath", FILE_TARGETS)
+def test_example_file_matches_manifest(relpath):
+    source = (ROOT / relpath).read_text()
+    result = lint_program(source, label=relpath)
+    assert result.counts_by_rule() == EXPECTED[relpath]
+
+
+def test_clean_programs_stay_clean():
+    """The headline acceptance property: zero errors on every
+    pre-existing (non-defect) corpus program."""
+    defects = {"ABA_STACK", "ABA_STACK_FIXED", "DOUBLE_LL_DOWN"}
+    for name in corpus.__all__:
+        if name in defects:
+            continue
+        result = lint_program(getattr(corpus, name), label=name)
+        assert result.errors == 0, f"{name}: {result.render()}"

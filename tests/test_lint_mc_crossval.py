@@ -1,0 +1,123 @@
+"""Lint <-> analysis <-> model-checker cross-validation
+(docs/LINT.md, ``repro experiments crossval``).
+
+Two directions, both load-bearing:
+
+* every seeded defect is flagged by lint with the advertised rule ids
+  *and* has a model-checker-reachable assertion violation;
+* lint-clean programs the analysis proves atomic have no violation,
+  and the full exploration reaches exactly the quiescent states of
+  the atomic-mode exploration (the reductions are exact).
+
+Plus the taint plumbing: lint errors downgrade Thm 5.3/5.4 inside the
+inference, the downgrades survive into the JSON export, and the
+counterexample timeline cites them in its footer.
+"""
+
+import pytest
+
+from repro import corpus
+from repro.analysis import analyze_program
+from repro.experiments import crossval
+from repro.interp import Interp, ThreadSpec
+from repro.mc import Explorer
+from repro.mc.cex import build_cex
+from repro.obs.export import ANALYSIS_SCHEMA, analysis_to_dict, validate
+
+
+@pytest.fixture(scope="module")
+def table():
+    return {c.name: c for c in crossval.run().cases}
+
+
+def test_every_case_is_consistent(table):
+    for case in table.values():
+        assert case.as_expected, case
+
+
+def test_aba_stack_defect_pair(table):
+    case = table["ABA_STACK"]
+    assert "aba.unversioned-cas" in case.lint_rules
+    assert case.violation == "assertion failed"
+    assert case.atomic_procs == []
+
+
+def test_aba_fix_silences_both_lint_and_mc(table):
+    case = table["ABA_STACK_FIXED"]
+    assert not any(r.startswith("aba.") for r in case.lint_rules)
+    assert case.violation == ""
+    # the unguarded payload writes remain real races
+    assert case.lint_rules == ["race.unlocked"]
+
+
+def test_double_ll_defect_pair(table):
+    case = table["DOUBLE_LL_DOWN"]
+    assert set(case.lint_rules) == {"llsc.multi-ll", "llsc.nested-ll"}
+    assert case.violation == "assertion failed"
+
+
+@pytest.mark.parametrize("name", ["SEMAPHORE", "CAS_COUNTER",
+                                  "TREIBER_STACK", "VERSIONED_CELL"])
+def test_clean_atomic_programs_have_exact_reductions(table, name):
+    case = table[name]
+    assert case.lint_errors == 0
+    assert case.atomic_procs          # the analysis proves something
+    assert case.violation == ""
+    assert case.quiescent_match is True
+
+
+# -- lint-driven theorem downgrades -------------------------------------------
+
+@pytest.fixture(scope="module")
+def double_ll_analysis():
+    return analyze_program(corpus.DOUBLE_LL_DOWN)
+
+
+def test_downgrades_recorded_on_analysis_result(double_ll_analysis):
+    (d,) = double_ll_analysis.downgrades
+    assert d["theorem"] == "5.3"
+    assert d["region"] == "Sem"
+    assert set(d["rules"]) == {"llsc.multi-ll", "llsc.nested-ll"}
+
+
+def test_aba_downgrade_targets_thm_54():
+    analysis = analyze_program(corpus.ABA_STACK)
+    assert any(d["theorem"] == "5.4" and d["region"] == "Top"
+               for d in analysis.downgrades)
+
+
+def test_fixed_program_has_no_aba_downgrade():
+    analysis = analyze_program(corpus.ABA_STACK_FIXED)
+    assert not any(d["theorem"] == "5.4" for d in analysis.downgrades)
+
+
+def test_downgrades_and_lint_survive_json_export(double_ll_analysis):
+    doc = analysis_to_dict(double_ll_analysis)
+    assert validate(doc, ANALYSIS_SCHEMA) == []
+    assert doc["lint"]["summary"]["errors"] == 2
+    assert doc["downgrades"][0]["theorem"] == "5.3"
+
+
+def test_lint_can_be_disabled():
+    from repro.analysis.inference import InferenceOptions
+
+    analysis = analyze_program(
+        corpus.DOUBLE_LL_DOWN, InferenceOptions(enable_lint=False))
+    assert analysis.lint is None
+    assert analysis.downgrades == []
+
+
+def test_cex_footer_cites_downgrades(double_ll_analysis):
+    program = double_ll_analysis.program
+    interp = Interp(program)
+    specs = [ThreadSpec.of(("DownCond",)),
+             ThreadSpec.of(("DownCond",), ("DownCond",))]
+    result = Explorer(interp, specs, mode="full",
+                      max_states=200_000).run()
+    assert result.violation == "assertion failed"
+    cex = build_cex(result, interp, double_ll_analysis)
+    assert cex.downgrades
+    text = cex.render()
+    assert "lint downgrades in effect during analysis:" in text
+    assert "Thm 5.3 on Sem (llsc.multi-ll, llsc.nested-ll)" in text
+    assert cex.to_dict()["downgrades"] == cex.downgrades

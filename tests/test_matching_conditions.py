@@ -4,7 +4,8 @@ blocks (§5.3)."""
 from repro.analysis.actions import location_target
 from repro.analysis.conditions import (blocks_of_proc, complementary,
                                        condition_excludes)
-from repro.analysis.matching import matching_lls, matching_reads
+from repro.analysis.matching import (matching_lls, matching_lls_search,
+                                     matching_reads)
 from repro.cfg import NodeKind, build_cfg
 from repro.synl import ast as A
 from repro.synl.resolve import load_program
@@ -105,6 +106,77 @@ def test_matching_read_for_cas():
     cas = cas_node.expr
     matches = matching_reads(cfg, cas_node, cas)
     assert len(matches) == 1
+
+
+def test_ll_in_loop_header_matches_around_backedge():
+    """The retry idiom: one LL per iteration.  The backward search
+    crosses the loop back edge but still finds exactly the one LL and
+    never escapes the procedure entry."""
+    prog, cfg = _cfg("""
+        global G;
+        proc P() {
+          loop {
+            local t = LL(G) in {
+              if (SC(G, t + 1)) { return; }
+            }
+          }
+        }
+    """)
+    node, sc = _sc_node(cfg)
+    search = matching_lls_search(cfg, node, location_target(sc.loc))
+    assert len(search.matches) == 1
+    assert not search.reaches_entry
+
+
+def test_search_reaches_entry_when_a_path_skips_the_ll():
+    """An SC reachable without any reservation: the matching-LL search
+    escapes the procedure entry (lint's llsc.ll-gap)."""
+    prog, cfg = _cfg("""
+        global G;
+        proc P(v) {
+          if (v == 0) {
+            local t = LL(G) in { skip; }
+          }
+          SC(G, v);
+        }
+    """)
+    node, sc = _sc_node(cfg)
+    search = matching_lls_search(cfg, node, location_target(sc.loc))
+    assert len(search.matches) == 1
+    assert search.reaches_entry
+
+
+def test_search_agrees_with_matching_lls():
+    prog, cfg = _cfg("""
+        global G;
+        proc P(v) {
+          local t = 0 in {
+            if (v == 0) { t = LL(G); } else { t = LL(G); }
+            SC(G, v);
+          }
+        }
+    """)
+    node, sc = _sc_node(cfg)
+    target = location_target(sc.loc)
+    search = matching_lls_search(cfg, node, target)
+    assert search.matches == matching_lls(cfg, node, target)
+    assert len(search.matches) == 2
+    assert not search.reaches_entry
+
+
+def test_cas_with_no_read_of_region_has_no_matching_read():
+    """The expected value is a bound variable, but it was never bound
+    from a read of the CAS'd region — no matching read (§5.2)."""
+    prog, cfg = _cfg("""
+        global versioned C; global D;
+        proc P() {
+          local c = D in {
+            if (CAS(C, c, c + 1)) { return; }
+          }
+        }
+    """)
+    cas_node = next(n for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+    assert matching_reads(cfg, cas_node, cas_node.expr) == set()
 
 
 def test_cas_with_constant_expected_has_no_matching_read():
