@@ -53,6 +53,7 @@ from repro.cfg.builder import build_cfg
 from repro.cfg.dominators import Dominators
 from repro.cfg.graph import CFGNode, NodeKind, ProcCFG
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.provenance import justify
 from repro.obs.tracing import NULL_TRACER
 from repro.synl import ast as A
@@ -215,6 +216,9 @@ class AnalysisResult:
     #: lint found the discipline they assume violated:
     #: ``{"theorem", "region", "rules", "detail"}``
     downgrades: list[dict] = field(default_factory=list)
+    #: ranked hotspot document (``Profiler.to_dict`` shape) when the
+    #: analysis ran with a profiler, else empty
+    profile: dict = field(default_factory=dict)
 
     def to_dict(self, include_provenance: bool = True) -> dict:
         from repro.obs.export import analysis_to_dict
@@ -251,14 +255,17 @@ class AtomicityChecker:
 
     def __init__(self, program: A.Program | str,
                  options: InferenceOptions | None = None,
-                 tracer=None, metrics: MetricsRegistry | None = None):
+                 tracer=None, metrics: MetricsRegistry | None = None,
+                 profiler: Profiler | None = None):
         self.tracer = tracer or NULL_TRACER
         self.registry = metrics or MetricsRegistry()
+        self.profiler = profiler or NULL_PROFILER
         #: lock-free hot-path tallies, flushed into ``registry`` once
         #: at the end of :meth:`run`
         self._counts: dict[str, int] = {}
         if isinstance(program, str):
-            with self.tracer.span("analysis:parse-resolve"):
+            with self.tracer.span("analysis:parse-resolve"), \
+                    self.profiler.region("analysis.parse_resolve"):
                 program = load_program(program)
         self.program = program
         self.options = options or InferenceOptions()
@@ -352,9 +359,11 @@ class AtomicityChecker:
         if not self.options.enable_lint:
             return
         from repro.analysis.lint import Severity, lint_program
-        with self.tracer.span("analysis:lint"):
+        with self.tracer.span("analysis:lint"), \
+                self.profiler.region("analysis.lint"):
             self.lint = lint_program(self.program,
-                                     metrics=self.registry)
+                                     metrics=self.registry,
+                                     profiler=self.profiler)
         noted: dict[tuple, set[str]] = {}
         for diag in self.lint.findings:
             theorem = self._DOWNGRADE_RULES.get(diag.rule)
@@ -388,22 +397,27 @@ class AtomicityChecker:
 
     def run(self) -> AnalysisResult:
         opts = self.options
+        prof = self.profiler
         with self.tracer.span("analysis:run"):
             self._run_lint()
-            with self.tracer.span("analysis:variants"):
+            with self.tracer.span("analysis:variants"), \
+                    prof.region("analysis.variants"):
                 variant_set, purity = self._expand_variants()
             vprog = variant_set.program
-            with self.tracer.span("analysis:classes-alias"):
+            with self.tracer.span("analysis:classes-alias"), \
+                    prof.region("analysis.classes_alias"):
                 self.env: ClassEnv = infer_classes(vprog)
                 self.alias = AliasAnalysis(vprog, self.env)
-            with self.tracer.span("analysis:escape-uniqueness"):
+            with self.tracer.span("analysis:escape-uniqueness"), \
+                    prof.region("analysis.escape_uniqueness"):
                 v_cfgs = {p.name: build_cfg(p) for p in vprog.procs}
                 self.unique = uniqueness_analysis(vprog, v_cfgs) \
                     if opts.enable_uniqueness else UniquenessResult()
                 blocks = blocks_of_program(vprog) \
                     if opts.enable_conditions else {}
 
-            with self.tracer.span("analysis:lockset-windows"):
+            with self.tracer.span("analysis:lockset-windows"), \
+                    prof.region("analysis.lockset_windows"):
                 self.contexts: dict[str, VariantContext] = {}
                 for variant in variant_set.variants:
                     cfg = v_cfgs[variant.name]
@@ -420,11 +434,14 @@ class AtomicityChecker:
                             f"{variant.name}: {diag.message}")
                     self.contexts[variant.name] = ctx
 
-            with self.tracer.span("analysis:collect-sites"):
+            with self.tracer.span("analysis:collect-sites"), \
+                    prof.region("analysis.collect_sites"):
                 self._collect_sites()
-            with self.tracer.span("analysis:classify"):
+            with self.tracer.span("analysis:classify"), \
+                    prof.region("analysis.classify"):
                 self._classify_sites()
-            with self.tracer.span("analysis:propagate-verdicts"):
+            with self.tracer.span("analysis:propagate-verdicts"), \
+                    prof.region("analysis.propagate_verdicts"):
                 verdicts = self._verdicts(variant_set)
 
         self._tally("analysis.variants", len(variant_set.variants))
@@ -436,6 +453,19 @@ class AtomicityChecker:
         self._tally("analysis.condition_blocks",
                     sum(len(c.blocks) for c in self.contexts.values()))
         self.registry.merge_counts(self._counts)
+        if prof.enabled:
+            # per-theorem attribution, derived once from the tallies so
+            # the hot paths pay nothing: direct applications (steps 1–2,
+            # ``analysis.steps.thmX``) and adjacency exclusions
+            # (``analysis.exclusions.thmX`` / ``.agreement``) both count
+            # as deterministic work units on ``theorem.X``
+            for key, n in self._counts.items():
+                for marker in ("analysis.steps.thm",
+                               "analysis.exclusions.thm"):
+                    if key.startswith(marker):
+                        prof.add("theorem." + key[len(marker):], n)
+            agree = self._counts.get("analysis.exclusions.agreement", 0)
+            prof.add("theorem.agreement", agree)
         return AnalysisResult(
             program=self.program, options=opts, purity=purity,
             variant_set=variant_set, verdicts=verdicts,
@@ -443,7 +473,8 @@ class AtomicityChecker:
             diagnostics=self.diagnostics,
             metrics=self.registry.snapshot(),
             trace=self.tracer.to_dict() if self.tracer.enabled else [],
-            lint=self.lint, downgrades=self.downgrades)
+            lint=self.lint, downgrades=self.downgrades,
+            profile=prof.to_dict() if prof.enabled else {})
 
     # -- discipline queries ---------------------------------------------------
     def _versioned(self, target: Target) -> bool:
@@ -581,6 +612,7 @@ class AtomicityChecker:
     def _site_atomicity(self, site: Site, step2: dict) -> Atomicity:
         action = site.action
         if site.is_local or action.op == "alloc":
+            self._tally("analysis.steps.thm3.1")
             site.steps.append("step1:local")
             site.provenance.append(justify(
                 "step1", "local", mover="B",
@@ -588,12 +620,14 @@ class AtomicityChecker:
                 else f"local action on {action.target}"))
             return AT.B
         if action.op == "acquire":
+            self._tally("analysis.steps.thm3.2")
             site.steps.append("step1:acquire")
             site.provenance.append(justify(
                 "step1", "acquire", mover="R",
                 detail=f"lock acquire of {action.target}"))
             return AT.R
         if action.op == "release":
+            self._tally("analysis.steps.thm3.2")
             site.steps.append("step1:release")
             site.provenance.append(justify(
                 "step1", "release", mover="L",
@@ -605,6 +639,8 @@ class AtomicityChecker:
             hit = step2.get((site.node.uid, region, "end"))
             if hit is not None:
                 t2, _kind = hit
+                self._tally("analysis.steps.thm5.4" if _kind == "CAS"
+                            else "analysis.steps.thm5.3")
                 candidates.append(t2)
                 site.steps.append("step2:successful-" + action.via)
                 site.provenance.append(justify(
@@ -615,6 +651,8 @@ class AtomicityChecker:
                 hit = step2.get((site.node.uid, region, "ll"))
                 if hit is not None:
                     t2, kind = hit
+                    self._tally("analysis.steps.thm5.4" if kind == "CAS"
+                                else "analysis.steps.thm5.3")
                     candidates.append(t2)
                     site.steps.append("step2:matching-" + action.via)
                     rule = "matching-CAS-read" if kind == "CAS" \
@@ -629,6 +667,8 @@ class AtomicityChecker:
                 hit = step2.get((site.node.uid, region, "end"))
                 if hit is not None:
                     t2, _kind = hit
+                    self._tally("analysis.steps.thm5.4" if _kind == "CAS"
+                                else "analysis.steps.thm5.3")
                     candidates.append(t2)
                     site.steps.append("step2:successful-VL")
                     site.provenance.append(justify(
@@ -1013,8 +1053,9 @@ class AtomicityChecker:
 def analyze_program(source: A.Program | str,
                     options: InferenceOptions | None = None,
                     tracer=None,
-                    metrics: MetricsRegistry | None = None
+                    metrics: MetricsRegistry | None = None,
+                    profiler: Profiler | None = None
                     ) -> AnalysisResult:
     """Convenience entry point: run the full inference."""
     return AtomicityChecker(source, options, tracer=tracer,
-                            metrics=metrics).run()
+                            metrics=metrics, profiler=profiler).run()

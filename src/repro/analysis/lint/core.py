@@ -417,27 +417,36 @@ def lint_program(source: Union[str, A.Program], *,
                  label: Optional[str] = None,
                  source_text: Optional[str] = None,
                  rules: Optional[list[str]] = None,
-                 metrics=None, events=None) -> LintResult:
+                 metrics=None, events=None,
+                 profiler=None) -> LintResult:
     """Run every registered checker over a program (source text or a
     resolved AST).  ``rules`` optionally restricts output to the given
     rule ids / family prefixes; ``metrics`` (a
     :class:`~repro.obs.metrics.MetricsRegistry`) and ``events`` (an
     :class:`~repro.obs.events.EventStream`) receive lint counters and
-    ``lint.*`` events when supplied."""
+    ``lint.*`` events when supplied; ``profiler`` (a
+    :class:`~repro.obs.profile.Profiler`) gets a timed
+    ``lint.checker.<name>`` region per checker pass and per-rule
+    firing counts as ``lint.rule.<id>`` work units."""
     # Checkers live in sibling modules registered on package import;
     # import them here too so calling core directly also works.
     from repro.analysis.lint import race as _race  # noqa: F401
     from repro.analysis.lint import rules as _rules  # noqa: F401
 
+    if profiler is None:
+        from repro.obs.profile import NULL_PROFILER
+        profiler = NULL_PROFILER
     if isinstance(source, str):
         program = load_program(source)
         if source_text is None:
             source_text = source
     else:
         program = source
-    ctx = LintContext(program, source_text)
+    with profiler.region("lint.context"):
+        ctx = LintContext(program, source_text)
     for check in CHECKERS:
-        check(ctx)
+        with profiler.region(f"lint.checker.{check.__name__}"):
+            check(ctx)
     findings = ctx.findings
     if rules:
         findings = [d for d in findings
@@ -458,6 +467,8 @@ def lint_program(source: Union[str, A.Program], *,
         metrics.inc("lint.findings.suppressed", len(silenced))
         for rule_id, count in result.counts_by_rule().items():
             metrics.inc(f"lint.rule.{rule_id}", count)
+    for rule_id, count in result.counts_by_rule().items():
+        profiler.add(f"lint.rule.{rule_id}", count)
     if events is not None:
         for diag in result.findings:
             events.emit("lint.finding", rule=diag.rule,

@@ -8,6 +8,7 @@
     python -m repro run FILE T0 T1 ...   # execute under a random schedule
     python -m repro mc FILE T0 ... --mode atomic   # model-check
     python -m repro lint FILE            # discipline linter (docs/LINT.md)
+    python -m repro report -o out.html   # unified HTML report artifact
     python -m repro experiments NAME     # regenerate a table/figure
 
 Thread specs for ``run``/``mc`` are comma-separated call lists, e.g.
@@ -16,19 +17,25 @@ repeat forever).
 
 ``analyze``/``blocks``/``variants``/``run``/``mc`` accept the
 observability flags ``--trace`` (per-phase span timings),
-``--metrics`` (counters/gauges), ``--json`` (machine-readable output),
-``--trace-out FILE`` (Chrome/Perfetto trace-event export) and
-``--events-out FILE`` (structured event stream as JSONL); ``analyze``
-also accepts ``--explain`` (per-line classification provenance), and
-``run``/``mc`` accept ``--explain-cex`` (annotated counterexample
-timeline on violation).  ``REPRO_TRACE=1`` / ``REPRO_METRICS=1``
-enable the same from the environment — see docs/OBSERVABILITY.md.
+``--metrics`` (counters/gauges), ``--profile`` (ranked hotspot table;
+``--profile-sample`` adds per-function ``sys.setprofile``
+attribution), ``--json`` (machine-readable output), ``--trace-out
+FILE`` (Chrome/Perfetto trace-event export) and ``--events-out FILE``
+(structured event stream as JSONL); ``analyze`` also accepts
+``--explain`` (per-line classification provenance), ``run``/``mc``
+accept ``--explain-cex`` (annotated counterexample timeline on
+violation), and ``mc`` accepts ``--progress N`` (live heartbeat) and
+``--trace-malloc`` (allocation-site telemetry).  ``REPRO_TRACE=1`` /
+``REPRO_METRICS=1`` / ``REPRO_PROFILE=1`` enable the same from the
+environment — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import pathlib
 import sys
 
 from repro.analysis import analyze_program, render_figure
@@ -86,13 +93,45 @@ def _parse_spec(text: str) -> ThreadSpec:
 
 
 def _obs_setup(args) -> tuple[ObsConfig, Tracer]:
-    """Resolve REPRO_TRACE/REPRO_METRICS plus the CLI flags."""
+    """Resolve REPRO_TRACE/REPRO_METRICS/REPRO_PROFILE plus the CLI
+    flags."""
     cfg = ObsConfig.from_env().with_flags(
         trace=getattr(args, "trace", False),
-        metrics=getattr(args, "metrics", False))
+        metrics=getattr(args, "metrics", False),
+        profile=getattr(args, "profile", False),
+        profile_sample=getattr(args, "profile_sample", False))
     # --trace-out needs recorded spans even without --trace output
     enabled = cfg.trace or bool(getattr(args, "trace_out", None))
     return cfg, Tracer(enabled=enabled)
+
+
+def _profiler_for(cfg: ObsConfig):
+    """(profiler, sampler-or-None) per the resolved config.  The
+    sampler doubles as the context manager installing its
+    ``sys.setprofile`` hook; when sampling is off the caller gets a
+    no-op context instead."""
+    from repro.obs.profile import NULL_PROFILER, Profiler, Sampler
+
+    if not cfg.profile:
+        return NULL_PROFILER, None
+    return Profiler(), (Sampler() if cfg.profile_sample else None)
+
+
+def _sampling(sampler):
+    return sampler if sampler is not None else contextlib.nullcontext()
+
+
+def _emit_profile(cfg: ObsConfig, profiler, sampler=None) -> None:
+    """Ranked hotspot table (text mode, ``--profile``)."""
+    if not cfg.profile:
+        return
+    print("\n-- profile (ranked hotspots) --")
+    print(profiler.render())
+    if sampler is not None and sampler.stats:
+        print("\n-- sampled functions --")
+        for entry in sampler.top(15):
+            print(f"{entry['name']}: {entry['calls']} call(s), "
+                  f"{entry['cum_s'] * 1000:.2f} ms")
 
 
 def _events_for(args):
@@ -125,13 +164,19 @@ def _emit_obs(cfg: ObsConfig, tracer: Tracer, metrics: dict) -> None:
 
 def _analyze_with_obs(args):
     cfg, tracer = _obs_setup(args)
+    profiler, sampler = _profiler_for(cfg)
     with tracer.span("analysis:parse-resolve"):
         program = _load(args.file)
-    return cfg, tracer, analyze_program(program, tracer=tracer)
+    with _sampling(sampler):
+        result = analyze_program(program, tracer=tracer,
+                                 profiler=profiler)
+    if sampler is not None and result.profile:
+        result.profile = profiler.to_dict(sampler)
+    return cfg, tracer, result, profiler, sampler
 
 
 def cmd_analyze(args) -> int:
-    cfg, tracer, result = _analyze_with_obs(args)
+    cfg, tracer, result, profiler, sampler = _analyze_with_obs(args)
     _write_obs_outputs(args, tracer, None)
     if args.json:
         doc = result.to_dict()
@@ -157,11 +202,12 @@ def cmd_analyze(args) -> int:
             for d in result.downgrades:
                 print(f"{d['detail']}")
         _emit_obs(cfg, tracer, result.metrics)
+        _emit_profile(cfg, profiler, sampler)
     return 0 if args.lenient or result.all_atomic else 1
 
 
 def cmd_blocks(args) -> int:
-    cfg, tracer, result = _analyze_with_obs(args)
+    cfg, tracer, result, profiler, sampler = _analyze_with_obs(args)
     partitions = {name: partition_procedure(result, name)
                   for name in result.verdicts}
     _write_obs_outputs(args, tracer, None)
@@ -184,6 +230,8 @@ def cmd_blocks(args) -> int:
             doc["metrics"] = dict(result.metrics)
         if cfg.trace:
             doc["trace"] = tracer.to_dict()
+        if result.profile:
+            doc["profile"] = dict(result.profile)
         print(json.dumps(doc, indent=2))
         return 0
     for parts in partitions.values():
@@ -191,6 +239,7 @@ def cmd_blocks(args) -> int:
             print(partition.render())
             print()
     _emit_obs(cfg, tracer, result.metrics)
+    _emit_profile(cfg, profiler, sampler)
     return 0
 
 
@@ -287,12 +336,18 @@ def cmd_run(args) -> int:
 def cmd_mc(args) -> int:
     cfg, tracer = _obs_setup(args)
     events = _events_for(args)
+    profiler, sampler = _profiler_for(cfg)
     program = _load(args.file)
     interp = Interp(program, events=events)
     specs = [_parse_spec(s) for s in args.threads]
-    result = Explorer(interp, specs, mode=args.mode,
-                      max_states=args.max_states, tracer=tracer,
-                      events=events).run()
+    with _sampling(sampler):
+        result = Explorer(interp, specs, mode=args.mode,
+                          max_states=args.max_states, tracer=tracer,
+                          events=events, profiler=profiler,
+                          progress=args.progress,
+                          trace_malloc=args.trace_malloc).run()
+    if sampler is not None and result.profile:
+        result.profile = profiler.to_dict(sampler)
     cex = None
     if result.violation and args.explain_cex:
         cex = _explain_cex(args, result, interp)
@@ -313,6 +368,7 @@ def cmd_mc(args) -> int:
             for step in result.trace:
                 print(f"  {step}")
         _emit_obs(cfg, tracer, result.metrics)
+        _emit_profile(cfg, profiler, sampler)
     if result.violation:
         return 1
     if result.capped:
@@ -334,6 +390,7 @@ def cmd_lint(args) -> int:
 
     cfg, tracer = _obs_setup(args)
     events = _events_for(args)
+    profiler, sampler = _profiler_for(cfg)
     registry = MetricsRegistry()
     rules = [r.strip() for r in (args.rules or "").split(",")
              if r.strip()] or None
@@ -352,11 +409,13 @@ def cmd_lint(args) -> int:
         return 2
 
     results = []
-    for label, source in targets:
-        with tracer.span("lint:target", target=label):
-            results.append(lint_program(
-                source, label=label, rules=rules,
-                metrics=registry, events=events))
+    with _sampling(sampler):
+        for label, source in targets:
+            with tracer.span("lint:target", target=label):
+                results.append(lint_program(
+                    source, label=label, rules=rules,
+                    metrics=registry, events=events,
+                    profiler=profiler))
     _write_obs_outputs(args, tracer, events)
 
     if args.manifest:
@@ -402,9 +461,45 @@ def cmd_lint(args) -> int:
         for res in results:
             print(res.render())
         _emit_obs(cfg, tracer, registry.snapshot())
+        _emit_profile(cfg, profiler, sampler)
     if any(r.errors for r in results):
         return 2
     if any(r.warnings for r in results):
+        return 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Aggregate observability artifacts into one self-contained HTML
+    file (docs/OBSERVABILITY.md).  Exit codes: 0 complete report,
+    1 rendered but with missing sections (self-check failure), 2 no
+    usable inputs."""
+    from repro.obs import report_html
+
+    if args.self_check:
+        code, message = report_html.self_check()
+        print(message)
+        return code
+    paths = list(args.inputs)
+    if not paths and pathlib.Path("benchmarks/out").is_dir():
+        paths = ["benchmarks/out"]
+    if not paths:
+        print("error: no inputs (pass artifact files/directories, or "
+              "run from a checkout with benchmarks/out)",
+              file=sys.stderr)
+        return 2
+    inputs = report_html.collect_inputs(paths,
+                                        baseline_dir=args.baselines)
+    html_text = report_html.render_report(inputs, title=args.title)
+    out = pathlib.Path(args.output)
+    out.write_text(html_text)
+    problems = report_html.check_html(html_text)
+    n_charts = html_text.count("<svg")
+    print(f"wrote {out} ({len(html_text)} bytes, "
+          f"{n_charts} chart(s))")
+    if problems:
+        print("warning: incomplete report: " + "; ".join(problems),
+              file=sys.stderr)
         return 1
     return 0
 
@@ -444,6 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "Perfetto trace-event file")
     obs.add_argument("--events-out", metavar="FILE",
                      help="write the structured event stream as JSONL")
+    obs.add_argument("--profile", action="store_true",
+                     help="deterministic work-counter profiler: ranked "
+                          "hotspot table in text output, 'profile' "
+                          "document in --json (also: REPRO_PROFILE=1)")
+    obs.add_argument("--profile-sample", action="store_true",
+                     help="additionally attribute time per Python "
+                          "function via sys.setprofile (slow; implies "
+                          "--profile; also: REPRO_PROFILE=sample)")
 
     p = sub.add_parser("analyze", parents=[obs],
                        help="run the atomicity inference")
@@ -491,6 +594,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on violation, render the counterexample as "
                         "an annotated per-thread timeline (mover "
                         "types + theorem citations)")
+    p.add_argument("--progress", type=float, metavar="SECONDS",
+                   default=None,
+                   help="print a live heartbeat (states/transitions/"
+                        "frontier/depth/RSS) to stderr every N "
+                        "seconds, plus a final summary beat")
+    p.add_argument("--trace-malloc", action="store_true",
+                   help="record top allocation sites via tracemalloc "
+                        "(mc.malloc_top metric; slows the search)")
     p.set_defaults(fn=cmd_mc)
 
     p = sub.add_parser("lint", parents=[obs],
@@ -508,6 +619,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated rule ids or family prefixes "
                         "to report (e.g. 'llsc,race.unlocked')")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("report",
+                       help="aggregate observability artifacts into "
+                            "one self-contained HTML file")
+    p.add_argument("inputs", nargs="*",
+                   help="JSON/JSONL/TXT artifacts or directories "
+                        "(default: benchmarks/out when present)")
+    p.add_argument("-o", "--output", default="report.html",
+                   help="output file (default: report.html)")
+    p.add_argument("--baselines", default="benchmarks/baselines",
+                   help="committed bench baselines for the trajectory "
+                        "comparison (default: benchmarks/baselines)")
+    p.add_argument("--title", default="repro report",
+                   help="report title")
+    p.add_argument("--self-check", action="store_true",
+                   help="render the embedded fixture instead and exit "
+                        "non-zero if any section is missing (CI "
+                        "canary; writes nothing)")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("experiments",
                        help="regenerate a table/figure of the paper")

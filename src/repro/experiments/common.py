@@ -76,11 +76,15 @@ class BenchCollector:
             name, wall_s, percentiles=self._percentiles(histogram)))
 
     def add_mc(self, name: str, result, histogram=None) -> None:
-        """Record an :class:`~repro.mc.explorer.MCResult`."""
+        """Record an :class:`~repro.mc.explorer.MCResult` (plus the
+        peak-RSS and dedup-hit-rate telemetry the explorer already
+        snapshots into ``result.metrics``)."""
         self.mc.append(bench_record(
             name, result.elapsed, states=result.states,
             transitions=result.transitions,
-            percentiles=self._percentiles(histogram)))
+            percentiles=self._percentiles(histogram),
+            mem_peak_mb=result.metrics.get("mc.mem_peak_mb"),
+            dedup_hit_rate=result.metrics.get("mc.dedup_hit_rate")))
 
     def write(self, out_dir) -> list[pathlib.Path]:
         out_dir = pathlib.Path(out_dir)

@@ -19,6 +19,7 @@ one), a state cap, and violation traces.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -30,7 +31,44 @@ from repro.mc.atomic import AtomicOutcome, run_to_commit, run_variant
 from repro.mc.canonical import quiescent_key, shared_key, state_key
 from repro.mc.por import SafetyCache
 from repro.mc.properties import Property
+from repro.obs.export import MIN_RATE_WINDOW_S
+from repro.obs.profile import NULL_PROFILER, malloc_top, peak_rss_mb
 from repro.obs.tracing import NULL_TRACER
+
+#: the DFS checks the progress/heartbeat clock once per this many loop
+#: iterations — cheap enough to leave always on
+_BEAT_CHECK_MASK = 0xFF
+
+#: frontier-size sampling starts at this transition stride and doubles
+#: (halving the retained samples) whenever the buffer fills, keeping
+#: the per-run series bounded no matter how long the search runs
+_FRONTIER_SAMPLE_STRIDE = 64
+_FRONTIER_MAX_SAMPLES = 256
+
+
+def _depth_summary(depth_counts: dict[int, int]) -> dict:
+    """Exact summary statistics over a ``{depth: pushes}`` histogram
+    (unlike the log-bucketed Histogram sketch, depths are small ints
+    so exact percentiles are free)."""
+    total = sum(depth_counts.values())
+    if not total:
+        return {"count": 0, "min": 0, "max": 0, "mean": 0.0,
+                "p50": 0, "p95": 0, "p99": 0}
+    ordered = sorted(depth_counts)
+    out = {"count": total, "min": ordered[0], "max": ordered[-1],
+           "mean": round(sum(d * n for d, n in depth_counts.items())
+                         / total, 3)}
+    for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        rank = max(1, int(q * total + 0.999999))
+        seen = 0
+        value = ordered[-1]
+        for depth in ordered:
+            seen += depth_counts[depth]
+            if seen >= rank:
+                value = depth
+                break
+        out[name] = value
+    return out
 
 
 @dataclass
@@ -49,8 +87,13 @@ class MCResult:
     path: list[dict] = field(default_factory=list)
     capped: bool = False
     #: explorer metrics snapshot (states/sec, canonical-hash cache
-    #: hits, ample-set reduction counts, …) — see ``Explorer._finish``
+    #: hits, ample-set reduction counts, coverage telemetry such as
+    #: ``mc.depth`` / ``mc.frontier_samples`` / ``mc.mem_peak_mb``)
+    #: — see ``Explorer._finish``
     metrics: dict = field(default_factory=dict)
+    #: ranked hotspot document (``Profiler.to_dict`` shape) when the
+    #: exploration ran with a profiler, else empty
+    profile: dict = field(default_factory=dict)
     quiescent: Optional[set] = None
     #: quiescent states where every thread's script has completed.
     #: ``full``/``por``/``atomic`` preserve the whole quiescent set;
@@ -62,7 +105,13 @@ class MCResult:
 
     @property
     def states_per_s(self) -> float:
-        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+        """Throughput, 0.0 for runs shorter than
+        :data:`~repro.obs.export.MIN_RATE_WINDOW_S` — a rate computed
+        over a sub-millisecond window is timer noise and must not be
+        compared against real baselines."""
+        if self.elapsed <= MIN_RATE_WINDOW_S:
+            return 0.0
+        return self.states / self.elapsed
 
     def to_dict(self) -> dict:
         from repro.obs.export import mc_to_dict
@@ -104,7 +153,10 @@ class Explorer:
                  commutes: Optional[Callable] = None,
                  collect_quiescent: bool = False,
                  atomic_step_budget: int = 10_000,
-                 tracer=None, events=None):
+                 tracer=None, events=None, profiler=None,
+                 progress: Optional[float] = None,
+                 progress_sink: Optional[Callable[[str], None]] = None,
+                 trace_malloc: bool = False):
         if mode not in ("full", "por", "atomic", "both"):
             raise ValueError(f"unknown mode {mode!r}")
         self.interp = interp
@@ -123,9 +175,25 @@ class Explorer:
         #: ``mc.push`` / ``mc.pop`` / ``mc.ample`` / ``mc.violation`` /
         #: ``mc.cap`` events (None = off)
         self.events = events
+        #: work-counter profiler attributing cost per explorer
+        #: sub-step (``mc.successors`` / ``mc.canonicalize`` /
+        #: ``mc.dedup`` / ``mc.por_ample``); NULL_PROFILER = off
+        self.profiler = profiler or NULL_PROFILER
+        #: heartbeat period in seconds (None = no heartbeat); each
+        #: beat prints one progress line and emits an
+        #: ``explorer.progress`` event
+        self.progress = progress
+        self.progress_sink = progress_sink or (
+            lambda line: print(line, file=sys.stderr))
+        #: when True, collect tracemalloc top-allocation sites into
+        #: ``metrics["mc.malloc_top"]`` (starts tracing if needed)
+        self.trace_malloc = trace_malloc
         # ample-set bookkeeping (plain ints: DFS is single-threaded)
         self._ample_reduced = 0
         self._ample_full = 0
+        self._prof_on = self.profiler.enabled
+        self._ample_wall = 0.0
+        self._ample_checks = 0
 
     # -- successor generation --------------------------------------------------
     def _step_thread(self, world: World, tid: int) -> _Succ:
@@ -156,7 +224,16 @@ class Explorer:
         enabled = self.interp.enabled_threads(world)
         if self.mode == "por":
             for tid in enabled:
-                if not self.safety.thread_safe(self.interp, world, tid):
+                if self._prof_on:
+                    t0 = time.perf_counter()
+                    safe = self.safety.thread_safe(self.interp, world,
+                                                   tid)
+                    self._ample_wall += time.perf_counter() - t0
+                    self._ample_checks += 1
+                else:
+                    safe = self.safety.thread_safe(self.interp, world,
+                                                   tid)
+                if not safe:
                     continue
                 succ = self._step_thread(world, tid)
                 if succ.violation is not None:
@@ -200,9 +277,20 @@ class Explorer:
             # operation may be explored alone (cycle proviso applies)
             for tid in live:
                 mine = world.threads[tid].current_call()
-                if not all(self.commutes(mine,
-                                         world.threads[o].current_call())
-                           for o in live if o != tid):
+                if self._prof_on:
+                    t0 = time.perf_counter()
+                    alone = all(
+                        self.commutes(mine,
+                                      world.threads[o].current_call())
+                        for o in live if o != tid)
+                    self._ample_wall += time.perf_counter() - t0
+                    self._ample_checks += 1
+                else:
+                    alone = all(
+                        self.commutes(mine,
+                                      world.threads[o].current_call())
+                        for o in live if o != tid)
+                if not alone:
                     continue
                 succs = [s for s in self._atomic_one(world, tid)]
                 if any(s.violation for s in succs):
@@ -253,17 +341,23 @@ class Explorer:
     # -- the search ---------------------------------------------------------------
     def _finish(self, result: MCResult, start: float,
                 cache_hits: int, max_depth: int) -> MCResult:
-        """Stamp timing and the metrics snapshot onto the result."""
+        """Stamp timing, the metrics snapshot, and the coverage
+        telemetry onto the result (``time.perf_counter`` throughout —
+        monotonic, immune to wall-clock jumps)."""
         result.elapsed = time.perf_counter() - start
         lookups = cache_hits + result.states
+        hit_rate = round(cache_hits / lookups, 6) if lookups else 0.0
         ample_total = self._ample_reduced + self._ample_full
+        depth_counts = getattr(self, "_depth_counts", {})
         result.metrics = {
             "mc.states": result.states,
             "mc.transitions": result.transitions,
             "mc.states_per_s": round(result.states_per_s, 3),
             "mc.cache_hits": cache_hits,
-            "mc.cache_hit_ratio":
-                round(cache_hits / lookups, 6) if lookups else 0.0,
+            "mc.cache_hit_ratio": hit_rate,
+            # alias of cache_hit_ratio under the name the bench
+            # records and the regression watchdog use
+            "mc.dedup_hit_rate": hit_rate,
             "mc.max_depth": max_depth,
             "mc.ample_reduced": self._ample_reduced,
             "mc.ample_full": self._ample_full,
@@ -272,8 +366,49 @@ class Explorer:
                 if ample_total else 0.0,
             "mc.safety_cache_hits": self.safety.hits,
             "mc.safety_cache_misses": self.safety.misses,
+            "mc.mem_peak_mb": peak_rss_mb(),
+            "mc.depth": _depth_summary(depth_counts),
+            "mc.depth_hist": [[d, depth_counts[d]]
+                              for d in sorted(depth_counts)],
+            "mc.frontier_samples": [
+                list(pair)
+                for pair in getattr(self, "_frontier_samples", [])],
         }
+        if self.trace_malloc:
+            result.metrics["mc.malloc_top"] = malloc_top()
+        if self._prof_on:
+            prof = self.profiler
+            prof.acc("mc.por_ample", self._ample_wall,
+                     work=self._ample_checks,
+                     calls=self._ample_checks)
+            # dedup: calls = canonical-key lookups, work = hits
+            prof.acc("mc.dedup", 0.0, work=cache_hits, calls=lookups)
+            result.profile = prof.to_dict()
+            prof.emit_hotspots(self.events)
+        if self.progress is not None:
+            self._beat(result, start, final=True)
         return result
+
+    def _beat(self, result: MCResult, start: float,
+              final: bool = False) -> None:
+        """One ``--progress`` heartbeat: a stderr line plus an
+        ``explorer.progress`` event."""
+        elapsed = time.perf_counter() - start
+        frontier = getattr(self, "_stack_len", 0)
+        tag = "done " if final else ""
+        self.progress_sink(
+            f"[mc:{self.mode}] {tag}t={elapsed:.1f}s "
+            f"states={result.states} trans={result.transitions} "
+            f"frontier={frontier} "
+            f"depth_max={getattr(self, '_max_depth_seen', 0)} "
+            f"mem={peak_rss_mb():.1f}MB")
+        if self.events is not None:
+            self.events.emit("explorer.progress",
+                             states=result.states,
+                             transitions=result.transitions,
+                             depth=getattr(self, "_max_depth_seen", 0),
+                             frontier=frontier,
+                             elapsed_s=round(elapsed, 3))
 
     def run(self) -> MCResult:
         with self.tracer.span("mc:run", mode=self.mode):
@@ -283,6 +418,29 @@ class Explorer:
         start = time.perf_counter()
         self._ample_reduced = 0
         self._ample_full = 0
+        self._prof_on = self.profiler.enabled
+        self._ample_wall = 0.0
+        self._ample_checks = 0
+        # coverage telemetry (plain containers: DFS is single-threaded)
+        self._depth_counts: dict[int, int] = {}
+        self._frontier_samples: list[tuple[int, int]] = []
+        self._stack_len = 1
+        self._max_depth_seen = 1
+        sample_stride = _FRONTIER_SAMPLE_STRIDE
+        next_sample = sample_stride
+        if self.trace_malloc:
+            import tracemalloc
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+        next_beat = start + self.progress \
+            if self.progress is not None else None
+        loop_i = 0
+        # profiler hot-loop accumulators, flushed once at the end
+        succ_wall = 0.0
+        succ_calls = 0
+        succ_work = 0
+        canon_wall = 0.0
+        canon_calls = 0
         cache_hits = 0  # canonical-hash lookups that found a seen state
         max_depth = 1
         result = MCResult(self.mode)
@@ -329,11 +487,28 @@ class Explorer:
 
         # stack entries: (key, world, ghosts, successor list, index, step)
         stack = [[key0, world0, ghosts0, None, 0, init_step]]
+        prof_on = self._prof_on
         while stack:
+            loop_i += 1
+            if next_beat is not None \
+                    and not (loop_i & _BEAT_CHECK_MASK):
+                now = time.perf_counter()
+                if now >= next_beat:
+                    self._stack_len = len(stack)
+                    self._max_depth_seen = max_depth
+                    self._beat(result, start)
+                    next_beat = now + self.progress
             entry = stack[-1]
             key, world, ghosts, succs, index, _step = entry
             if succs is None:
-                succs = self._successors(world, on_stack)
+                if prof_on:
+                    t0 = time.perf_counter()
+                    succs = self._successors(world, on_stack)
+                    succ_wall += time.perf_counter() - t0
+                    succ_calls += 1
+                    succ_work += len(succs)
+                else:
+                    succs = self._successors(world, on_stack)
                 entry[3] = succs
             if index >= len(succs):
                 stack.pop()
@@ -349,8 +524,22 @@ class Explorer:
             if succ.world is None:
                 continue  # disabled transition
             result.transitions += 1
+            if result.transitions >= next_sample:
+                self._frontier_samples.append(
+                    (result.transitions, len(stack)))
+                if len(self._frontier_samples) >= _FRONTIER_MAX_SAMPLES:
+                    self._frontier_samples = \
+                        self._frontier_samples[::2]
+                    sample_stride *= 2
+                next_sample = result.transitions + sample_stride
             new_ghosts = self._apply_events(ghosts, succ.events)
-            new_key = (state_key(succ.world), new_ghosts)
+            if prof_on:
+                t0 = time.perf_counter()
+                new_key = (state_key(succ.world), new_ghosts)
+                canon_wall += time.perf_counter() - t0
+                canon_calls += 1
+            else:
+                new_key = (state_key(succ.world), new_ghosts)
             if new_key in seen:
                 cache_hits += 1
                 continue
@@ -370,13 +559,23 @@ class Explorer:
             on_stack.add(new_key[0])
             stack.append([new_key, succ.world, new_ghosts, None, 0,
                           succ.step_info()])
-            if len(stack) > max_depth:
-                max_depth = len(stack)
+            depth = len(stack)
+            self._depth_counts[depth] = \
+                self._depth_counts.get(depth, 0) + 1
+            if depth > max_depth:
+                max_depth = depth
             if self.events is not None:
-                self.events.emit("mc.push", depth=len(stack),
+                self.events.emit("mc.push", depth=depth,
                                  desc=succ.desc, states=result.states)
         dfs_span.__exit__(None, None, None)
 
+        self._stack_len = len(stack)
+        self._max_depth_seen = max_depth
+        if prof_on:
+            self.profiler.acc("mc.successors", succ_wall,
+                              work=succ_work, calls=succ_calls)
+            self.profiler.acc("mc.canonicalize", canon_wall,
+                              calls=canon_calls, work=canon_calls)
         return self._finish(result, start, cache_hits, max_depth)
 
 

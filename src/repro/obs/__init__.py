@@ -14,8 +14,14 @@ Three concerns, one package:
   checker, the scheduler, and the dynamic checker;
 * :mod:`repro.obs.chrometrace` — span-tree + event-stream export in
   Chrome trace-event format (``--trace-out``, loadable in Perfetto);
+* :mod:`repro.obs.profile` — deterministic work-counter profiler
+  (scoped regions + ``sys.setprofile`` sampling fallback, ranked
+  hotspot tables, ``--profile``);
 * :mod:`repro.obs.regress` — the bench regression watchdog
-  (``python -m repro.obs.regress``).
+  (``python -m repro.obs.regress``);
+* :mod:`repro.obs.report_html` — the ``repro report`` self-contained
+  HTML artifact (trace + metrics + hotspots + coverage + lint +
+  bench trajectory).
 
 :mod:`repro.obs.export` serializes analysis/model-checking results (and
 the ``BENCH_*.json`` benchmark records) against small self-validated
@@ -29,6 +35,7 @@ JSON schemas; :mod:`repro.obs.config` reads the ``REPRO_TRACE`` /
 from repro.obs.config import ObsConfig
 from repro.obs.events import EventStream
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.profile import NULL_PROFILER, Profiler, Sampler
 from repro.obs.provenance import Justification
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
 
@@ -39,8 +46,11 @@ __all__ = [
     "Histogram",
     "Justification",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
     "ObsConfig",
+    "Profiler",
+    "Sampler",
     "Span",
     "Tracer",
 ]

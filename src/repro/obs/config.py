@@ -1,9 +1,12 @@
 """Environment-variable configuration for the observability layer.
 
-Two switches, mirroring the CLI flags:
+Three switches, mirroring the CLI flags:
 
 * ``REPRO_TRACE``   — enable span tracing (as if ``--trace``);
-* ``REPRO_METRICS`` — enable the metrics report (as if ``--metrics``).
+* ``REPRO_METRICS`` — enable the metrics report (as if ``--metrics``);
+* ``REPRO_PROFILE`` — enable the work-counter profiler (as if
+  ``--profile``); the value ``sample`` additionally turns on the
+  ``sys.setprofile`` sampling fallback (as if ``--profile-sample``).
 
 Values ``""``, ``"0"``, ``"false"``, ``"no"``, ``"off"`` (any case)
 mean *off*; anything else means *on*.  CLI flags OR into the
@@ -29,16 +32,27 @@ class ObsConfig:
 
     trace: bool = False
     metrics: bool = False
+    profile: bool = False
+    profile_sample: bool = False
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None
                  ) -> "ObsConfig":
         env = os.environ if env is None else env
+        prof = env.get("REPRO_PROFILE")
+        sample = _truthy(prof) and prof.strip().lower() == "sample"
         return cls(trace=_truthy(env.get("REPRO_TRACE")),
-                   metrics=_truthy(env.get("REPRO_METRICS")))
+                   metrics=_truthy(env.get("REPRO_METRICS")),
+                   profile=_truthy(prof),
+                   profile_sample=sample)
 
-    def with_flags(self, trace: bool = False,
-                   metrics: bool = False) -> "ObsConfig":
-        """OR command-line flags into the env-derived settings."""
-        return ObsConfig(trace=self.trace or trace,
-                         metrics=self.metrics or metrics)
+    def with_flags(self, trace: bool = False, metrics: bool = False,
+                   profile: bool = False,
+                   profile_sample: bool = False) -> "ObsConfig":
+        """OR command-line flags into the env-derived settings
+        (``--profile-sample`` implies ``--profile``)."""
+        return ObsConfig(
+            trace=self.trace or trace,
+            metrics=self.metrics or metrics,
+            profile=self.profile or profile or profile_sample,
+            profile_sample=self.profile_sample or profile_sample)

@@ -49,6 +49,11 @@ KINDS = {
     "dyn.verdict": ("proc", "atomic", "witnesses"),  # checker concluded
     "lint.finding": ("rule", "severity", "proc", "line"),  # one diagnostic
     "lint.run": ("target", "errors", "warnings", "infos"),  # lint summary
+    # ranked profiler entry (Profiler.emit_hotspots, top-N at run end)
+    "profile.hotspot": ("name", "wall_s", "work", "calls"),
+    # --progress heartbeat from the DFS (also printed to stderr)
+    "explorer.progress": ("states", "transitions", "depth", "frontier",
+                          "elapsed_s"),
 }
 
 #: JSON-schema (export.validate subset) for one event

@@ -21,6 +21,12 @@ import json
 import pathlib
 from typing import Optional, Union
 
+#: throughput rates computed over windows at or below this are
+#: noise-dominated (timer resolution + interpreter jitter swamp the
+#: signal on sub-millisecond runs) and are reported as 0.0 so the
+#: regression watchdog never compares them against real baselines
+MIN_RATE_WINDOW_S = 0.001
+
 _TYPES = {
     "object": dict,
     "array": list,
@@ -184,6 +190,42 @@ LINT_REPORT_SCHEMA = {
     },
 }
 
+HOTSPOT_SCHEMA = {
+    "type": "object",
+    "required": ["name", "calls", "work", "wall_s"],
+    "properties": {
+        "name": {"type": "string"},
+        "calls": {"type": "integer"},
+        "work": {"type": "number"},
+        "wall_s": {"type": "number"},
+        "share": {"type": "number"},
+    },
+}
+
+SAMPLE_SCHEMA = {
+    "type": "object",
+    "required": ["name", "calls", "cum_s"],
+    "properties": {
+        "name": {"type": "string"},
+        "calls": {"type": "integer"},
+        "cum_s": {"type": "number"},
+    },
+}
+
+#: shape of ``Profiler.to_dict()`` — the ranked hotspot table embedded
+#: in analysis/MC JSON under ``"profile"`` when ``--profile`` is on
+PROFILE_SCHEMA = {
+    "type": "object",
+    "required": ["v", "hotspots"],
+    "properties": {
+        "v": {"type": "integer"},
+        "hotspots": {"type": "array", "items": HOTSPOT_SCHEMA},
+        "sampled": {"type": "array", "items": SAMPLE_SCHEMA},
+    },
+}
+
+ANALYSIS_SCHEMA["properties"]["profile"] = PROFILE_SCHEMA
+
 DOWNGRADE_SCHEMA = {
     "type": "object",
     "required": ["theorem", "region", "rules", "detail"],
@@ -230,6 +272,7 @@ MC_SCHEMA = {
         "path": {"type": "array", "items": PATH_STEP_SCHEMA},
         "metrics": {"type": "object"},
         "counterexample": {"type": "object"},
+        "profile": PROFILE_SCHEMA,
     },
 }
 
@@ -276,6 +319,10 @@ BENCH_RECORD_SCHEMA = {
         "states": {"type": "integer"},
         "transitions": {"type": "integer"},
         "states_per_s": {"type": "number"},
+        # percentile estimates come from the log-bucketed Histogram
+        # sketch: each is the *upper bound* of the bucket holding the
+        # rank sample (clamped to the observed range), so they can
+        # overstate the true quantile by up to ~19% but never more.
         "percentiles": {
             "type": "object",
             "required": ["p50", "p95", "p99"],
@@ -285,6 +332,12 @@ BENCH_RECORD_SCHEMA = {
                 "p99": {"type": "number"},
             },
         },
+        # peak RSS of the process at record time (MB; 0 when the
+        # platform offers no resource.getrusage)
+        "mem_peak_mb": {"type": "number"},
+        # canonical-hash dedup hit rate of the exploration (hits over
+        # lookups; 0 for analysis records)
+        "dedup_hit_rate": {"type": "number"},
     },
 }
 
@@ -295,14 +348,12 @@ BENCH_FILE_SCHEMA = {"type": "array", "items": BENCH_RECORD_SCHEMA}
 
 def mc_to_dict(result) -> dict:
     """Serialize an :class:`~repro.mc.explorer.MCResult`."""
-    elapsed = result.elapsed
     out = {
         "mode": result.mode,
         "states": result.states,
         "transitions": result.transitions,
-        "elapsed_s": round(elapsed, 6),
-        "states_per_s": round(result.states / elapsed, 3)
-        if elapsed > 0 else 0.0,
+        "elapsed_s": round(result.elapsed, 6),
+        "states_per_s": round(result.states_per_s, 3),
         "violation": result.violation,
         "capped": result.capped,
         "trace": list(result.trace),
@@ -311,6 +362,9 @@ def mc_to_dict(result) -> dict:
     path = getattr(result, "path", None)
     if path:
         out["path"] = [dict(step) for step in path]
+    profile = getattr(result, "profile", None)
+    if profile:
+        out["profile"] = dict(profile)
     return out
 
 
@@ -364,6 +418,9 @@ def analysis_to_dict(result, include_provenance: bool = True) -> dict:
     downgrades = getattr(result, "downgrades", None)
     if downgrades:
         out["downgrades"] = [dict(d) for d in downgrades]
+    profile = getattr(result, "profile", None)
+    if profile:
+        out["profile"] = dict(profile)
     return out
 
 
@@ -371,23 +428,34 @@ def analysis_to_dict(result, include_provenance: bool = True) -> dict:
 
 def bench_record(name: str, wall_s: float, states: int = 0,
                  transitions: int = 0,
-                 percentiles: Optional[dict] = None) -> dict:
+                 percentiles: Optional[dict] = None,
+                 mem_peak_mb: Optional[float] = None,
+                 dedup_hit_rate: Optional[float] = None) -> dict:
     """One ``BENCH_*.json`` entry; ``states_per_s`` is 0 for records
-    with no state count (pure analysis timings).  ``percentiles`` is
-    an optional ``{p50, p95, p99}`` dict of per-round wall times (from
-    :meth:`repro.obs.metrics.Histogram.to_dict`) so the regression
-    watchdog can gate tail latency, not just the headline number."""
+    with no state count (pure analysis timings) and for runs shorter
+    than :data:`MIN_RATE_WINDOW_S` (sub-millisecond rates are timer
+    noise, not throughput).  ``percentiles`` is an optional
+    ``{p50, p95, p99}`` dict of per-round wall times (from
+    :meth:`repro.obs.metrics.Histogram.to_dict`; the estimates are
+    bucket *upper bounds*, see that class) so the regression watchdog
+    can gate tail latency, not just the headline number.
+    ``mem_peak_mb`` / ``dedup_hit_rate`` carry the explorer's resource
+    accounting into the perf trajectory."""
     out = {
         "name": name,
         "wall_s": round(float(wall_s), 6),
         "states": int(states),
         "transitions": int(transitions),
         "states_per_s": round(states / wall_s, 3)
-        if wall_s > 0 and states else 0.0,
+        if wall_s > MIN_RATE_WINDOW_S and states else 0.0,
     }
     if percentiles is not None:
         out["percentiles"] = {k: round(float(percentiles[k]), 6)
                               for k in ("p50", "p95", "p99")}
+    if mem_peak_mb is not None:
+        out["mem_peak_mb"] = round(float(mem_peak_mb), 3)
+    if dedup_hit_rate is not None:
+        out["dedup_hit_rate"] = round(float(dedup_hit_rate), 6)
     return out
 
 

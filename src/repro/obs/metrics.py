@@ -128,6 +128,14 @@ class Histogram:
             return self.max  # pragma: no cover — rank <= count
 
     def to_dict(self) -> dict:
+        """Snapshot schema: ``{count, total, min, max, mean, p50, p95,
+        p99}``.  The percentile fields are *upper-bound estimates*:
+        each is the upper boundary of the log-spaced bucket holding
+        the rank sample, clamped to ``[min, max]`` — so they can
+        overstate the true quantile by up to one bucket width (~19%
+        at 4 buckets/octave) but never understate past the bucket,
+        and a single-observation histogram reports the value exactly.
+        All percentile fields are None when the histogram is empty."""
         def rounded(value: Optional[float]) -> Optional[float]:
             return round(value, 9) if value is not None else None
 

@@ -1,0 +1,275 @@
+"""Deterministic work-counter profiling (zero-dep).
+
+The span tracer answers *which phase* was slow; this module answers
+*which work inside a phase* cost the time.  Two collectors, one
+report:
+
+* the **region profiler** — scoped ``profiler.region("name")``
+  contexts (plus the lock-free :meth:`Profiler.acc` hot-loop form)
+  accumulate three numbers per dotted name: ``calls``, ``work`` (an
+  explicit, deterministic unit count — sites classified, states
+  expanded, rule firings, …) and ``wall_s``.  Work and call counts
+  are *deterministic*: two identical runs produce identical counters,
+  so they diff cleanly across commits even though wall times jitter;
+* the **sampling fallback** — a ``sys.setprofile``-based collector
+  (:class:`Sampler`) that attributes call counts and cumulative time
+  per Python function, for code that carries no region
+  instrumentation yet.  It is far more intrusive (every function
+  call/return pays the hook), so it is opt-in behind
+  ``--profile-sample`` / ``REPRO_PROFILE=sample``.
+
+The report surface is :meth:`Profiler.hotspots` — entries ranked by
+wall time (deterministic ``work`` then name break ties) with each
+entry's share of the total *attributed* time.  Regions may nest and
+overlap, so shares are an attribution summary, not a partition of the
+run.  :meth:`Profiler.to_dict` emits the schema-validated document
+embedded in analysis/MC JSON output
+(:data:`repro.obs.export.PROFILE_SCHEMA`).
+
+Disabled profilers follow the ``NULL_TRACER`` pattern: the shared
+:data:`NULL_PROFILER` hands back one reusable no-op context manager
+and every mutator returns after a single attribute check, so
+instrumented hot paths cost nothing measurable when profiling is off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+#: version stamp of the ``to_dict`` document (see PROFILE_SCHEMA)
+PROFILE_VERSION = 1
+
+
+class _NullRegion:
+    """Reusable no-op context manager for disabled profilers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_REGION = _NullRegion()
+
+
+class _Region:
+    __slots__ = ("profiler", "name", "start")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self.profiler = profiler
+        self.name = name
+        self.start = 0.0
+
+    def __enter__(self) -> "_Region":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.profiler.acc(self.name, time.perf_counter() - self.start)
+        return False
+
+
+class Profiler:
+    """Named accumulator of ``(calls, work, wall_s)`` triples.
+
+    Not thread-safe by design: the inference pipeline and the DFS are
+    single-threaded, and the hot-loop contract mirrors
+    :class:`~repro.obs.metrics.MetricsRegistry` — accumulate locally,
+    flush once.
+    """
+
+    __slots__ = ("enabled", "_entries")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        # name -> [calls, work, wall_s]
+        self._entries: dict[str, list] = {}
+
+    # -- accumulation ------------------------------------------------------
+    def region(self, name: str):
+        """Timed scope: one call + elapsed wall time on ``name``."""
+        if not self.enabled:
+            return _NULL_REGION
+        return _Region(self, name)
+
+    def add(self, name: str, work: float = 1) -> None:
+        """Count deterministic work units (no timing)."""
+        if not self.enabled or not work:
+            return
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = self._entries[name] = [0, 0, 0.0]
+        entry[1] += work
+
+    def acc(self, name: str, wall_s: float, work: float = 0,
+            calls: int = 1) -> None:
+        """Flush locally accumulated hot-loop numbers in one call."""
+        if not self.enabled:
+            return
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = self._entries[name] = [0, 0, 0.0]
+        entry[0] += calls
+        entry[1] += work
+        entry[2] += wall_s
+
+    # -- reporting ---------------------------------------------------------
+    def counters(self) -> dict[str, dict]:
+        """``{name: {calls, work}}`` — the deterministic part only
+        (wall times excluded), for run-to-run comparison."""
+        return {name: {"calls": e[0], "work": e[1]}
+                for name, e in sorted(self._entries.items())}
+
+    def hotspots(self, limit: Optional[int] = None) -> list[dict]:
+        """Entries ranked by wall time (desc), then work, then name.
+        ``share`` is the entry's fraction of the total attributed wall
+        time (regions may nest, so shares can sum past 1)."""
+        total = sum(e[2] for e in self._entries.values())
+        ranked = sorted(
+            self._entries.items(),
+            key=lambda kv: (-kv[1][2], -kv[1][1], kv[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
+        return [{"name": name,
+                 "calls": entry[0],
+                 "work": entry[1],
+                 "wall_s": round(entry[2], 6),
+                 "share": round(entry[2] / total, 4) if total else 0.0}
+                for name, entry in ranked]
+
+    def to_dict(self, sampler: Optional["Sampler"] = None,
+                limit: Optional[int] = None) -> dict:
+        out: dict = {"v": PROFILE_VERSION,
+                     "hotspots": self.hotspots(limit)}
+        if sampler is not None and sampler.stats:
+            out["sampled"] = sampler.top(25)
+        return out
+
+    def render(self, limit: int = 20) -> str:
+        """Ranked hotspot table (fixed-width text)."""
+        rows = self.hotspots(limit)
+        if not rows:
+            return "(no profile data)"
+        width = max(len(r["name"]) for r in rows)
+        lines = [f"{'region'.ljust(width)}  {'wall_ms':>9} "
+                 f"{'share':>6} {'calls':>8} {'work':>10}"]
+        for r in rows:
+            lines.append(
+                f"{r['name'].ljust(width)}  "
+                f"{r['wall_s'] * 1000:>9.2f} "
+                f"{r['share'] * 100:>5.1f}% "
+                f"{r['calls']:>8} {r['work']:>10}")
+        return "\n".join(lines)
+
+    def emit_hotspots(self, events, limit: int = 10) -> None:
+        """Mirror the top hotspots into an
+        :class:`~repro.obs.events.EventStream` (``profile.hotspot``
+        kind), so ``--events-out`` / Chrome-trace export carry them
+        without new plumbing."""
+        if events is None:
+            return
+        for entry in self.hotspots(limit):
+            events.emit("profile.hotspot", name=entry["name"],
+                        wall_s=entry["wall_s"], work=entry["work"],
+                        calls=entry["calls"])
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's entries into this one."""
+        if not self.enabled:
+            return
+        for name, entry in other._entries.items():
+            self.acc(name, entry[2], work=entry[1], calls=entry[0])
+
+
+#: shared disabled profiler — the default for instrumented call sites.
+NULL_PROFILER = Profiler(enabled=False)
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in MB (0.0 when the
+    platform has no ``resource`` module, e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — POSIX-only module
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KB on Linux, bytes on macOS
+    if sys.platform == "darwin":  # pragma: no cover
+        return round(peak / (1024 * 1024), 3)
+    return round(peak / 1024, 3)
+
+
+def malloc_top(limit: int = 10) -> list[dict]:
+    """Top current allocation sites from :mod:`tracemalloc` (must
+    already be tracing; returns [] otherwise).  Each entry is
+    ``{site, kb, count}`` — opt-in memory attribution for the
+    explorer's state store."""
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        return []
+    snapshot = tracemalloc.take_snapshot()
+    stats = snapshot.statistics("lineno")[:limit]
+    return [{"site": f"{s.traceback[0].filename}:"
+                     f"{s.traceback[0].lineno}",
+             "kb": round(s.size / 1024, 1),
+             "count": s.count}
+            for s in stats]
+
+
+class Sampler:
+    """``sys.setprofile``-based per-function cost attribution.
+
+    Tracks every Python call/return while active and accumulates
+    ``{(module, qualname): [calls, cum_s]}``; C calls are ignored.
+    Use as a context manager around the region of interest.  The hook
+    slows execution substantially (every frame pays it) — this is the
+    fallback for code without ``region`` instrumentation, not the
+    default path.
+    """
+
+    def __init__(self, prefix: str = "repro"):
+        self.prefix = prefix
+        self.stats: dict[tuple, list] = {}
+        self._stack: list[tuple] = []
+        self._prev = None
+
+    def _hook(self, frame, event, arg):
+        if event == "call":
+            self._stack.append((frame.f_code, time.perf_counter()))
+        elif event == "return" and self._stack:
+            code, start = self._stack.pop()
+            if code is not frame.f_code:
+                return  # unwound through an exception; drop the frame
+            module = frame.f_globals.get("__name__", "?")
+            if not module.startswith(self.prefix):
+                return
+            key = (module, code.co_qualname)
+            entry = self.stats.get(key)
+            if entry is None:
+                entry = self.stats[key] = [0, 0.0]
+            entry[0] += 1
+            entry[1] += time.perf_counter() - start
+
+    def __enter__(self) -> "Sampler":
+        self._prev = sys.getprofile()
+        sys.setprofile(self._hook)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        sys.setprofile(self._prev)
+        self._stack.clear()
+
+    def top(self, limit: int = 25) -> list[dict]:
+        """Functions ranked by cumulative time."""
+        ranked = sorted(self.stats.items(),
+                        key=lambda kv: (-kv[1][1], kv[0]))
+        return [{"name": f"{module}.{qual}",
+                 "calls": entry[0],
+                 "cum_s": round(entry[1], 6)}
+                for (module, qual), entry in ranked[:limit]]

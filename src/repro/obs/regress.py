@@ -10,7 +10,10 @@ per-metric relative thresholds:
 * ``wall_s`` — regression when more than 25% *slower*;
 * ``states_per_s`` — regression when more than 25% lower throughput;
 * ``percentiles.p95`` — regression when tail latency grew over 30%
-  (only checked when both sides carry percentiles).
+  (only checked when both sides carry percentiles);
+* ``mem_peak_mb`` — regression when the peak RSS grew over 30%
+  (only checked when both sides carry the field; growths under
+  :data:`MEM_FLOOR_MB` are allocator jitter, not leaks).
 
 Timings under a 5 ms noise floor are never flagged (interpreter-level
 micro-benchmarks jitter far more than 25% at that scale); state or
@@ -48,10 +51,15 @@ DEFAULT_THRESHOLDS = {
     "wall_s": 0.25,
     "states_per_s": 0.25,
     "p95": 0.30,
+    "mem_peak_mb": 0.30,
 }
 
 #: timings at or below this are pure scheduler jitter — never flagged
 NOISE_FLOOR_S = 0.005
+
+#: peak-RSS growths below this many MB are allocator noise (the
+#: interpreter's baseline RSS dwarfs any per-benchmark allocation)
+MEM_FLOOR_MB = 1.0
 
 #: the file pair the watchdog knows about
 BENCH_FILES = ("BENCH_analysis.json", "BENCH_mc.json")
@@ -150,6 +158,18 @@ def _compare_one(file: str, name: str, fresh: dict, base: dict,
     if fresh_p and base_p:
         slower("p95", fresh_p["p95"], base_p["p95"],
                limits["p95"], floor=NOISE_FLOOR_S)
+
+    new_mem = fresh.get("mem_peak_mb")
+    old_mem = base.get("mem_peak_mb")
+    if new_mem is not None and old_mem is not None and old_mem > 0 \
+            and new_mem - old_mem > MEM_FLOOR_MB \
+            and new_mem > old_mem * (1 + limits["mem_peak_mb"]):
+        out.append(Finding(
+            file, name, "mem_peak_mb", "regression",
+            f"mem_peak_mb {old_mem:.6g} -> {new_mem:.6g} "
+            f"(+{_pct(new_mem, old_mem):.1f}%, limit "
+            f"+{limits['mem_peak_mb'] * 100:.0f}%)",
+            baseline=old_mem, fresh=new_mem))
 
     for metric in ("states", "transitions"):
         if fresh[metric] != base[metric]:

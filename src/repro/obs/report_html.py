@@ -1,0 +1,690 @@
+"""Unified ``repro report`` HTML artifact (zero-dep, self-contained).
+
+Aggregates the JSON artifacts the other observability surfaces write —
+analysis documents (``repro analyze --json``), MC documents
+(``repro mc --json``), lint reports (``repro lint --json``), event
+streams (``--events-out`` JSONL), bench records
+(``benchmarks/out/BENCH_*.json`` + committed baselines) and the
+append-only ``REGRESS_history.jsonl`` perf trajectory — into ONE HTML
+file with no external assets: styles are one inline ``<style>`` block
+and every chart is inline SVG, so the artifact can be attached to CI,
+mailed, or opened from ``file://`` with nothing else present.
+
+Sections (each ``<section id="sec-NAME">``, see :data:`SECTIONS`):
+
+* ``overview``  — what was aggregated, headline verdicts/violations;
+* ``trace``     — per-phase span trees from analysis/MC documents;
+* ``metrics``   — flat counter/gauge tables;
+* ``hotspots``  — ranked profiler tables (+ share bar chart);
+* ``coverage``  — depth histogram + frontier-size chart per MC run;
+* ``lint``      — findings grouped by target;
+* ``crossval``  — preformatted experiment/cross-validation tables;
+* ``bench``     — baseline vs fresh comparison and the regression
+  history sparkline.
+
+Inputs are classified by *shape*, not by filename (see
+:func:`classify`), so ``repro report out/*.json benchmarks/out`` just
+works.  :func:`check_html` verifies a rendered artifact contains every
+section (used by the HTML test and by ``repro report --self-check``,
+which renders an embedded fixture and exits non-zero on any missing
+section — a CI canary that the generator and checker stay in sync).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+#: version stamp embedded in the artifact's <meta> generator tag
+REPORT_VERSION = 1
+
+#: required section ids; check_html() fails on any that is missing
+SECTIONS = ("overview", "trace", "metrics", "hotspots", "coverage",
+            "lint", "crossval", "bench")
+
+
+# -- input collection ----------------------------------------------------------
+
+@dataclass
+class ReportInputs:
+    """Everything the renderer may aggregate.  Each doc list holds
+    ``(label, doc)`` pairs; missing inputs render as an explanatory
+    placeholder, never as a dropped section."""
+
+    analyses: list[tuple] = field(default_factory=list)
+    mcs: list[tuple] = field(default_factory=list)
+    lints: list[tuple] = field(default_factory=list)
+    events: list[tuple] = field(default_factory=list)
+    bench_fresh: dict = field(default_factory=dict)
+    bench_baseline: dict = field(default_factory=dict)
+    history: list[dict] = field(default_factory=list)
+    tables: list[tuple] = field(default_factory=list)  # (label, text)
+
+
+def classify(label: str, doc) -> Optional[str]:
+    """Which input bucket a loaded JSON document belongs to, from its
+    shape: ``analysis`` | ``mc`` | ``lint`` | ``bench`` | ``events``;
+    None when unrecognized."""
+    if isinstance(doc, list):
+        if all(isinstance(e, dict) and "kind" in e and "seq" in e
+               for e in doc):
+            return "events" if doc else None
+        if all(isinstance(r, dict) and "wall_s" in r and "name" in r
+               for r in doc):
+            return "bench" if doc else None
+        return None
+    if not isinstance(doc, dict):
+        return None
+    if "procedures" in doc and "all_atomic" in doc:
+        return "analysis"
+    if "mode" in doc and "states" in doc and "transitions" in doc:
+        return "mc"
+    if "targets" in doc or ("findings" in doc and "summary" in doc):
+        return "lint"
+    return None
+
+
+def _read_jsonl(path: pathlib.Path) -> list[dict]:
+    out = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def collect_inputs(paths: list[Union[str, pathlib.Path]],
+                   baseline_dir: Optional[Union[str, pathlib.Path]]
+                   = None) -> ReportInputs:
+    """Load and classify input files.  Directories are scanned one
+    level deep for ``*.json`` / ``*.jsonl`` / ``*.txt``; inside a
+    scanned directory, ``BENCH_*.json`` become fresh bench records and
+    ``REGRESS_history.jsonl`` the perf trajectory.  ``baseline_dir``
+    (e.g. ``benchmarks/baselines``) supplies the comparison side."""
+    inputs = ReportInputs()
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(
+                p for p in path.iterdir()
+                if p.suffix in (".json", ".jsonl", ".txt")))
+        else:
+            files.append(path)
+    for path in files:
+        label = path.name
+        if path.suffix == ".txt":
+            inputs.tables.append((label, path.read_text()))
+            continue
+        if path.suffix == ".jsonl":
+            records = _read_jsonl(path)
+            if label == "REGRESS_history.jsonl" or all(
+                    "status" in r and "at" in r for r in records):
+                inputs.history.extend(records)
+            else:
+                inputs.events.append((label, records))
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        kind = classify(label, doc)
+        if kind == "analysis":
+            inputs.analyses.append((label, doc))
+        elif kind == "mc":
+            inputs.mcs.append((label, doc))
+        elif kind == "lint":
+            for target in doc.get("targets", [doc]):
+                inputs.lints.append((label, target))
+        elif kind == "bench":
+            inputs.bench_fresh[label] = doc
+        elif kind == "events":
+            inputs.events.append((label, doc))
+    if baseline_dir is not None:
+        base = pathlib.Path(baseline_dir)
+        if base.is_dir():
+            for path in sorted(base.glob("BENCH_*.json")):
+                try:
+                    inputs.bench_baseline[path.name] = json.loads(
+                        path.read_text())
+                except json.JSONDecodeError:
+                    continue
+    return inputs
+
+
+# -- SVG helpers ---------------------------------------------------------------
+
+def _esc(text) -> str:
+    return _html.escape(str(text), quote=True)
+
+
+def _svg_bars(pairs: list[tuple], width: int = 460, height: int = 140,
+              color: str = "#4878a8", title: str = "") -> str:
+    """Vertical bar chart over ``(label, value)`` pairs; labels land
+    in <title> tooltips so the chart stays readable at any count."""
+    if not pairs:
+        return "<p class='empty'>(no data)</p>"
+    top = max(v for _, v in pairs) or 1
+    pad, axis = 4, 18
+    plot_h = height - axis
+    bar_w = max(1.0, (width - pad * 2) / len(pairs) - 1)
+    parts = [f"<svg viewBox='0 0 {width} {height}' class='chart' "
+             f"role='img' aria-label='{_esc(title)}'>"]
+    for i, (label, value) in enumerate(pairs):
+        h = plot_h * (value / top)
+        x = pad + i * (bar_w + 1)
+        parts.append(
+            f"<rect x='{x:.1f}' y='{plot_h - h:.1f}' "
+            f"width='{bar_w:.1f}' height='{max(h, 0.5):.1f}' "
+            f"fill='{color}'><title>{_esc(label)}: {_esc(value)}"
+            f"</title></rect>")
+    first, last = pairs[0][0], pairs[-1][0]
+    parts.append(f"<text x='{pad}' y='{height - 4}' "
+                 f"class='tick'>{_esc(first)}</text>")
+    parts.append(f"<text x='{width - pad}' y='{height - 4}' "
+                 f"text-anchor='end' class='tick'>{_esc(last)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_line(points: list[tuple], width: int = 460, height: int = 120,
+              color: str = "#2e7d32", title: str = "") -> str:
+    """Polyline chart over ``(x, y)`` points (x need not be uniform)."""
+    if not points:
+        return "<p class='empty'>(no data)</p>"
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    x0, x1 = min(xs), max(xs)
+    y1 = max(ys) or 1.0
+    pad = 4
+    span_x = (x1 - x0) or 1.0
+    plot_w, plot_h = width - pad * 2, height - pad * 2
+
+    def px(x: float) -> float:
+        return pad + plot_w * (x - x0) / span_x
+
+    def py(y: float) -> float:
+        return pad + plot_h * (1 - y / y1)
+
+    if len(points) == 1:
+        coords = f"{px(xs[0]):.1f},{py(ys[0]):.1f}"
+        body = (f"<circle cx='{px(xs[0]):.1f}' cy='{py(ys[0]):.1f}' "
+                f"r='2.5' fill='{color}'/>")
+    else:
+        coords = " ".join(f"{px(x):.1f},{py(y):.1f}"
+                          for x, y in zip(xs, ys))
+        body = (f"<polyline points='{coords}' fill='none' "
+                f"stroke='{color}' stroke-width='1.5'/>")
+    return (f"<svg viewBox='0 0 {width} {height}' class='chart' "
+            f"role='img' aria-label='{_esc(title)}'>{body}"
+            f"<title>{_esc(title)} (max {y1:g})</title></svg>")
+
+
+def _svg_hbars(pairs: list[tuple], width: int = 460,
+               color: str = "#a85948", title: str = "") -> str:
+    """Horizontal share bars for the hotspot table (one row each)."""
+    if not pairs:
+        return "<p class='empty'>(no data)</p>"
+    row_h, label_w = 16, 190
+    height = row_h * len(pairs) + 4
+    top = max(v for _, v in pairs) or 1
+    parts = [f"<svg viewBox='0 0 {width} {height}' class='chart' "
+             f"role='img' aria-label='{_esc(title)}'>"]
+    for i, (label, value) in enumerate(pairs):
+        y = 2 + i * row_h
+        w = (width - label_w - 8) * (value / top)
+        parts.append(
+            f"<text x='{label_w - 4}' y='{y + 11}' text-anchor='end' "
+            f"class='tick'>{_esc(label)}</text>"
+            f"<rect x='{label_w}' y='{y + 2}' width='{max(w, 0.5):.1f}'"
+            f" height='{row_h - 5}' fill='{color}'>"
+            f"<title>{_esc(label)}: {value:g}</title></rect>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- section renderers ---------------------------------------------------------
+
+def _table(headers: list[str], rows: list[list],
+           cls: str = "") -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows)
+    return (f"<table class='{cls}'><thead><tr>{head}</tr></thead>"
+            f"<tbody>{body}</tbody></table>")
+
+
+def _placeholder(what: str, hint: str) -> str:
+    return (f"<p class='empty'>no {_esc(what)} artifacts supplied "
+            f"&mdash; {_esc(hint)}</p>")
+
+
+def _sec(name: str, title: str, body: str) -> str:
+    return (f"<section id='sec-{name}'><h2>{_esc(title)}</h2>"
+            f"{body}</section>")
+
+
+def _overview(inputs: ReportInputs) -> str:
+    rows = []
+    for label, doc in inputs.analyses:
+        verdict = "all atomic" if doc.get("all_atomic") else \
+            "NOT all atomic"
+        rows.append(["analysis", label,
+                     f"{len(doc.get('procedures', []))} procedure(s), "
+                     f"{verdict}"])
+    for label, doc in inputs.mcs:
+        out = (f"mode={doc.get('mode')} states={doc.get('states')} "
+               f"transitions={doc.get('transitions')}")
+        if doc.get("violation"):
+            out += f" VIOLATION: {doc['violation']}"
+        rows.append(["mc", label, out])
+    for label, doc in inputs.lints:
+        summary = doc.get("summary", {})
+        rows.append(["lint", f"{label}:{doc.get('target', '?')}",
+                     f"{summary.get('errors', 0)} error(s), "
+                     f"{summary.get('warnings', 0)} warning(s)"])
+    for name, records in sorted(inputs.bench_fresh.items()):
+        rows.append(["bench", name, f"{len(records)} record(s)"])
+    for label, events in inputs.events:
+        rows.append(["events", label, f"{len(events)} event(s)"])
+    for label, _text in inputs.tables:
+        rows.append(["table", label, "preformatted"])
+    if inputs.history:
+        rows.append(["history", "REGRESS_history.jsonl",
+                     f"{len(inputs.history)} check(s)"])
+    if not rows:
+        return _placeholder(
+            "input", "pass JSON artifacts or a directory such as "
+            "benchmarks/out")
+    return _table(["kind", "source", "summary"], rows)
+
+
+def _span_rows(span: dict, depth: int, rows: list) -> None:
+    rows.append([(" " * depth) + span.get("name", "?"),
+                 f"{span.get('duration_s', 0) * 1000:.2f}"])
+    for child in span.get("children", []):
+        _span_rows(child, depth + 1, rows)
+
+
+def _trace(inputs: ReportInputs) -> str:
+    parts = []
+    for label, doc in inputs.analyses + inputs.mcs:
+        spans = doc.get("trace") or doc.get("spans") or []
+        if not spans:
+            continue
+        rows: list[list] = []
+        for span in spans:
+            _span_rows(span, 0, rows)
+        parts.append(f"<h3>{_esc(label)}</h3>"
+                     + _table(["span", "wall (ms)"], rows, "mono"))
+    if not parts:
+        return _placeholder(
+            "trace", "re-run with --trace (or REPRO_TRACE=1) and "
+            "--json to embed span trees")
+    return "".join(parts)
+
+
+def _metrics(inputs: ReportInputs) -> str:
+    parts = []
+    for label, doc in inputs.analyses + inputs.mcs:
+        metrics = doc.get("metrics") or {}
+        flat = [[k, v] for k, v in sorted(metrics.items())
+                if not isinstance(v, (dict, list))]
+        if not flat:
+            continue
+        parts.append(f"<h3>{_esc(label)}</h3>"
+                     + _table(["metric", "value"], flat, "mono"))
+    if not parts:
+        return _placeholder(
+            "metrics", "re-run with --metrics (or REPRO_METRICS=1) "
+            "and --json")
+    return "".join(parts)
+
+
+def _hotspots(inputs: ReportInputs) -> str:
+    parts = []
+    for label, doc in inputs.analyses + inputs.mcs:
+        profile = doc.get("profile") or {}
+        spots = profile.get("hotspots") or []
+        if not spots:
+            continue
+        top = spots[:12]
+        parts.append(
+            f"<h3>{_esc(label)}</h3>"
+            + _svg_hbars([(s["name"], s["wall_s"] * 1000)
+                          for s in top],
+                         title=f"hotspot wall ms — {label}")
+            + _table(["region", "wall (ms)", "share", "calls", "work"],
+                     [[s["name"], f"{s['wall_s'] * 1000:.2f}",
+                       f"{s.get('share', 0) * 100:.1f}%",
+                       s["calls"], s["work"]] for s in spots],
+                     "mono"))
+        sampled = profile.get("sampled") or []
+        if sampled:
+            parts.append(
+                "<h4>sampled functions</h4>"
+                + _table(["function", "calls", "cum (ms)"],
+                         [[s["name"], s["calls"],
+                           f"{s['cum_s'] * 1000:.2f}"]
+                          for s in sampled[:15]], "mono"))
+    if not parts:
+        return _placeholder(
+            "profile", "re-run with --profile (or REPRO_PROFILE=1) "
+            "and --json to embed ranked hotspot tables")
+    return "".join(parts)
+
+
+def _coverage(inputs: ReportInputs) -> str:
+    parts = []
+    for label, doc in inputs.mcs:
+        metrics = doc.get("metrics") or {}
+        hist = metrics.get("mc.depth_hist") or []
+        frontier = metrics.get("mc.frontier_samples") or []
+        depth = metrics.get("mc.depth") or {}
+        if not (hist or frontier or depth):
+            continue
+        parts.append(f"<h3>{_esc(label)}</h3>")
+        facts = [[k, metrics[k]] for k in (
+            "mc.states", "mc.transitions", "mc.dedup_hit_rate",
+            "mc.mem_peak_mb", "mc.max_depth",
+            "mc.ample_reduction_ratio") if k in metrics]
+        for key in ("mean", "p50", "p95", "p99"):
+            if key in depth:
+                facts.append([f"depth.{key}", depth[key]])
+        if facts:
+            parts.append(_table(["telemetry", "value"], facts, "mono"))
+        if hist:
+            parts.append("<h4>depth histogram (pushes per depth)</h4>"
+                         + _svg_bars([(f"depth {d}", n)
+                                      for d, n in hist],
+                                     title=f"depth histogram {label}"))
+        if frontier:
+            parts.append(
+                "<h4>frontier size over transitions</h4>"
+                + _svg_line([(t, f) for t, f in frontier],
+                            title=f"frontier size {label}"))
+    # explorer.progress events also carry coverage
+    for label, events in inputs.events:
+        beats = [e for e in events
+                 if e.get("kind") == "explorer.progress"]
+        if beats:
+            parts.append(
+                f"<h3>{_esc(label)} (progress heartbeats)</h3>"
+                + _svg_line([(e["elapsed_s"], e["states"])
+                             for e in beats],
+                            title=f"states over time {label}"))
+    if not parts:
+        return _placeholder(
+            "coverage telemetry", "re-run repro mc --json (the "
+            "explorer always embeds mc.depth_hist and "
+            "mc.frontier_samples in its metrics)")
+    return "".join(parts)
+
+
+def _lint(inputs: ReportInputs) -> str:
+    docs = list(inputs.lints)
+    for label, doc in inputs.analyses:
+        if doc.get("lint"):
+            docs.append((label, doc["lint"]))
+    if not docs:
+        return _placeholder(
+            "lint", "re-run repro lint --json (or repro analyze "
+            "--json, which embeds its lint run)")
+    parts = []
+    for label, doc in docs:
+        summary = doc.get("summary", {})
+        parts.append(
+            f"<h3>{_esc(doc.get('target', label))} &mdash; "
+            f"{summary.get('errors', 0)} error(s), "
+            f"{summary.get('warnings', 0)} warning(s), "
+            f"{summary.get('infos', 0)} info(s)</h3>")
+        findings = doc.get("findings") or []
+        if findings:
+            parts.append(_table(
+                ["severity", "rule", "where", "message"],
+                [[f.get("severity"), f.get("rule"),
+                  f"{f.get('proc', '')}:{f.get('line', 0)}",
+                  f.get("message")] for f in findings], "mono"))
+    return "".join(parts)
+
+
+def _crossval(inputs: ReportInputs) -> str:
+    if not inputs.tables:
+        return _placeholder(
+            "cross-validation table", "save experiment output, e.g. "
+            "python -m repro experiments crossval > crossval.txt, "
+            "and pass the file (or its directory)")
+    parts = []
+    for label, text in inputs.tables:
+        parts.append(f"<h3>{_esc(label)}</h3>"
+                     f"<pre>{_esc(text.rstrip())}</pre>")
+    return "".join(parts)
+
+
+def _bench(inputs: ReportInputs) -> str:
+    parts = []
+    for name in sorted(set(inputs.bench_fresh)
+                       | set(inputs.bench_baseline)):
+        fresh = {r["name"]: r for r in inputs.bench_fresh.get(name, [])}
+        base = {r["name"]: r
+                for r in inputs.bench_baseline.get(name, [])}
+        if not fresh and not base:
+            continue
+        rows = []
+        for rec_name in sorted(set(fresh) | set(base)):
+            f, b = fresh.get(rec_name), base.get(rec_name)
+            delta = ""
+            if f and b and b["wall_s"]:
+                pct = (f["wall_s"] - b["wall_s"]) / b["wall_s"] * 100
+                delta = f"{pct:+.1f}%"
+            rows.append([
+                rec_name,
+                f"{b['wall_s'] * 1000:.2f}" if b else "—",
+                f"{f['wall_s'] * 1000:.2f}" if f else "—",
+                delta,
+                f.get("mem_peak_mb", "") if f else "",
+                f.get("dedup_hit_rate", "") if f else ""])
+        parts.append(
+            f"<h3>{_esc(name)}</h3>"
+            + _table(["record", "baseline (ms)", "fresh (ms)",
+                      "Δ wall", "mem_peak_mb", "dedup_hit_rate"],
+                     rows, "mono"))
+        chart = [(r["name"], r["wall_s"] * 1000)
+                 for r in inputs.bench_fresh.get(name, [])]
+        if chart:
+            parts.append(_svg_bars(chart,
+                                   title=f"fresh wall ms — {name}"))
+    if inputs.history:
+        parts.append(
+            "<h3>regression history</h3>"
+            + _svg_line(
+                [(i, e.get("regressions", 0))
+                 for i, e in enumerate(inputs.history)],
+                color="#c62828",
+                title="regressions per watchdog check")
+            + _table(["#", "status", "regressions", "notes",
+                      "compared"],
+                     [[i, e.get("status"), e.get("regressions"),
+                       e.get("notes"),
+                       ", ".join(e.get("compared", []))]
+                      for i, e in enumerate(inputs.history[-20:])],
+                     "mono"))
+    if not parts:
+        return _placeholder(
+            "bench", "pass benchmarks/out (fresh BENCH_*.json + "
+            "REGRESS_history.jsonl); baselines come from "
+            "--baselines (default benchmarks/baselines)")
+    return "".join(parts)
+
+
+# -- document assembly ---------------------------------------------------------
+
+_STYLE = """
+body{font:14px/1.45 system-ui,sans-serif;margin:0 auto;max-width:60em;
+  padding:0 1em 3em;color:#1a1a1a}
+h1{border-bottom:2px solid #4878a8;padding-bottom:.2em}
+h2{margin-top:2em;border-bottom:1px solid #ccc;padding-bottom:.15em}
+h3{margin-bottom:.3em}
+nav a{margin-right:.8em}
+table{border-collapse:collapse;margin:.5em 0}
+th,td{border:1px solid #ddd;padding:.15em .5em;text-align:left}
+th{background:#f0f4f8}
+table.mono td{font-family:ui-monospace,monospace;font-size:12px}
+pre{background:#f6f8fa;padding:.6em;overflow-x:auto;font-size:12px}
+svg.chart{display:block;max-width:100%;margin:.4em 0;
+  background:#fafbfc;border:1px solid #eee}
+svg .tick{font:9px ui-monospace,monospace;fill:#666}
+p.empty{color:#777;font-style:italic}
+"""
+
+
+def render_report(inputs: ReportInputs,
+                  title: str = "repro report") -> str:
+    """Render the complete self-contained HTML artifact."""
+    sections = {
+        "overview": ("Overview", _overview(inputs)),
+        "trace": ("Trace spans", _trace(inputs)),
+        "metrics": ("Metrics", _metrics(inputs)),
+        "hotspots": ("Profiler hotspots", _hotspots(inputs)),
+        "coverage": ("State-space coverage", _coverage(inputs)),
+        "lint": ("Lint findings", _lint(inputs)),
+        "crossval": ("Cross-validation tables", _crossval(inputs)),
+        "bench": ("Bench trajectory", _bench(inputs)),
+    }
+    nav = "".join(f"<a href='#sec-{name}'>{_esc(label)}</a>"
+                  for name, (label, _) in sections.items())
+    body = "".join(_sec(name, label, content)
+                   for name, (label, content) in sections.items())
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head>"
+        "<meta charset='utf-8'>"
+        f"<meta name='generator' content='repro-report v"
+        f"{REPORT_VERSION}'>"
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{_esc(title)}</h1><nav>{nav}</nav>"
+        f"{body}</body></html>\n")
+
+
+def check_html(html_text: str) -> list[str]:
+    """Names of required sections missing from a rendered artifact
+    (empty list = complete).  Also flags external asset references —
+    the artifact must stay self-contained."""
+    missing = [name for name in SECTIONS
+               if f"id='sec-{name}'" not in html_text
+               and f'id="sec-{name}"' not in html_text]
+    for marker in ("<script src", "<link rel='stylesheet'",
+                   '<link rel="stylesheet"', "src='http", 'src="http'):
+        if marker in html_text:
+            missing.append(f"external-asset:{marker.strip('<')}")
+    return missing
+
+
+# -- self-check fixture --------------------------------------------------------
+
+#: minimal artifact set exercising every section; --self-check renders
+#: it and fails on any missing section, so CI notices immediately when
+#: the generator and check_html() drift apart
+SELF_CHECK_FIXTURE = {
+    "analysis.json": {
+        "procedures": [{"name": "Inc", "atomic": True, "variants": []}],
+        "all_atomic": True,
+        "diagnostics": [],
+        "metrics": {"analysis.sites": 12,
+                    "analysis.exclusions.thm5.3": 4},
+        "trace": [{"name": "analysis:run", "duration_s": 0.004,
+                   "children": [{"name": "analysis:classify",
+                                 "duration_s": 0.002}]}],
+        "profile": {"v": 1, "hotspots": [
+            {"name": "analysis.classify", "calls": 1, "work": 12,
+             "wall_s": 0.002, "share": 0.5},
+            {"name": "theorem.5.3", "calls": 0, "work": 4,
+             "wall_s": 0.0, "share": 0.0}]},
+        "lint": {"v": 1, "target": "fixture", "findings": [
+            {"rule": "llsc.multi-ll", "severity": "error",
+             "message": "two LLs for one SC", "line": 3, "col": 1,
+             "proc": "Inc"}],
+            "summary": {"errors": 1, "warnings": 0, "infos": 0,
+                        "suppressed": 0}},
+    },
+    "mc.json": {
+        "mode": "por", "states": 64, "transitions": 96,
+        "elapsed_s": 0.01, "states_per_s": 6400.0,
+        "violation": None, "capped": False, "trace": [],
+        "metrics": {"mc.states": 64, "mc.transitions": 96,
+                    "mc.dedup_hit_rate": 0.33, "mc.mem_peak_mb": 21.5,
+                    "mc.max_depth": 9,
+                    "mc.depth": {"count": 63, "min": 1, "max": 9,
+                                 "mean": 4.2, "p50": 4, "p95": 8,
+                                 "p99": 9},
+                    "mc.depth_hist": [[1, 2], [2, 6], [3, 12], [4, 18],
+                                      [5, 12], [6, 8], [7, 3], [8, 1],
+                                      [9, 1]],
+                    "mc.frontier_samples": [[16, 4], [32, 7],
+                                            [64, 5], [96, 1]]},
+        "profile": {"v": 1, "hotspots": [
+            {"name": "mc.successors", "calls": 64, "work": 96,
+             "wall_s": 0.004, "share": 0.6},
+            {"name": "mc.canonicalize", "calls": 96, "work": 96,
+             "wall_s": 0.002, "share": 0.3}]},
+    },
+    "events.jsonl": [
+        {"v": 1, "seq": 0, "t": 0.001, "kind": "explorer.progress",
+         "states": 20, "transitions": 28, "depth": 5, "frontier": 4,
+         "elapsed_s": 0.004},
+        {"v": 1, "seq": 1, "t": 0.002, "kind": "explorer.progress",
+         "states": 64, "transitions": 96, "depth": 9, "frontier": 0,
+         "elapsed_s": 0.009}],
+    "BENCH_mc.json": [
+        {"name": "mc/fixture/por", "wall_s": 0.01, "states": 64,
+         "transitions": 96, "states_per_s": 6400.0,
+         "mem_peak_mb": 21.5, "dedup_hit_rate": 0.33}],
+    "baseline_BENCH_mc.json": [
+        {"name": "mc/fixture/por", "wall_s": 0.009, "states": 64,
+         "transitions": 96, "states_per_s": 7100.0,
+         "mem_peak_mb": 20.9, "dedup_hit_rate": 0.33}],
+    "history": [
+        {"at": 1.0, "status": "ok", "regressions": 0, "notes": 0,
+         "compared": ["BENCH_mc.json"]},
+        {"at": 2.0, "status": "regression", "regressions": 1,
+         "notes": 1, "compared": ["BENCH_mc.json"]}],
+    "crossval.txt": ("Lint/MC cross-validation (fixture)\n\n"
+                     "program   | lint errors | violation\n"
+                     "----------+-------------+----------\n"
+                     "ABA_STACK | 2           | yes\n"),
+}
+
+
+def fixture_inputs() -> ReportInputs:
+    """The :data:`SELF_CHECK_FIXTURE` loaded as report inputs."""
+    fx = SELF_CHECK_FIXTURE
+    return ReportInputs(
+        analyses=[("analysis.json", fx["analysis.json"])],
+        mcs=[("mc.json", fx["mc.json"])],
+        events=[("events.jsonl", fx["events.jsonl"])],
+        bench_fresh={"BENCH_mc.json": fx["BENCH_mc.json"]},
+        bench_baseline={"BENCH_mc.json": fx["baseline_BENCH_mc.json"]},
+        history=list(fx["history"]),
+        tables=[("crossval.txt", fx["crossval.txt"])])
+
+
+def self_check() -> tuple[int, str]:
+    """Render the embedded fixture and verify completeness.  Returns
+    ``(exit_code, message)`` — 0 only when every section is present,
+    every fixture chart rendered, and no placeholder leaked in."""
+    html_text = render_report(fixture_inputs(), title="self-check")
+    problems = check_html(html_text)
+    if "class='empty'" in html_text:
+        problems.append("placeholder rendered from full fixture")
+    if html_text.count("<svg") < 4:
+        problems.append(
+            f"expected >=4 charts, got {html_text.count('<svg')}")
+    if problems:
+        return 1, "self-check FAILED: " + "; ".join(problems)
+    return 0, (f"self-check ok: {len(SECTIONS)} sections, "
+               f"{html_text.count('<svg')} charts, "
+               f"{len(html_text)} bytes")

@@ -126,15 +126,31 @@ def test_registry_snapshot_and_histogram():
 
 def test_histogram_empty_mean():
     assert Histogram().mean == 0.0
+    assert Histogram().percentile(0.5) is None
     empty = Histogram().to_dict()
-    assert empty["p50"] is None and empty["p95"] is None
+    assert empty["min"] is None and empty["max"] is None
+    assert (empty["p50"], empty["p95"], empty["p99"]) \
+        == (None, None, None)
 
 
 def test_histogram_percentiles_single_value_exact():
     h = Histogram()
     h.observe(0.25)
+    # one observation: min == max, every estimate clamps to it exactly
     assert h.percentile(0.5) == 0.25
     assert h.percentile(0.99) == 0.25
+    snap = h.to_dict()
+    assert snap["p50"] == snap["p95"] == snap["p99"] == 0.25
+
+
+def test_histogram_top_bucket_straddle_clamps_to_max():
+    h = Histogram()
+    for v in (1.0, 1.05, 1.1):  # all share bucket [1.0, 2**0.25)
+        h.observe(v)
+    # the bucket's raw upper bound (~1.189) overstates every sample;
+    # the clamp caps the estimate at the observed max instead
+    for q in (0.5, 0.95, 0.99):
+        assert h.percentile(q) == pytest.approx(1.1)
 
 
 def test_histogram_percentiles_bucketed_estimates():

@@ -8,17 +8,18 @@ import json
 import pytest
 
 from repro.obs.export import bench_record, write_bench
-from repro.obs.regress import (DEFAULT_THRESHOLDS, NOISE_FLOOR_S,
-                               append_history, check_dir,
-                               compare_records, main,
+from repro.obs.regress import (DEFAULT_THRESHOLDS, MEM_FLOOR_MB,
+                               NOISE_FLOOR_S, append_history,
+                               check_dir, compare_records, main,
                                update_baselines)
 
 
 def _mc(name="mc/x", wall_s=0.1, states=1000, transitions=2000,
-        percentiles=None):
+        percentiles=None, mem_peak_mb=None):
     return bench_record(name, wall_s, states=states,
                         transitions=transitions,
-                        percentiles=percentiles)
+                        percentiles=percentiles,
+                        mem_peak_mb=mem_peak_mb)
 
 
 # -- comparison logic --------------------------------------------------------------
@@ -93,6 +94,33 @@ def test_new_record_is_a_note():
                                [_mc("mc/a")])
     (finding,) = findings
     assert finding.severity == "note" and finding.name == "mc/new"
+
+
+def test_mem_growth_beyond_threshold_is_flagged():
+    base = [_mc(mem_peak_mb=10.0)]
+    fresh = [_mc(mem_peak_mb=14.0)]  # +40% and +4 MB
+    findings = compare_records(fresh, base)
+    (finding,) = [f for f in findings if f.metric == "mem_peak_mb"]
+    assert finding.severity == "regression"
+    assert "+40.0%" in finding.message
+    assert DEFAULT_THRESHOLDS["mem_peak_mb"] == 0.30
+
+
+def test_mem_growth_under_absolute_floor_is_allocator_noise():
+    base = [_mc(mem_peak_mb=1.0)]
+    fresh = [_mc(mem_peak_mb=1.8)]  # +80%, but only +0.8 MB
+    assert MEM_FLOOR_MB == 1.0
+    assert all(f.metric != "mem_peak_mb"
+               for f in compare_records(fresh, base))
+
+
+def test_mem_check_skipped_when_either_side_lacks_the_field():
+    with_mem = [_mc(mem_peak_mb=50.0)]
+    without = [_mc()]
+    assert all(f.metric != "mem_peak_mb"
+               for f in compare_records(with_mem, without))
+    assert all(f.metric != "mem_peak_mb"
+               for f in compare_records(without, with_mem))
 
 
 def test_custom_thresholds_override_defaults():

@@ -1,0 +1,171 @@
+"""The unified HTML report: shape-based input classification, the
+self-contained renderer, check_html / --self-check, and the `repro
+report` CLI path.  Structural validation uses the stdlib HTML parser —
+the artifact must stay parseable, complete, and free of external
+assets."""
+
+from __future__ import annotations
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro import cli
+from repro.obs.report_html import (SECTIONS, SELF_CHECK_FIXTURE,
+                                   ReportInputs, check_html, classify,
+                                   collect_inputs, fixture_inputs,
+                                   render_report, self_check)
+
+_VOID = {"meta", "br", "hr", "img", "input", "link", "rect", "line",
+         "circle", "path", "polyline"}
+
+
+class _Auditor(HTMLParser):
+    """Collects ids/tags and verifies open/close nesting."""
+
+    def __init__(self):
+        super().__init__()
+        self.ids: set[str] = set()
+        self.stack: list[str] = []
+        self.svg_count = 0
+        self.errors: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        for key, value in attrs:
+            if key == "id":
+                self.ids.add(value)
+        if tag == "svg":
+            self.svg_count += 1
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in _VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}> at {self.getpos()}")
+        else:
+            self.stack.pop()
+
+
+def _audit(html_text: str) -> _Auditor:
+    auditor = _Auditor()
+    auditor.feed(html_text)
+    auditor.close()
+    return auditor
+
+
+# -- renderer ----------------------------------------------------------------------
+
+def test_fixture_report_is_complete_and_well_formed():
+    html_text = render_report(fixture_inputs(), title="t")
+    auditor = _audit(html_text)
+    assert auditor.errors == []
+    assert auditor.stack == []  # everything opened was closed
+    assert {f"sec-{name}" for name in SECTIONS} <= auditor.ids
+    assert auditor.svg_count >= 4
+    assert check_html(html_text) == []
+
+
+def test_empty_inputs_render_placeholders_not_dropped_sections():
+    html_text = render_report(ReportInputs())
+    assert check_html(html_text) == []
+    assert "class='empty'" in html_text
+
+
+def test_check_html_flags_missing_sections_and_external_assets():
+    full = render_report(fixture_inputs())
+    truncated = full[: full.index("id='sec-coverage'") - 20]
+    problems = check_html(truncated)
+    assert "coverage" in problems and "bench" in problems
+    leaky = full.replace(
+        "</body>", "<script src='https://cdn.example/x.js'></script>"
+        "</body>")
+    assert any(p.startswith("external-asset") for p in check_html(leaky))
+
+
+def test_self_check_passes():
+    code, message = self_check()
+    assert code == 0, message
+    assert "self-check ok" in message
+
+
+# -- classification ----------------------------------------------------------------
+
+def test_classify_by_shape():
+    fx = SELF_CHECK_FIXTURE
+    assert classify("a.json", fx["analysis.json"]) == "analysis"
+    assert classify("m.json", fx["mc.json"]) == "mc"
+    assert classify("e.jsonl", fx["events.jsonl"]) == "events"
+    assert classify("b.json", fx["BENCH_mc.json"]) == "bench"
+    assert classify("l.json",
+                    fx["analysis.json"]["lint"]) == "lint"
+    assert classify("x.json", {"unrelated": 1}) is None
+    assert classify("x.json", []) is None
+    assert classify("x.json", "text") is None
+
+
+def test_collect_inputs_scans_and_buckets(tmp_path):
+    fx = SELF_CHECK_FIXTURE
+    (tmp_path / "analysis.json").write_text(
+        json.dumps(fx["analysis.json"]))
+    (tmp_path / "mc.json").write_text(json.dumps(fx["mc.json"]))
+    (tmp_path / "events.jsonl").write_text(
+        "\n".join(json.dumps(e) for e in fx["events.jsonl"]))
+    (tmp_path / "BENCH_mc.json").write_text(
+        json.dumps(fx["BENCH_mc.json"]))
+    (tmp_path / "REGRESS_history.jsonl").write_text(
+        "\n".join(json.dumps(e) for e in fx["history"]))
+    (tmp_path / "crossval.txt").write_text(fx["crossval.txt"])
+    (tmp_path / "junk.json").write_text("not json {")
+    baselines = tmp_path / "baselines"
+    baselines.mkdir()
+    (baselines / "BENCH_mc.json").write_text(
+        json.dumps(fx["baseline_BENCH_mc.json"]))
+
+    inputs = collect_inputs([tmp_path], baseline_dir=baselines)
+    assert [label for label, _ in inputs.analyses] == ["analysis.json"]
+    assert [label for label, _ in inputs.mcs] == ["mc.json"]
+    assert [label for label, _ in inputs.events] == ["events.jsonl"]
+    assert set(inputs.bench_fresh) == {"BENCH_mc.json"}
+    assert set(inputs.bench_baseline) == {"BENCH_mc.json"}
+    assert len(inputs.history) == 2
+    assert [label for label, _ in inputs.tables] == ["crossval.txt"]
+
+    html_text = render_report(inputs)
+    assert check_html(html_text) == []
+    assert "class='empty'" not in html_text
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+def test_cli_report_writes_artifact(tmp_path, capsys):
+    fx = SELF_CHECK_FIXTURE
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    (artifacts / "mc.json").write_text(json.dumps(fx["mc.json"]))
+    (artifacts / "analysis.json").write_text(
+        json.dumps(fx["analysis.json"]))
+    out = tmp_path / "report.html"
+    code = cli.main(["report", str(artifacts), "-o", str(out),
+                     "--title", "pr4"])
+    assert code == 0
+    assert f"wrote {out}" in capsys.readouterr().out
+    html_text = out.read_text()
+    assert check_html(html_text) == []
+    assert "<title>pr4</title>" in html_text
+    auditor = _audit(html_text)
+    assert auditor.errors == [] and auditor.stack == []
+
+
+def test_cli_report_self_check(capsys):
+    assert cli.main(["report", "--self-check"]) == 0
+    assert "self-check ok" in capsys.readouterr().out
+
+
+def test_cli_report_no_inputs_errors(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # no benchmarks/out default here
+    code = cli.main(["report", "-o", str(tmp_path / "r.html")])
+    assert code == 2
+    assert "no inputs" in capsys.readouterr().err
