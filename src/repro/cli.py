@@ -10,6 +10,9 @@
     python -m repro lint FILE            # discipline linter (docs/LINT.md)
     python -m repro report -o out.html   # unified HTML report artifact
     python -m repro experiments NAME     # regenerate a table/figure
+    python -m repro runs list            # persistent run ledger
+    python -m repro runs diff -2 -1      # cross-run classification drift
+    python -m repro replay last          # re-execute a recorded run
 
 Thread specs for ``run``/``mc`` are comma-separated call lists, e.g.
 ``"AddNode(1),AddNode(2)"`` or ``"UpdateTail()*"`` (trailing ``*`` =
@@ -28,6 +31,14 @@ violation), and ``mc`` accepts ``--progress N`` (live heartbeat) and
 ``--trace-malloc`` (allocation-site telemetry).  ``REPRO_TRACE=1`` /
 ``REPRO_METRICS=1`` / ``REPRO_PROFILE=1`` enable the same from the
 environment — see docs/OBSERVABILITY.md.
+
+Every command in :data:`LEDGERED_COMMANDS` additionally records a run
+manifest (argv, seed, git rev, outcome, classification summary,
+content-addressed artifacts) under ``.repro/runs/<run_id>/`` — the
+persistent run ledger.  ``repro runs list|show|diff|gc`` inspects it,
+``repro replay RUN`` re-executes a recorded invocation and checks the
+outcome (exit code + counterexample fingerprint) reproduces.  Set
+``REPRO_LEDGER=0`` to disable, ``REPRO_LEDGER_DIR`` to relocate.
 """
 
 from __future__ import annotations
@@ -43,7 +54,7 @@ from repro.analysis.blocks import partition_procedure
 from repro.errors import AssertionViolation, ReproError
 from repro.interp import Interp, ThreadSpec, run_random
 from repro.mc import Explorer
-from repro.obs import ObsConfig, Tracer
+from repro.obs import ObsConfig, Tracer, ledger
 from repro.synl.inline import inline_calls
 from repro.synl.parser import parse_program
 from repro.synl.printer import pretty
@@ -53,10 +64,19 @@ from repro.synl.resolve import resolve
 #: property violation's 1 and a usage error's 2)
 EXIT_CAPPED = 3
 
+#: commands whose invocations are recorded in the persistent run
+#: ledger (the meta commands ``runs`` and ``replay`` are not — a
+#: ledger query must never grow the ledger)
+LEDGERED_COMMANDS = frozenset({
+    "analyze", "blocks", "variants", "run", "mc", "lint", "report",
+    "experiments",
+})
+
 
 def _load(path: str, inline: bool = True):
     with open(path) as handle:
         text = handle.read()
+    ledger.note_source(path, text)
     program = parse_program(text)
     if inline:
         program = inline_calls(program)
@@ -114,7 +134,9 @@ def _profiler_for(cfg: ObsConfig):
 
     if not cfg.profile:
         return NULL_PROFILER, None
-    return Profiler(), (Sampler() if cfg.profile_sample else None)
+    profiler = Profiler()
+    ledger.attach_profiler(profiler)
+    return profiler, (Sampler() if cfg.profile_sample else None)
 
 
 def _sampling(sampler):
@@ -146,10 +168,12 @@ def _events_for(args):
 def _write_obs_outputs(args, tracer, events) -> None:
     if getattr(args, "events_out", None) and events is not None:
         events.write_jsonl(args.events_out)
+        ledger.ref_artifact(args.events_out)
     if getattr(args, "trace_out", None):
         from repro.obs import chrometrace
         chrometrace.write_trace(args.trace_out, tracer=tracer,
                                 events=events)
+        ledger.ref_artifact(args.trace_out)
 
 
 def _emit_obs(cfg: ObsConfig, tracer: Tracer, metrics: dict) -> None:
@@ -178,10 +202,12 @@ def _analyze_with_obs(args):
 def cmd_analyze(args) -> int:
     cfg, tracer, result, profiler, sampler = _analyze_with_obs(args)
     _write_obs_outputs(args, tracer, None)
+    ledger.note_analysis(result)
     if args.json:
         doc = result.to_dict()
         if cfg.trace and not doc.get("trace"):
             doc["trace"] = tracer.to_dict()
+        ledger.add_artifact("analysis.json", doc)
         print(json.dumps(doc, indent=2))
     else:
         print(render_figure(result, explain=args.explain))
@@ -211,6 +237,10 @@ def cmd_blocks(args) -> int:
     partitions = {name: partition_procedure(result, name)
                   for name in result.verdicts}
     _write_obs_outputs(args, tracer, None)
+    ledger.note_analysis(result)
+    ledger.note_partitions({
+        f"{name}/{p.variant_name}": [str(b.atomicity) for b in p.blocks]
+        for name, parts in partitions.items() for p in parts})
     if args.json:
         doc = {
             "procedures": [
@@ -249,6 +279,7 @@ def cmd_variants(args) -> int:
         program = _load(args.file)
     result = analyze_program(program, tracer=tracer)
     _write_obs_outputs(args, tracer, None)
+    ledger.note_analysis(result)
     if args.json:
         doc = {"variants": [{"name": v.name,
                              "procedure": v.proc.name,
@@ -303,6 +334,7 @@ def cmd_run(args) -> int:
         cex = _explain_cex(
             args, RunResultView(violation, path_log), interp)
     _write_obs_outputs(args, tracer, events)
+    ledger.note_run(args.seed, violation, world.history)
     done = all(t.done for t in world.threads)
     if args.json:
         doc = {
@@ -358,6 +390,7 @@ def cmd_mc(args) -> int:
             doc["counterexample"] = cex.to_dict()
         if cfg.trace:
             doc["spans"] = tracer.to_dict()
+        ledger.add_artifact("mc.json", doc)
         print(json.dumps(doc, indent=2))
     else:
         print(result)
@@ -417,6 +450,7 @@ def cmd_lint(args) -> int:
                     metrics=registry, events=events,
                     profiler=profiler))
     _write_obs_outputs(args, tracer, events)
+    ledger.note_lint(results)
 
     if args.manifest:
         with open(args.manifest) as handle:
@@ -456,6 +490,7 @@ def cmd_lint(args) -> int:
             print("error: lint JSON failed schema validation: "
                   + "; ".join(errors), file=sys.stderr)
             return 2
+        ledger.add_artifact("lint.json", doc)
         print(json.dumps(doc, indent=2))
     else:
         for res in results:
@@ -515,6 +550,107 @@ def cmd_experiments(args) -> int:
         return 2
     print(module.main())
     return 0
+
+
+def cmd_runs(args) -> int:
+    """Persistent run ledger queries (docs/OBSERVABILITY.md).  ``diff``
+    exits 0 on zero drift, 1 when the runs drifted, 2 on a usage
+    error; the other subcommands exit 0/2."""
+    from repro.obs import rundiff
+
+    root = ledger.ledger_root(args.root)
+    if args.runs_cmd == "list":
+        manifests = ledger.list_runs(root)
+        if args.json:
+            print(json.dumps([
+                {"run_id": m["run_id"], "command": m["command"],
+                 "outcome": m["outcome"], "exit_code": m["exit_code"],
+                 "wall_s": m["wall_s"], "seed": m.get("seed"),
+                 "crash": bool(m.get("crash"))}
+                for m in manifests], indent=2))
+            return 0
+        if not manifests:
+            print(f"no recorded runs under {root}")
+            return 0
+        for m in manifests:
+            crash = " crash" if m.get("crash") else ""
+            print(f"{m['run_id']}  {m['outcome']} "
+                  f"(exit {m['exit_code']}, {m['wall_s']:.3f}s)"
+                  f"{crash}")
+        return 0
+    if args.runs_cmd == "show":
+        run_id = ledger.resolve_run(root, args.run)
+        print(json.dumps(ledger.load_manifest(root, run_id), indent=2))
+        return 0
+    if args.runs_cmd == "diff":
+        a = ledger.load_manifest(root, ledger.resolve_run(root, args.a))
+        b = ledger.load_manifest(root, ledger.resolve_run(root, args.b))
+        diff = rundiff.diff_manifests(a, b)
+        if args.json:
+            print(json.dumps(diff, indent=2))
+        else:
+            print(rundiff.render_diff(diff))
+        return 0 if diff["empty"] else 1
+    # gc
+    removed = ledger.gc(root, keep=args.keep)
+    print(f"removed {len(removed)} run(s), kept {args.keep} most "
+          f"recent under {root}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Re-execute a recorded run's argv and check the outcome
+    reproduces: same exit code, same counterexample fingerprint, zero
+    cross-run drift.  Exit 0 when reproduced, 1 when diverged."""
+    import io
+
+    root = ledger.ledger_root(args.root)
+    run_id = ledger.resolve_run(root, args.run)
+    manifest = ledger.load_manifest(root, run_id)
+    if manifest["command"] not in LEDGERED_COMMANDS:
+        print(f"error: run {run_id} recorded non-replayable command "
+              f"{manifest['command']!r}", file=sys.stderr)
+        return 2
+    # the replay recorder collects the fresh outcome without touching
+    # the ledger on disk; the nested main() sees it as current, so the
+    # inner command's notes land here instead of opening a new run
+    rec = ledger.start(manifest["argv"], manifest["command"],
+                       root=root, persist=False, force=True)
+    if rec is None:  # pragma: no cover — replay inside replay
+        print("error: a run is already being recorded", file=sys.stderr)
+        return 2
+    buffer = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(buffer):
+            code = main(list(manifest["argv"]))
+    except Exception as exc:
+        ledger.stop(rec)
+        fresh = rec.crash(exc)
+    else:
+        ledger.stop(rec)
+        fresh = rec.finish(code)
+    verdict = ledger.compare_replay(manifest, fresh)
+    if args.json:
+        print(json.dumps({"v": 1, "run_id": run_id,
+                          "argv": manifest["argv"], **verdict},
+                         indent=2))
+    else:
+        status = "reproduced" if verdict["reproduced"] else "DIVERGED"
+        print(f"replay {run_id}: {status}")
+        print(f"  argv: {' '.join(manifest['argv'])}")
+        print(f"  exit: recorded {manifest['exit_code']}, replay "
+              f"{fresh['exit_code']}")
+        for key in ("mc", "run"):
+            a = (manifest.get(key) or {}).get("fingerprint")
+            b = (fresh.get(key) or {}).get("fingerprint")
+            if a is not None or b is not None:
+                match = "match" if a == b else "MISMATCH"
+                print(f"  {key} fingerprint: {match} "
+                      f"(recorded {a}, replay {b})")
+        if not verdict["drift"]["empty"]:
+            from repro.obs import rundiff
+            print(rundiff.render_diff(verdict["drift"]))
+    return 0 if verdict["reproduced"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -645,20 +781,79 @@ def build_parser() -> argparse.ArgumentParser:
                                 "section63, section64, ablations, or "
                                 "crossval")
     p.set_defaults(fn=cmd_experiments)
+
+    ledger_common = argparse.ArgumentParser(add_help=False)
+    ledger_common.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="ledger directory (default: $REPRO_LEDGER_DIR or "
+             ".repro/runs)")
+    ledger_common.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON document instead of text")
+
+    p = sub.add_parser("runs",
+                       help="inspect the persistent run ledger "
+                            "(docs/OBSERVABILITY.md)")
+    runs_sub = p.add_subparsers(dest="runs_cmd", required=True)
+    q = runs_sub.add_parser("list", parents=[ledger_common],
+                            help="recorded runs, oldest first")
+    q.set_defaults(fn=cmd_runs)
+    q = runs_sub.add_parser("show", parents=[ledger_common],
+                            help="print one run's manifest as JSON")
+    q.add_argument("run", help="run id, unique prefix, 'last', or a "
+                               "negative index (-1 = most recent)")
+    q.set_defaults(fn=cmd_runs)
+    q = runs_sub.add_parser("diff", parents=[ledger_common],
+                            help="cross-run drift: classification, "
+                                 "theorems, lint, execution (exit 1 "
+                                 "on any drift)")
+    q.add_argument("a", help="older run (id/prefix/'last'/-N)")
+    q.add_argument("b", help="newer run (id/prefix/'last'/-N)")
+    q.set_defaults(fn=cmd_runs)
+    q = runs_sub.add_parser("gc", parents=[ledger_common],
+                            help="delete all but the most recent runs")
+    q.add_argument("--keep", type=int, metavar="N",
+                   default=ledger.DEFAULT_KEEP,
+                   help=f"runs to keep (default: "
+                        f"{ledger.DEFAULT_KEEP})")
+    q.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser("replay", parents=[ledger_common],
+                       help="re-execute a recorded run and check the "
+                            "outcome reproduces (exit 1 on "
+                            "divergence)")
+    p.add_argument("run", help="run id, unique prefix, 'last', or a "
+                               "negative index (-1 = most recent)")
+    p.set_defaults(fn=cmd_replay)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    real_argv = list(argv) if argv is not None else sys.argv[1:]
+    recorder = None
+    if args.command in LEDGERED_COMMANDS:
+        # returns None when REPRO_LEDGER=0 or a recorder is already
+        # active (nested invocation via `repro replay`)
+        recorder = ledger.start(real_argv, args.command)
     try:
-        return args.fn(args)
+        code = args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    except BaseException as exc:
+        if recorder is not None:
+            ledger.stop(recorder)
+            recorder.crash(exc)
+        raise
+    if recorder is not None:
+        ledger.stop(recorder)
+        recorder.finish(code)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

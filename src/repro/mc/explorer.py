@@ -31,6 +31,7 @@ from repro.mc.atomic import AtomicOutcome, run_to_commit, run_variant
 from repro.mc.canonical import quiescent_key, shared_key, state_key
 from repro.mc.por import SafetyCache
 from repro.mc.properties import Property
+from repro.obs import ledger
 from repro.obs.export import MIN_RATE_WINDOW_S
 from repro.obs.profile import NULL_PROFILER, malloc_top, peak_rss_mb
 from repro.obs.tracing import NULL_TRACER
@@ -387,6 +388,9 @@ class Explorer:
             prof.emit_hotspots(self.events)
         if self.progress is not None:
             self._beat(result, start, final=True)
+        # outcome capture for the persistent run ledger: verdict +
+        # counterexample fingerprint (no-op outside a recorded run)
+        ledger.note_mc(result)
         return result
 
     def _beat(self, result: MCResult, start: float,

@@ -21,12 +21,19 @@ Three concerns, one package:
   (``python -m repro.obs.regress``);
 * :mod:`repro.obs.report_html` — the ``repro report`` self-contained
   HTML artifact (trace + metrics + hotspots + coverage + lint +
-  bench trajectory).
+  bench trajectory + run ledger);
+* :mod:`repro.obs.ledger` — the persistent run ledger: one schema-
+  versioned manifest (argv, seed, git rev, outcome, classification
+  summary, content-addressed artifacts, crash bundle) per CLI
+  invocation under ``.repro/runs/``, plus the hooks the explorer and
+  scheduler feed (``repro runs``, ``repro replay``);
+* :mod:`repro.obs.rundiff` — cross-run drift diffing over ledger
+  manifests (``repro runs diff``).
 
 :mod:`repro.obs.export` serializes analysis/model-checking results (and
 the ``BENCH_*.json`` benchmark records) against small self-validated
 JSON schemas; :mod:`repro.obs.config` reads the ``REPRO_TRACE`` /
-``REPRO_METRICS`` environment switches.
+``REPRO_METRICS`` / ``REPRO_LEDGER`` environment switches.
 
 ``export`` is imported lazily (it reaches back into
 :mod:`repro.analysis`); everything else here is import-cycle-free.

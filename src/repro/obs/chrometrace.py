@@ -110,5 +110,6 @@ def write_trace(path: Union[str, pathlib.Path], tracer=None,
         "displayTimeUnit": "ms",
     }
     path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc, indent=1) + "\n")
     return path

@@ -1,6 +1,6 @@
 """Environment-variable configuration for the observability layer.
 
-Three switches, mirroring the CLI flags:
+Switches mirroring the CLI flags:
 
 * ``REPRO_TRACE``   — enable span tracing (as if ``--trace``);
 * ``REPRO_METRICS`` — enable the metrics report (as if ``--metrics``);
@@ -11,6 +11,11 @@ Three switches, mirroring the CLI flags:
 Values ``""``, ``"0"``, ``"false"``, ``"no"``, ``"off"`` (any case)
 mean *off*; anything else means *on*.  CLI flags OR into the
 environment settings — either source can enable a feature.
+
+The persistent run ledger (:mod:`repro.obs.ledger`) is the one
+default-*on* surface: ``REPRO_LEDGER=0`` disables recording, and
+``REPRO_LEDGER_DIR`` moves the ledger root away from the default
+``.repro/runs``.
 """
 
 from __future__ import annotations
@@ -34,6 +39,10 @@ class ObsConfig:
     metrics: bool = False
     profile: bool = False
     profile_sample: bool = False
+    #: persistent run ledger (default ON; REPRO_LEDGER=0 disables)
+    ledger: bool = True
+    #: ledger root directory (REPRO_LEDGER_DIR overrides)
+    ledger_dir: str = ".repro/runs"
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None
@@ -41,10 +50,15 @@ class ObsConfig:
         env = os.environ if env is None else env
         prof = env.get("REPRO_PROFILE")
         sample = _truthy(prof) and prof.strip().lower() == "sample"
+        raw_ledger = env.get("REPRO_LEDGER")
         return cls(trace=_truthy(env.get("REPRO_TRACE")),
                    metrics=_truthy(env.get("REPRO_METRICS")),
                    profile=_truthy(prof),
-                   profile_sample=sample)
+                   profile_sample=sample,
+                   ledger=True if raw_ledger is None
+                   else _truthy(raw_ledger),
+                   ledger_dir=env.get("REPRO_LEDGER_DIR")
+                   or ".repro/runs")
 
     def with_flags(self, trace: bool = False, metrics: bool = False,
                    profile: bool = False,
@@ -55,4 +69,6 @@ class ObsConfig:
             trace=self.trace or trace,
             metrics=self.metrics or metrics,
             profile=self.profile or profile or profile_sample,
-            profile_sample=self.profile_sample or profile_sample)
+            profile_sample=self.profile_sample or profile_sample,
+            ledger=self.ledger,
+            ledger_dir=self.ledger_dir)

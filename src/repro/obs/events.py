@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import pathlib
 import time
+import weakref
 from collections import deque
 from typing import IO, Optional, Union
 
@@ -86,8 +87,11 @@ class EventStream:
             if hasattr(sink, "write"):
                 self._fh = sink
             else:
+                sink = pathlib.Path(sink)
+                sink.parent.mkdir(parents=True, exist_ok=True)
                 self._fh = open(sink, "w")
                 self._owns_fh = True
+        _register(self)
 
     # -- emission ----------------------------------------------------------
     def emit(self, kind: str, **fields) -> dict:
@@ -121,10 +125,19 @@ class EventStream:
             return [dict(e) for e in self._ring]
         return [dict(e) for e in self._ring if e["kind"] == kind]
 
+    def drain(self, limit: Optional[int] = None) -> list[dict]:
+        """The most recent ``limit`` retained events (all when None) —
+        the bounded drain a crash bundle captures."""
+        events = [dict(e) for e in self._ring]
+        if limit is not None and limit < len(events):
+            return events[-limit:]
+        return events
+
     # -- output ------------------------------------------------------------
     def write_jsonl(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
         """Dump the *retained* ring contents as JSONL."""
         path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w") as fh:
             for event in self._ring:
                 fh.write(json.dumps(event) + "\n")
@@ -142,6 +155,22 @@ class EventStream:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# the most recently constructed stream, for crash bundles: the ledger
+# drains it when a run dies so the last events survive (weakref — the
+# registry must not keep a closed stream alive)
+_ACTIVE: Optional["weakref.ref[EventStream]"] = None
+
+
+def _register(stream: "EventStream") -> None:
+    global _ACTIVE
+    _ACTIVE = weakref.ref(stream)
+
+
+def active() -> Optional["EventStream"]:
+    """The live stream a crash bundle should drain, if any."""
+    return _ACTIVE() if _ACTIVE is not None else None
 
 
 def read_jsonl(path: Union[str, pathlib.Path]) -> list[dict]:

@@ -226,6 +226,21 @@ PROFILE_SCHEMA = {
 
 ANALYSIS_SCHEMA["properties"]["profile"] = PROFILE_SCHEMA
 
+#: shared invocation-metadata block embedded in analysis/MC documents
+#: so artifacts are self-describing even outside the run ledger
+RUN_META_SCHEMA = {
+    "type": "object",
+    "required": ["argv", "schema_versions"],
+    "properties": {
+        "argv": {"type": "array", "items": {"type": "string"}},
+        "seed": {"type": ["integer", "null"]},
+        "schema_versions": {"type": "object"},
+        "run_id": {"type": ["string", "null"]},
+    },
+}
+
+ANALYSIS_SCHEMA["properties"]["run_meta"] = RUN_META_SCHEMA
+
 DOWNGRADE_SCHEMA = {
     "type": "object",
     "required": ["theorem", "region", "rules", "detail"],
@@ -273,6 +288,7 @@ MC_SCHEMA = {
         "metrics": {"type": "object"},
         "counterexample": {"type": "object"},
         "profile": PROFILE_SCHEMA,
+        "run_meta": RUN_META_SCHEMA,
     },
 }
 
@@ -346,6 +362,27 @@ BENCH_FILE_SCHEMA = {"type": "array", "items": BENCH_RECORD_SCHEMA}
 
 # -- serializers ---------------------------------------------------------------
 
+def run_meta(seed: Optional[int] = None) -> dict:
+    """The shared ``run_meta`` block: argv, seed, schema versions, and
+    the ledger run id when a recorder is active.  Library callers
+    (tests, notebooks) get ``sys.argv``-derived metadata, so every
+    exported artifact says what produced it."""
+    import sys
+
+    from repro.obs import ledger
+
+    recorder = ledger.current()
+    meta: dict = {
+        "argv": [str(a) for a in (recorder.argv if recorder is not None
+                                  else sys.argv[1:])],
+        "seed": seed if seed is not None
+        else (recorder.seed if recorder is not None else None),
+        "schema_versions": ledger.schema_versions(),
+        "run_id": recorder.run_id if recorder is not None else None,
+    }
+    return meta
+
+
 def mc_to_dict(result) -> dict:
     """Serialize an :class:`~repro.mc.explorer.MCResult`."""
     out = {
@@ -365,6 +402,7 @@ def mc_to_dict(result) -> dict:
     profile = getattr(result, "profile", None)
     if profile:
         out["profile"] = dict(profile)
+    out["run_meta"] = run_meta()
     return out
 
 
@@ -421,6 +459,7 @@ def analysis_to_dict(result, include_provenance: bool = True) -> dict:
     profile = getattr(result, "profile", None)
     if profile:
         out["profile"] = dict(profile)
+    out["run_meta"] = run_meta()
     return out
 
 
@@ -461,12 +500,20 @@ def bench_record(name: str, wall_s: float, states: int = 0,
 
 def write_bench(path: Union[str, pathlib.Path],
                 records: list[dict]) -> pathlib.Path:
-    """Validate and write a benchmark record file."""
+    """Validate and write a benchmark record file.  When a ledger run
+    is active the records are also attached to it as a
+    content-addressed artifact plus a ``bench`` note, so ``runs diff``
+    can render bench deltas."""
     errors = validate(records, BENCH_FILE_SCHEMA)
     if errors:
         raise ValueError("invalid bench records: " + "; ".join(errors))
     path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(records, indent=2) + "\n")
+    from repro.obs import ledger
+    if ledger.current() is not None:
+        ledger.add_artifact(path.name, records)
+        ledger.note("bench", {"records": records})
     return path
 
 

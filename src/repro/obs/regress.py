@@ -23,13 +23,24 @@ changed and the baseline wants a refresh.
 
 Every check appends one JSON line to an append-only history file
 (``benchmarks/out/REGRESS_history.jsonl`` by default), giving CI a
-perf trajectory that survives baseline refreshes.
+perf trajectory that survives baseline refreshes.  When the run
+ledger is enabled the same line is mirrored into
+``<ledger-root>/REGRESS_history.jsonl`` so the trajectory rides along
+with the recorded runs, and the report is noted into any active
+:mod:`repro.obs.ledger` recorder.
 
 CLI (also ``python -m repro.obs.regress``)::
 
     python -m repro.obs.regress --check benchmarks/out
     python -m repro.obs.regress --check benchmarks/out --update
     python -m repro.obs.regress --check benchmarks/out --json
+    python -m repro.obs.regress --check benchmarks/out \
+        --baselines ledger       # baselines = newest ledgered bench
+
+``--baselines ledger`` resolves the baseline records from the most
+recent ledger run that recorded each ``BENCH_*`` artifact, instead of
+the committed files — handy for "did this change regress perf versus
+my last local run" without touching the checkout.
 
 Exit codes: 0 = within thresholds, 1 = regression, 2 = usage error
 (missing files, malformed records).
@@ -183,14 +194,43 @@ def _compare_one(file: str, name: str, fresh: dict, base: dict,
     return out
 
 
+def baselines_from_ledger(root: Union[None, str, pathlib.Path] = None
+                          ) -> dict[str, list]:
+    """Baseline records from the run ledger: for each ``BENCH_*``
+    file, the copy recorded by the most recent ledgered run (schema-
+    validated; unreadable artifacts are skipped)."""
+    from repro.obs import ledger
+    from repro.obs.export import BENCH_FILE_SCHEMA, validate
+
+    ledger_root = ledger.ledger_root(root)
+    out: dict[str, list] = {}
+    for manifest in ledger.list_runs(ledger_root):   # oldest first
+        for artifact in manifest.get("artifacts", []):
+            if artifact.get("name") not in BENCH_FILES \
+                    or not artifact.get("path"):
+                continue
+            path = ledger_root / manifest["run_id"] / artifact["path"]
+            try:
+                records = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not validate(records, BENCH_FILE_SCHEMA):
+                out[artifact["name"]] = records   # newest wins
+    return out
+
+
 def check_dir(out_dir: Union[str, pathlib.Path],
               baseline_dir: Union[str, pathlib.Path],
               thresholds: Optional[dict] = None) -> dict:
     """Compare every known bench file present in ``out_dir`` against
-    its committed baseline.  Returns a JSON-ready report; raises
-    ``ValueError`` when a present file is malformed or has no
-    baseline."""
+    its committed baseline — or, when ``baseline_dir`` is the literal
+    string ``"ledger"``, against the newest bench artifacts in the run
+    ledger.  Returns a JSON-ready report; raises ``ValueError`` when a
+    present file is malformed or has no baseline."""
     out_dir = pathlib.Path(out_dir)
+    from_ledger: Optional[dict] = None
+    if str(baseline_dir) == "ledger":
+        from_ledger = baselines_from_ledger()
     baseline_dir = pathlib.Path(baseline_dir)
     findings: list[Finding] = []
     compared: list[str] = []
@@ -198,13 +238,20 @@ def check_dir(out_dir: Union[str, pathlib.Path],
         fresh_path = out_dir / filename
         if not fresh_path.exists():
             continue
-        baseline_path = baseline_dir / filename
-        if not baseline_path.exists():
-            raise ValueError(
-                f"{fresh_path} has no baseline {baseline_path} — "
-                f"run with --update to record one")
+        if from_ledger is not None:
+            baseline = from_ledger.get(filename)
+            if baseline is None:
+                raise ValueError(
+                    f"{fresh_path} has no ledgered baseline — no "
+                    f"recorded run carries a {filename} artifact")
+        else:
+            baseline_path = baseline_dir / filename
+            if not baseline_path.exists():
+                raise ValueError(
+                    f"{fresh_path} has no baseline {baseline_path} — "
+                    f"run with --update to record one")
+            baseline = validate_bench_file(baseline_path)
         fresh = validate_bench_file(fresh_path)
-        baseline = validate_bench_file(baseline_path)
         findings.extend(compare_records(fresh, baseline, thresholds,
                                         file=filename))
         compared.append(filename)
@@ -258,6 +305,24 @@ def append_history(path: Union[str, pathlib.Path],
     return path
 
 
+def _mirror_history_to_ledger(report: dict) -> None:
+    """Mirror the history line next to the recorded runs and note the
+    report into any active run recorder (both best-effort)."""
+    from repro.obs import ledger
+
+    ledger.note("regress", {"status": report["status"],
+                            "regressions": report["regressions"],
+                            "notes": report["notes"],
+                            "compared": report["compared"]})
+    if not ledger.enabled():
+        return
+    root = ledger.ledger_root()
+    try:
+        append_history(root / DEFAULT_HISTORY, report)
+    except OSError:
+        pass
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     import argparse
     import sys
@@ -272,8 +337,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "(default: benchmarks/out)")
     parser.add_argument("--baselines", metavar="DIR",
                         default="benchmarks/baselines",
-                        help="committed baseline directory "
-                             "(default: benchmarks/baselines)")
+                        help="committed baseline directory (default: "
+                             "benchmarks/baselines), or the literal "
+                             "'ledger' to compare against the newest "
+                             "bench artifacts in the run ledger")
     parser.add_argument("--update", action="store_true",
                         help="promote the fresh files to baselines "
                              "instead of checking")
@@ -305,6 +372,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         if history is None:
             history = pathlib.Path(args.check) / DEFAULT_HISTORY
         append_history(history, report)
+        _mirror_history_to_ledger(report)
     if args.json:
         print(json.dumps(report, indent=2))
     else:

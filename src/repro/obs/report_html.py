@@ -20,7 +20,9 @@ Sections (each ``<section id="sec-NAME">``, see :data:`SECTIONS`):
 * ``lint``      — findings grouped by target;
 * ``crossval``  — preformatted experiment/cross-validation tables;
 * ``bench``     — baseline vs fresh comparison and the regression
-  history sparkline.
+  history sparkline;
+* ``runs``      — the persistent run ledger: one row per recorded
+  invocation (pass the ledger root, e.g. ``.repro/runs``).
 
 Inputs are classified by *shape*, not by filename (see
 :func:`classify`), so ``repro report out/*.json benchmarks/out`` just
@@ -43,7 +45,7 @@ REPORT_VERSION = 1
 
 #: required section ids; check_html() fails on any that is missing
 SECTIONS = ("overview", "trace", "metrics", "hotspots", "coverage",
-            "lint", "crossval", "bench")
+            "lint", "crossval", "bench", "runs")
 
 
 # -- input collection ----------------------------------------------------------
@@ -62,6 +64,7 @@ class ReportInputs:
     bench_baseline: dict = field(default_factory=dict)
     history: list[dict] = field(default_factory=list)
     tables: list[tuple] = field(default_factory=list)  # (label, text)
+    runs: list[dict] = field(default_factory=list)     # ledger manifests
 
 
 def classify(label: str, doc) -> Optional[str]:
@@ -78,6 +81,8 @@ def classify(label: str, doc) -> Optional[str]:
         return None
     if not isinstance(doc, dict):
         return None
+    if "run_id" in doc and "argv" in doc and "outcome" in doc:
+        return "manifest"
     if "procedures" in doc and "all_atomic" in doc:
         return "analysis"
     if "mode" in doc and "states" in doc and "transitions" in doc:
@@ -101,9 +106,13 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
                    = None) -> ReportInputs:
     """Load and classify input files.  Directories are scanned one
     level deep for ``*.json`` / ``*.jsonl`` / ``*.txt``; inside a
-    scanned directory, ``BENCH_*.json`` become fresh bench records and
-    ``REGRESS_history.jsonl`` the perf trajectory.  ``baseline_dir``
-    (e.g. ``benchmarks/baselines``) supplies the comparison side."""
+    scanned directory, ``BENCH_*.json`` become fresh bench records,
+    ``REGRESS_history.jsonl`` the perf trajectory, and any child
+    directory holding a ``manifest.json`` a run-ledger entry (so
+    passing ``.repro/runs`` populates the Runs section).
+    ``baseline_dir`` (e.g. ``benchmarks/baselines``) supplies the
+    comparison side.  Paths that do not exist are skipped, so a CI
+    job may always pass ``.repro/runs`` even before any run."""
     inputs = ReportInputs()
     files: list[pathlib.Path] = []
     for raw in paths:
@@ -112,7 +121,10 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             files.extend(sorted(
                 p for p in path.iterdir()
                 if p.suffix in (".json", ".jsonl", ".txt")))
-        else:
+            files.extend(sorted(
+                p / "manifest.json" for p in path.iterdir()
+                if (p / "manifest.json").is_file()))
+        elif path.exists():
             files.append(path)
     for path in files:
         label = path.name
@@ -132,7 +144,9 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
         except json.JSONDecodeError:
             continue
         kind = classify(label, doc)
-        if kind == "analysis":
+        if kind == "manifest":
+            inputs.runs.append(doc)
+        elif kind == "analysis":
             inputs.analyses.append((label, doc))
         elif kind == "mc":
             inputs.mcs.append((label, doc))
@@ -293,6 +307,9 @@ def _overview(inputs: ReportInputs) -> str:
         rows.append(["events", label, f"{len(events)} event(s)"])
     for label, _text in inputs.tables:
         rows.append(["table", label, "preformatted"])
+    if inputs.runs:
+        rows.append(["runs", "ledger",
+                     f"{len(inputs.runs)} recorded run(s)"])
     if inputs.history:
         rows.append(["history", "REGRESS_history.jsonl",
                      f"{len(inputs.history)} check(s)"])
@@ -521,6 +538,36 @@ def _bench(inputs: ReportInputs) -> str:
     return "".join(parts)
 
 
+def _runs(inputs: ReportInputs) -> str:
+    if not inputs.runs:
+        return _placeholder(
+            "run ledger", "ledgered commands record manifests under "
+            ".repro/runs — pass that directory (repro runs list / "
+            "diff inspect it from the CLI)")
+    ordered = sorted(inputs.runs, key=lambda m: m.get("run_id", ""))
+    rows = []
+    for m in ordered:
+        rev = (m.get("git_rev") or "")[:10]
+        crash = (m.get("crash") or {}).get("reason", "")
+        rows.append([
+            m.get("run_id", "?"), m.get("command", "?"),
+            m.get("outcome", "?"), m.get("exit_code", ""),
+            f"{m.get('wall_s', 0):.3f}",
+            "" if m.get("seed") is None else m["seed"],
+            rev, crash])
+    parts = [_table(["run", "command", "outcome", "exit", "wall (s)",
+                     "seed", "git", "bundle"], rows, "mono")]
+    outcomes: dict[str, int] = {}
+    for m in ordered:
+        key = m.get("outcome", "?")
+        outcomes[key] = outcomes.get(key, 0) + 1
+    if len(ordered) > 1:
+        parts.append("<h4>outcomes</h4>"
+                     + _svg_bars(sorted(outcomes.items()),
+                                 title="runs per outcome"))
+    return "".join(parts)
+
+
 # -- document assembly ---------------------------------------------------------
 
 _STYLE = """
@@ -554,6 +601,7 @@ def render_report(inputs: ReportInputs,
         "lint": ("Lint findings", _lint(inputs)),
         "crossval": ("Cross-validation tables", _crossval(inputs)),
         "bench": ("Bench trajectory", _bench(inputs)),
+        "runs": ("Run ledger", _runs(inputs)),
     }
     nav = "".join(f"<a href='#sec-{name}'>{_esc(label)}</a>"
                   for name, (label, _) in sections.items())
@@ -656,6 +704,23 @@ SELF_CHECK_FIXTURE = {
                      "program   | lint errors | violation\n"
                      "----------+-------------+----------\n"
                      "ABA_STACK | 2           | yes\n"),
+    "runs": [
+        {"v": 1, "run_id": "20260101T000000-000001-1-analyze",
+         "command": "analyze", "argv": ["analyze", "fixture.synl"],
+         "started_at": 1.0, "wall_s": 0.02, "cpu_s": 0.02,
+         "git_rev": "0123456789abcdef", "seed": None, "exit_code": 0,
+         "outcome": "ok", "schema_versions": {"manifest": 1},
+         "artifacts": [], "crash": None},
+        {"v": 1, "run_id": "20260101T000001-000001-1-mc",
+         "command": "mc", "argv": ["mc", "fixture.synl", "P()"],
+         "started_at": 2.0, "wall_s": 0.05, "cpu_s": 0.05,
+         "git_rev": "0123456789abcdef", "seed": 7, "exit_code": 1,
+         "outcome": "violation", "schema_versions": {"manifest": 1},
+         "artifacts": [], "crash": {"reason": "violation",
+                                    "path": "crash.json"},
+         "mc": {"mode": "full", "states": 27, "transitions": 36,
+                "violation": "assertion failed", "capped": False,
+                "fingerprint": "deadbeefdeadbeef"}}],
 }
 
 
@@ -669,7 +734,8 @@ def fixture_inputs() -> ReportInputs:
         bench_fresh={"BENCH_mc.json": fx["BENCH_mc.json"]},
         bench_baseline={"BENCH_mc.json": fx["baseline_BENCH_mc.json"]},
         history=list(fx["history"]),
-        tables=[("crossval.txt", fx["crossval.txt"])])
+        tables=[("crossval.txt", fx["crossval.txt"])],
+        runs=[dict(m) for m in fx["runs"]])
 
 
 def self_check() -> tuple[int, str]:

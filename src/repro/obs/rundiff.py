@@ -1,0 +1,218 @@
+"""Cross-run drift diffing over ledger manifests.
+
+``repro runs diff A B`` answers the regression question a conservative
+analysis needs answered across commits: did any block's atomicity
+class change, were theorem applications (5.3/5.4 windows, …) gained or
+lost, did lint findings appear or disappear, did the MC verdict or its
+counterexample fingerprint move?  Timing fields (wall/CPU seconds,
+bench walls) are reported as *informational* deltas and never count as
+drift — two byte-identical analyses a week apart must diff empty.
+
+The document shape (``--json``)::
+
+    {"v": 1, "a": <run_id>, "b": <run_id>, "empty": bool,
+     "classification": [{"block", "a", "b"}, ...],
+     "procedures":     [{"name", "a", "b"}, ...],
+     "theorems":       [{"block", "gained", "lost"}, ...],
+     "lint":           [{"target", "rule", "a", "b"}, ...],
+     "execution":      [{"source", "field", "a", "b"}, ...],
+     "outcome": {...} | null, "exit_code": {...} | null,
+     "info": {"wall_s": {"a", "b"}, "bench": [...]}}
+
+``empty`` is True exactly when every drift category (everything except
+``info``) is empty/None.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+DIFF_VERSION = 1
+
+#: manifest keys whose dicts are compared field-by-field under the
+#: ``execution`` category (fingerprint identity lives here)
+_EXECUTION_KEYS = ("mc", "run")
+
+#: execution fields that are always drift when they differ
+_EXECUTION_FIELDS = ("mode", "states", "transitions", "violation",
+                     "capped", "fingerprint", "seed")
+
+
+def _map_drift(a: dict, b: dict, key_name: str) -> list[dict]:
+    """Generic ``{key: value}`` map comparison, sorted by key."""
+    out = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            out.append({key_name: key, "a": va, "b": vb})
+    return out
+
+
+def _theorem_drift(a: dict, b: dict) -> list[dict]:
+    out = []
+    for block in sorted(set(a) | set(b)):
+        ta, tb = set(a.get(block, [])), set(b.get(block, []))
+        if ta != tb:
+            out.append({"block": block,
+                        "gained": sorted(tb - ta),
+                        "lost": sorted(ta - tb)})
+    return out
+
+
+def _lint_drift(a: dict, b: dict) -> list[dict]:
+    """Per (target, rule) count deltas over the manifests' lint
+    summaries (``{"targets": {target: {rule: count}}}``)."""
+    ta, tb = a.get("targets", {}), b.get("targets", {})
+    out = []
+    for target in sorted(set(ta) | set(tb)):
+        ra, rb = ta.get(target, {}), tb.get(target, {})
+        for rule in sorted(set(ra) | set(rb)):
+            na, nb = ra.get(rule, 0), rb.get(rule, 0)
+            if na != nb:
+                out.append({"target": target, "rule": rule,
+                            "a": na, "b": nb})
+    return out
+
+
+def _execution_drift(a: dict, b: dict) -> list[dict]:
+    out = []
+    for source in _EXECUTION_KEYS:
+        ea, eb = a.get(source) or {}, b.get(source) or {}
+        if not ea and not eb:
+            continue
+        for field in _EXECUTION_FIELDS:
+            va, vb = ea.get(field), eb.get(field)
+            if va != vb:
+                out.append({"source": source, "field": field,
+                            "a": va, "b": vb})
+    return out
+
+
+def _bench_info(a: dict, b: dict) -> list[dict]:
+    """Informational wall-time deltas between bench artifacts both
+    runs recorded (matched by record name)."""
+    def records(manifest: dict) -> dict:
+        out = {}
+        for note_key in ("bench", ):
+            for rec in manifest.get(note_key, {}).get("records", []):
+                out[rec.get("name")] = rec
+        return out
+
+    ra, rb = records(a), records(b)
+    out = []
+    for name in sorted(set(ra) & set(rb)):
+        wa = ra[name].get("wall_s")
+        wb = rb[name].get("wall_s")
+        if wa and wb:
+            out.append({"name": name, "metric": "wall_s",
+                        "a": wa, "b": wb,
+                        "pct": round((wb - wa) / wa * 100, 1)})
+    return out
+
+
+def diff_manifests(a: dict, b: dict) -> dict:
+    """Drift document between two run manifests (see module doc)."""
+    ca = a.get("analysis") or {}
+    cb = b.get("analysis") or {}
+    classification = _map_drift(ca.get("blocks", {}),
+                                cb.get("blocks", {}), "block")
+    classification += _map_drift(ca.get("variants", {}),
+                                 cb.get("variants", {}), "block")
+    classification += _map_drift(ca.get("partitions", {}),
+                                 cb.get("partitions", {}), "block")
+    procedures = _map_drift(ca.get("procedures", {}),
+                            cb.get("procedures", {}), "name")
+    theorems = _theorem_drift(ca.get("theorems", {}),
+                              cb.get("theorems", {}))
+    downs_a = ca.get("downgrades") or []
+    downs_b = cb.get("downgrades") or []
+    if downs_a != downs_b:
+        theorems.append({"block": "(downgrades)",
+                         "gained": [str(d) for d in downs_b
+                                    if d not in downs_a],
+                         "lost": [str(d) for d in downs_a
+                                  if d not in downs_b]})
+    lint = _lint_drift(a.get("lint") or {}, b.get("lint") or {})
+    execution = _execution_drift(a, b)
+    outcome: Optional[dict] = None
+    if a.get("outcome") != b.get("outcome"):
+        outcome = {"a": a.get("outcome"), "b": b.get("outcome")}
+    exit_code: Optional[dict] = None
+    if a.get("exit_code") != b.get("exit_code"):
+        exit_code = {"a": a.get("exit_code"), "b": b.get("exit_code")}
+    empty = not (classification or procedures or theorems or lint
+                 or execution or outcome or exit_code)
+    return {
+        "v": DIFF_VERSION,
+        "a": a.get("run_id"),
+        "b": b.get("run_id"),
+        "commands": [a.get("command"), b.get("command")],
+        "classification": classification,
+        "procedures": procedures,
+        "theorems": theorems,
+        "lint": lint,
+        "execution": execution,
+        "outcome": outcome,
+        "exit_code": exit_code,
+        "info": {
+            "wall_s": {"a": a.get("wall_s"), "b": b.get("wall_s")},
+            "bench": _bench_info(a, b),
+        },
+        "empty": empty,
+    }
+
+
+def _rows(diff: dict) -> list[tuple[str, str]]:
+    rows: list[tuple[str, str]] = []
+    for entry in diff["classification"]:
+        rows.append(("class", f"{entry['block']}: "
+                     f"{entry['a']} -> {entry['b']}"))
+    for entry in diff["procedures"]:
+        rows.append(("verdict", f"{entry['name']}: atomic "
+                     f"{entry['a']} -> {entry['b']}"))
+    for entry in diff["theorems"]:
+        gained = ", ".join(entry["gained"]) or "-"
+        lost = ", ".join(entry["lost"]) or "-"
+        rows.append(("theorem", f"{entry['block']}: "
+                     f"gained [{gained}] lost [{lost}]"))
+    for entry in diff["lint"]:
+        rows.append(("lint", f"{entry['target']} {entry['rule']}: "
+                     f"{entry['a']} -> {entry['b']}"))
+    for entry in diff["execution"]:
+        rows.append((entry["source"], f"{entry['field']}: "
+                     f"{entry['a']} -> {entry['b']}"))
+    if diff["outcome"]:
+        rows.append(("outcome", f"{diff['outcome']['a']} -> "
+                     f"{diff['outcome']['b']}"))
+    if diff["exit_code"]:
+        rows.append(("exit", f"{diff['exit_code']['a']} -> "
+                     f"{diff['exit_code']['b']}"))
+    return rows
+
+
+def render_diff(diff: dict) -> str:
+    """Fixed-width drift table (one row per drifted item), with the
+    informational wall-time delta as a trailing note."""
+    header = f"runs diff {diff['a']} -> {diff['b']}"
+    lines = [header]
+    rows = _rows(diff)
+    if not rows:
+        lines.append("no drift (classification, theorems, lint, and "
+                     "execution all match)")
+    else:
+        width = max(len(kind) for kind, _ in rows)
+        width = max(width, len("category"))
+        lines.append(f"{'category'.ljust(width)} | change")
+        lines.append(f"{'-' * width}-+-{'-' * 40}")
+        for kind, text in rows:
+            lines.append(f"{kind.ljust(width)} | {text}")
+    info = diff.get("info", {})
+    walls = info.get("wall_s", {})
+    if walls.get("a") is not None and walls.get("b") is not None:
+        lines.append(f"(info) wall_s {walls['a']:.3f} -> "
+                     f"{walls['b']:.3f}")
+    for entry in info.get("bench", []):
+        lines.append(f"(info) bench {entry['name']} wall_s "
+                     f"{entry['a']:.6g} -> {entry['b']:.6g} "
+                     f"({entry['pct']:+.1f}%)")
+    return "\n".join(lines)

@@ -1,5 +1,7 @@
 """Shared fixtures: corpus analyses are session-cached (each full
-inference run costs ~a second)."""
+inference run costs ~a second), and the persistent run ledger is
+pointed at a per-test temporary directory so CLI invocations from the
+suite never write into the checkout's ``.repro/runs``."""
 
 from __future__ import annotations
 
@@ -7,6 +9,12 @@ import pytest
 
 from repro import corpus
 from repro.analysis import analyze_program
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER_DIR",
+                       str(tmp_path / "ledger-runs"))
 
 
 @pytest.fixture(scope="session")

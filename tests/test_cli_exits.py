@@ -1,0 +1,145 @@
+"""CLI exit-code contract, cross-checked against the run ledger: the
+exit code the process reports and the one the manifest records must
+always agree (the determinism canary in CI diffs manifests, so a
+mismatch here would poison every downstream comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import corpus
+from repro.cli import EXIT_CAPPED, main
+from repro.obs import ledger
+
+
+@pytest.fixture()
+def ledger_root(tmp_path, monkeypatch):
+    root = tmp_path / "runs"
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(root))
+    return root
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+def _last(ledger_root):
+    return ledger.list_runs(ledger_root)[-1]
+
+
+def _assert_recorded(ledger_root, code, outcome):
+    manifest = _last(ledger_root)
+    assert manifest["exit_code"] == code
+    assert manifest["outcome"] == outcome
+    return manifest
+
+
+# -- analyze: 0 atomic / 1 not shown atomic / 2 usage ------------------------------
+
+def test_analyze_atomic_exits_0(ledger_root, tmp_path, capsys):
+    code = main(["analyze", _write(tmp_path, "q.synl",
+                                   corpus.NFQ_PRIME)])
+    assert code == 0
+    _assert_recorded(ledger_root, 0, "ok")
+
+
+def test_analyze_not_atomic_exits_1(ledger_root, tmp_path, capsys):
+    code = main(["analyze", _write(tmp_path, "aba.synl",
+                                   corpus.ABA_STACK)])
+    assert code == 1
+    _assert_recorded(ledger_root, 1, "not-atomic")
+
+
+def test_analyze_missing_file_exits_2(ledger_root, capsys):
+    code = main(["analyze", "/no/such/file.synl"])
+    assert code == 2
+    _assert_recorded(ledger_root, 2, "error")
+
+
+# -- mc: 0 clean / 1 violation / 3 capped ------------------------------------------
+
+def test_mc_clean_exits_0(ledger_root, tmp_path, capsys):
+    code = main(["mc", _write(tmp_path, "sem.synl", corpus.SEMAPHORE),
+                 "Down()", "Up()", "--mode", "full"])
+    assert code == 0
+    manifest = _assert_recorded(ledger_root, 0, "ok")
+    assert manifest["mc"]["violation"] is None
+
+
+def test_mc_violation_exits_1(ledger_root, tmp_path, capsys):
+    code = main(["mc", _write(tmp_path, "sem.synl",
+                              corpus.BROKEN_SEMAPHORE),
+                 "DownBad()", "DownBad()", "--mode", "full"])
+    assert code == 1
+    manifest = _assert_recorded(ledger_root, 1, "violation")
+    assert manifest["mc"]["fingerprint"]
+
+
+def test_mc_capped_exits_3(ledger_root, tmp_path, capsys):
+    code = main(["mc", _write(tmp_path, "sem.synl",
+                              corpus.BROKEN_SEMAPHORE),
+                 "DownBad()", "DownBad()", "--mode", "full",
+                 "--max-states", "2"])
+    assert code == EXIT_CAPPED
+    manifest = _assert_recorded(ledger_root, EXIT_CAPPED, "capped")
+    assert manifest["mc"]["capped"] is True
+
+
+# -- run: 0 clean / 1 violation ----------------------------------------------------
+
+def test_run_clean_exits_0(ledger_root, tmp_path, capsys):
+    code = main(["run", _write(tmp_path, "sem.synl", corpus.SEMAPHORE),
+                 "Down()", "Up()"])
+    assert code == 0
+    manifest = _assert_recorded(ledger_root, 0, "ok")
+    assert manifest["seed"] == 0
+
+
+def test_run_violation_exits_1(ledger_root, tmp_path, capsys):
+    code = main(["run", _write(tmp_path, "sem.synl",
+                               corpus.BROKEN_SEMAPHORE),
+                 "DownBad()", "DownBad()", "--seed", "3"])
+    assert code == 1
+    manifest = _assert_recorded(ledger_root, 1, "violation")
+    assert manifest["seed"] == 3
+
+
+# -- lint: 0 clean / 2 errors ------------------------------------------------------
+
+def test_lint_clean_exits_0(ledger_root, tmp_path, capsys):
+    code = main(["lint", _write(tmp_path, "q.synl",
+                                corpus.NFQ_PRIME)])
+    assert code == 0
+    _assert_recorded(ledger_root, 0, "ok")
+
+
+def test_lint_errors_exit_2(ledger_root, tmp_path, capsys):
+    code = main(["lint", _write(tmp_path, "aba.synl",
+                                corpus.ABA_STACK)])
+    assert code == 2
+    manifest = _assert_recorded(ledger_root, 2, "findings")
+    assert manifest["lint"]["errors"] > 0
+
+
+# -- report / experiments usage errors ---------------------------------------------
+
+def test_report_without_inputs_exits_2(ledger_root, tmp_path,
+                                       monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)   # no benchmarks/out fallback here
+    code = main(["report"])
+    assert code == 2
+    _assert_recorded(ledger_root, 2, "error")
+
+
+def test_report_self_check_exits_0(ledger_root, capsys):
+    code = main(["report", "--self-check"])
+    assert code == 0
+    _assert_recorded(ledger_root, 0, "ok")
+
+
+def test_experiments_unknown_name_exits_2(ledger_root, capsys):
+    code = main(["experiments", "no-such-experiment"])
+    assert code == 2
+    _assert_recorded(ledger_root, 2, "error")

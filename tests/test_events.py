@@ -176,3 +176,70 @@ def test_run_path_log_matches_schema():
         assert validate(step, PATH_STEP_SCHEMA) == []
     assert any(s["kind"] == "stmt" and s["uid"] is not None
                for s in path_log)
+
+
+# -- sink paths with missing parent directories ------------------------------------
+
+def test_sink_creates_missing_parent_dirs(tmp_path):
+    sink = tmp_path / "deep" / "nested" / "events.jsonl"
+    with EventStream(sink=sink) as stream:
+        stream.emit("sched.seed", seed=1)
+    assert len(read_jsonl(sink)) == 1
+
+
+def test_write_jsonl_creates_missing_parent_dirs(tmp_path):
+    stream = EventStream()
+    stream.emit("mc.pop", depth=0)
+    path = stream.write_jsonl(tmp_path / "a" / "b" / "events.jsonl")
+    assert len(read_jsonl(path)) == 1
+
+
+def test_write_trace_creates_missing_parent_dirs(tmp_path):
+    from repro.obs.chrometrace import write_trace
+
+    stream = EventStream()
+    stream.emit("mc.pop", depth=0)
+    path = write_trace(tmp_path / "x" / "y" / "trace.json",
+                       events=stream)
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_cli_events_and_trace_out_create_parent_dirs(tmp_path):
+    from repro.cli import main
+
+    src = tmp_path / "sem.synl"
+    src.write_text(corpus.SEMAPHORE)
+    events_out = tmp_path / "out" / "sub" / "events.jsonl"
+    trace_out = tmp_path / "out" / "other" / "trace.json"
+    code = main(["run", str(src), "Down()", "Up()",
+                 "--events-out", str(events_out),
+                 "--trace-out", str(trace_out)])
+    assert code == 0
+    assert events_out.is_file() and read_jsonl(events_out)
+    assert json.loads(trace_out.read_text())["traceEvents"]
+
+
+def test_drain_returns_bounded_most_recent():
+    stream = EventStream(capacity=16)
+    for i in range(10):
+        stream.emit("mc.pop", depth=i)
+    tail = stream.drain(3)
+    assert [e["depth"] for e in tail] == [7, 8, 9]
+    assert len(stream.drain()) == 10
+    assert len(stream.drain(100)) == 10
+
+
+def test_active_registry_tracks_latest_stream():
+    import gc
+
+    from repro.obs import events as events_mod
+
+    first = EventStream()
+    assert events_mod.active() is first
+    second = EventStream()
+    assert events_mod.active() is second
+    del second
+    gc.collect()
+    # weakref registry: a collected stream must not be kept alive
+    assert events_mod.active() is None

@@ -119,6 +119,10 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
         "\n".join(json.dumps(e) for e in fx["history"]))
     (tmp_path / "crossval.txt").write_text(fx["crossval.txt"])
     (tmp_path / "junk.json").write_text("not json {")
+    for manifest in fx["runs"]:
+        run_dir = tmp_path / manifest["run_id"]
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text(json.dumps(manifest))
     baselines = tmp_path / "baselines"
     baselines.mkdir()
     (baselines / "BENCH_mc.json").write_text(
@@ -132,10 +136,20 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
     assert set(inputs.bench_baseline) == {"BENCH_mc.json"}
     assert len(inputs.history) == 2
     assert [label for label, _ in inputs.tables] == ["crossval.txt"]
+    assert sorted(m["run_id"] for m in inputs.runs) == \
+        sorted(m["run_id"] for m in fx["runs"])
 
     html_text = render_report(inputs)
     assert check_html(html_text) == []
     assert "class='empty'" not in html_text
+
+
+def test_collect_inputs_skips_missing_paths(tmp_path):
+    # CI always passes .repro/runs, which may not exist yet
+    inputs = collect_inputs([tmp_path / "no-such-dir",
+                             tmp_path / "no-such-file.json"])
+    assert inputs.runs == []
+    assert inputs.analyses == []
 
 
 # -- CLI ---------------------------------------------------------------------------
