@@ -9,6 +9,9 @@
     python -m repro mc FILE T0 ... --mode atomic   # model-check
     python -m repro lint FILE            # discipline linter (docs/LINT.md)
     python -m repro report -o out.html   # unified HTML report artifact
+    python -m repro bench run            # statistical benchmark matrix
+    python -m repro bench trend          # perf trajectory sparklines
+    python -m repro bench compare A B    # noise-aware bench diff
     python -m repro experiments NAME     # regenerate a table/figure
     python -m repro runs list            # persistent run ledger
     python -m repro runs diff -2 -1      # cross-run classification drift
@@ -27,10 +30,13 @@ FILE`` (Chrome/Perfetto trace-event export) and ``--events-out FILE``
 (structured event stream as JSONL); ``analyze`` also accepts
 ``--explain`` (per-line classification provenance), ``run``/``mc``
 accept ``--explain-cex`` (annotated counterexample timeline on
-violation), and ``mc`` accepts ``--progress N`` (live heartbeat) and
-``--trace-malloc`` (allocation-site telemetry).  ``REPRO_TRACE=1`` /
-``REPRO_METRICS=1`` / ``REPRO_PROFILE=1`` enable the same from the
-environment — see docs/OBSERVABILITY.md.
+violation), and ``mc`` accepts ``--progress N`` (live heartbeat with
+EWMA throughput + ETA), ``--deadline SECS`` (graceful soft timeout,
+exit :data:`EXIT_DEADLINE`) and ``--trace-malloc`` (allocation-site
+telemetry).  ``--profile-out FILE`` writes the region profile in
+collapsed-stack format.  ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` /
+``REPRO_PROFILE=1`` enable the same from the environment — see
+docs/OBSERVABILITY.md.
 
 Every command in :data:`LEDGERED_COMMANDS` additionally records a run
 manifest (argv, seed, git rev, outcome, classification summary,
@@ -64,12 +70,17 @@ from repro.synl.resolve import resolve
 #: property violation's 1 and a usage error's 2)
 EXIT_CAPPED = 3
 
+#: ``repro mc`` exit code when ``--deadline`` stopped the search: the
+#: verdict is UNKNOWN but the stop was graceful (telemetry and partial
+#: counts are intact), so it must not look like a cap or a crash
+EXIT_DEADLINE = 4
+
 #: commands whose invocations are recorded in the persistent run
 #: ledger (the meta commands ``runs`` and ``replay`` are not — a
 #: ledger query must never grow the ledger)
 LEDGERED_COMMANDS = frozenset({
     "analyze", "blocks", "variants", "run", "mc", "lint", "report",
-    "experiments",
+    "experiments", "bench",
 })
 
 
@@ -118,7 +129,10 @@ def _obs_setup(args) -> tuple[ObsConfig, Tracer]:
     cfg = ObsConfig.from_env().with_flags(
         trace=getattr(args, "trace", False),
         metrics=getattr(args, "metrics", False),
-        profile=getattr(args, "profile", False),
+        # --profile-out needs the region profiler recording even when
+        # the ranked-table output was not asked for
+        profile=getattr(args, "profile", False)
+        or bool(getattr(args, "profile_out", None)),
         profile_sample=getattr(args, "profile_sample", False))
     # --trace-out needs recorded spans even without --trace output
     enabled = cfg.trace or bool(getattr(args, "trace_out", None))
@@ -165,7 +179,7 @@ def _events_for(args):
     return None
 
 
-def _write_obs_outputs(args, tracer, events) -> None:
+def _write_obs_outputs(args, tracer, events, profiler=None) -> None:
     if getattr(args, "events_out", None) and events is not None:
         events.write_jsonl(args.events_out)
         ledger.ref_artifact(args.events_out)
@@ -174,6 +188,9 @@ def _write_obs_outputs(args, tracer, events) -> None:
         chrometrace.write_trace(args.trace_out, tracer=tracer,
                                 events=events)
         ledger.ref_artifact(args.trace_out)
+    if getattr(args, "profile_out", None) and profiler is not None:
+        profiler.write_folded(args.profile_out)
+        ledger.ref_artifact(args.profile_out)
 
 
 def _emit_obs(cfg: ObsConfig, tracer: Tracer, metrics: dict) -> None:
@@ -201,7 +218,7 @@ def _analyze_with_obs(args):
 
 def cmd_analyze(args) -> int:
     cfg, tracer, result, profiler, sampler = _analyze_with_obs(args)
-    _write_obs_outputs(args, tracer, None)
+    _write_obs_outputs(args, tracer, None, profiler)
     ledger.note_analysis(result)
     if args.json:
         doc = result.to_dict()
@@ -236,7 +253,7 @@ def cmd_blocks(args) -> int:
     cfg, tracer, result, profiler, sampler = _analyze_with_obs(args)
     partitions = {name: partition_procedure(result, name)
                   for name in result.verdicts}
-    _write_obs_outputs(args, tracer, None)
+    _write_obs_outputs(args, tracer, None, profiler)
     ledger.note_analysis(result)
     ledger.note_partitions({
         f"{name}/{p.variant_name}": [str(b.atomicity) for b in p.blocks]
@@ -377,13 +394,14 @@ def cmd_mc(args) -> int:
                           max_states=args.max_states, tracer=tracer,
                           events=events, profiler=profiler,
                           progress=args.progress,
-                          trace_malloc=args.trace_malloc).run()
+                          trace_malloc=args.trace_malloc,
+                          deadline=args.deadline).run()
     if sampler is not None and result.profile:
         result.profile = profiler.to_dict(sampler)
     cex = None
     if result.violation and args.explain_cex:
         cex = _explain_cex(args, result, interp)
-    _write_obs_outputs(args, tracer, events)
+    _write_obs_outputs(args, tracer, events, profiler)
     if args.json:
         doc = result.to_dict()
         if cex is not None:
@@ -404,6 +422,13 @@ def cmd_mc(args) -> int:
         _emit_profile(cfg, profiler, sampler)
     if result.violation:
         return 1
+    if result.deadline_hit:
+        print(f"note: deadline reached after {result.states} states "
+              f"({result.elapsed:.2f}s); verdict UNKNOWN — the "
+              f"search stopped gracefully with partial telemetry "
+              f"intact (raise --deadline to finish)",
+              file=sys.stderr)
+        return EXIT_DEADLINE
     if result.capped:
         print(f"error: state cap reached ({result.states} states "
               f"explored); the search is incomplete — raise "
@@ -449,7 +474,7 @@ def cmd_lint(args) -> int:
                     source, label=label, rules=rules,
                     metrics=registry, events=events,
                     profiler=profiler))
-    _write_obs_outputs(args, tracer, events)
+    _write_obs_outputs(args, tracer, events, profiler)
     ledger.note_lint(results)
 
     if args.manifest:
@@ -537,6 +562,84 @@ def cmd_report(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Statistical benchmark harness (docs/OBSERVABILITY.md).
+
+    ``run`` executes the declarative matrix with warmup + N repeats,
+    writes schema-versioned median-of-repeats ``BENCH_*.json`` files
+    and appends one line to the append-only ``BENCH_history.jsonl``
+    trajectory; ``trend`` renders per-record sparklines over that
+    trajectory; ``compare`` diffs two bench record sets with
+    noise-aware verdicts (exit 1 on significant drift, 2 on a usage
+    error)."""
+    from repro.obs import bench
+
+    if args.bench_cmd == "run":
+        if args.repeats is not None:
+            repeats = bench.resolve_repeats(args.repeats)
+        elif args.quick:
+            repeats = 1          # --quick: 1 repeat, no warmup
+        else:
+            repeats = bench.resolve_repeats(None)
+        warmup = args.warmup if args.warmup is not None \
+            else (0 if args.quick else bench.DEFAULT_WARMUP)
+        cases = bench.default_matrix(quick=args.quick)
+        out_dir = pathlib.Path(args.out)
+        progress = None if args.json else \
+            (lambda line: print(line, file=sys.stderr))
+        docs = bench.run_matrix(cases, repeats, warmup,
+                                progress=progress)
+        paths = bench.write_run(docs, out_dir)
+        for filename, doc in sorted(docs.items()):
+            ledger.add_artifact(filename, doc)
+        history_path = pathlib.Path(args.history) if args.history \
+            else out_dir / bench.DEFAULT_HISTORY
+        entry = bench.history_line(docs)
+        bench.append_history(history_path, entry)
+        ledger.ref_artifact(history_path)
+        if args.json:
+            print(json.dumps({"v": 1, "repeats": repeats,
+                              "warmup": warmup,
+                              "files": [str(p) for p in paths],
+                              "history": str(history_path),
+                              "entry": entry}, indent=2))
+        else:
+            n = sum(len(d["records"]) for d in docs.values())
+            print(f"wrote {', '.join(str(p) for p in paths)} "
+                  f"({n} record(s), {repeats} repeat(s), "
+                  f"warmup {warmup}); appended {history_path}")
+        return 0
+
+    if args.bench_cmd == "trend":
+        history = bench.load_history(args.history)
+        if args.json:
+            print(json.dumps({
+                "v": 1, "runs": len(history),
+                "metric": args.metric,
+                "series": bench.trend_series(
+                    history[-args.last:] if args.last else history,
+                    args.metric)}, indent=2))
+            return 0
+        print(bench.render_trend(history, metric=args.metric,
+                                 last=args.last))
+        return 0
+
+    # compare
+    try:
+        side_a = bench.resolve_side(args.a, baseline_dir=args.baselines)
+        side_b = bench.resolve_side(args.b, baseline_dir=args.baselines)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = bench.compare_sets(side_a, side_b,
+                                threshold=args.threshold)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(bench.render_compare(report))
+    return 1 if report["drift"] else 0
 
 
 def cmd_experiments(args) -> int:
@@ -683,6 +786,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="additionally attribute time per Python "
                           "function via sys.setprofile (slow; implies "
                           "--profile; also: REPRO_PROFILE=sample)")
+    obs.add_argument("--profile-out", metavar="FILE",
+                     help="write the region profile in collapsed-"
+                          "stack (folded) format — one 'outer;inner "
+                          "usecs' line per nesting path, flamegraph."
+                          "pl/speedscope-ready (implies --profile)")
 
     p = sub.add_parser("analyze", parents=[obs],
                        help="run the atomicity inference")
@@ -738,6 +846,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-malloc", action="store_true",
                    help="record top allocation sites via tracemalloc "
                         "(mc.malloc_top metric; slows the search)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   default=None,
+                   help="soft wall-clock budget: stop the search "
+                        "gracefully after N seconds with verdict "
+                        "UNKNOWN, partial counts and full telemetry "
+                        f"(exit status {EXIT_DEADLINE})")
     p.set_defaults(fn=cmd_mc)
 
     p = sub.add_parser("lint", parents=[obs],
@@ -774,6 +888,68 @@ def build_parser() -> argparse.ArgumentParser:
                         "non-zero if any section is missing (CI "
                         "canary; writes nothing)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("bench",
+                       help="statistical benchmark harness: run the "
+                            "matrix, render the perf trajectory, "
+                            "compare runs (docs/OBSERVABILITY.md)")
+    bench_sub = p.add_subparsers(dest="bench_cmd", required=True)
+    q = bench_sub.add_parser(
+        "run", help="execute the benchmark matrix (warmup + N "
+                    "repeats), write median-of-repeats BENCH_*.json "
+                    "and append the trajectory line")
+    q.add_argument("--repeats", type=int, default=None, metavar="N",
+                   help="timed repeats per case (default: "
+                        "$REPRO_BENCH_REPEATS or 5)")
+    q.add_argument("--warmup", type=int, default=None, metavar="N",
+                   help="discarded warmup runs per case (default: 1; "
+                        "0 under --quick)")
+    q.add_argument("--quick", action="store_true",
+                   help="harness smoke: 1 repeat, no warmup, minimal "
+                        "matrix (one analysis + one exploration)")
+    q.add_argument("--out", default="benchmarks/out", metavar="DIR",
+                   help="output directory (default: benchmarks/out)")
+    q.add_argument("--history", default=None, metavar="FILE",
+                   help="trajectory file (default: "
+                        "OUT/BENCH_history.jsonl)")
+    q.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document "
+                        "instead of text")
+    q.set_defaults(fn=cmd_bench)
+    q = bench_sub.add_parser(
+        "trend", help="per-record sparkline trajectories over "
+                      "BENCH_history.jsonl")
+    q.add_argument("--history", default="benchmarks/out/"
+                                        "BENCH_history.jsonl",
+                   metavar="FILE")
+    q.add_argument("--metric", default="wall_s",
+                   choices=["wall_s", "states_per_s"],
+                   help="which per-record number to plot "
+                        "(default: wall_s)")
+    q.add_argument("--last", type=int, default=None, metavar="N",
+                   help="only the most recent N runs")
+    q.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document "
+                        "instead of text")
+    q.set_defaults(fn=cmd_bench)
+    q = bench_sub.add_parser(
+        "compare", help="noise-aware diff of two bench record sets "
+                        "(exit 1 on significant drift)")
+    q.add_argument("a", help="older side: a BENCH_*.json file, a "
+                             "directory, 'baseline', or 'ledger'")
+    q.add_argument("b", help="newer side (same forms)")
+    q.add_argument("--threshold", type=float, default=0.10,
+                   metavar="FRAC",
+                   help="relative wall-time delta a drift must clear "
+                        "(default: 0.10)")
+    q.add_argument("--baselines", default="benchmarks/baselines",
+                   metavar="DIR",
+                   help="directory the literal 'baseline' resolves "
+                        "to (default: benchmarks/baselines)")
+    q.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document "
+                        "instead of text")
+    q.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("experiments",
                        help="regenerate a table/figure of the paper")

@@ -33,6 +33,7 @@ from repro.mc.por import SafetyCache
 from repro.mc.properties import Property
 from repro.obs import ledger
 from repro.obs.export import MIN_RATE_WINDOW_S
+from repro.obs.metrics import EwmaRate
 from repro.obs.profile import NULL_PROFILER, malloc_top, peak_rss_mb
 from repro.obs.tracing import NULL_TRACER
 
@@ -87,6 +88,12 @@ class MCResult:
     #: is the CFG-node uid for ``stmt`` steps, else ``None``.
     path: list[dict] = field(default_factory=list)
     capped: bool = False
+    #: the --deadline soft timeout fired: the search stopped
+    #: gracefully with the verdict UNKNOWN — no violation was found,
+    #: but the state space was not exhausted either.  Partial state/
+    #: transition counts and the full coverage telemetry are
+    #: preserved, exactly as for a capped run.
+    deadline_hit: bool = False
     #: explorer metrics snapshot (states/sec, canonical-hash cache
     #: hits, ample-set reduction counts, coverage telemetry such as
     #: ``mc.depth`` / ``mc.frontier_samples`` / ``mc.mem_peak_mb``)
@@ -120,7 +127,14 @@ class MCResult:
         return mc_to_dict(self)
 
     def __str__(self) -> str:
-        status = self.violation or ("CAPPED" if self.capped else "ok")
+        if self.violation:
+            status = self.violation
+        elif self.deadline_hit:
+            status = "UNKNOWN (deadline)"
+        elif self.capped:
+            status = "CAPPED"
+        else:
+            status = "ok"
         return (f"[{self.mode}] states={self.states} "
                 f"transitions={self.transitions} "
                 f"time={self.elapsed:.2f}s {status}")
@@ -157,7 +171,8 @@ class Explorer:
                  tracer=None, events=None, profiler=None,
                  progress: Optional[float] = None,
                  progress_sink: Optional[Callable[[str], None]] = None,
-                 trace_malloc: bool = False):
+                 trace_malloc: bool = False,
+                 deadline: Optional[float] = None):
         if mode not in ("full", "por", "atomic", "both"):
             raise ValueError(f"unknown mode {mode!r}")
         self.interp = interp
@@ -189,6 +204,13 @@ class Explorer:
         #: when True, collect tracemalloc top-allocation sites into
         #: ``metrics["mc.malloc_top"]`` (starts tracing if needed)
         self.trace_malloc = trace_malloc
+        #: soft wall-clock budget in seconds (None = unbounded): the
+        #: DFS checks the clock on the heartbeat stride and stops
+        #: gracefully once exceeded, preserving all telemetry and
+        #: reporting the verdict UNKNOWN (``MCResult.deadline_hit``)
+        self.deadline = deadline
+        #: EWMA states/sec estimator feeding the heartbeat's rate/ETA
+        self._rate = EwmaRate()
         # ample-set bookkeeping (plain ints: DFS is single-threaded)
         self._ample_reduced = 0
         self._ample_full = 0
@@ -367,6 +389,7 @@ class Explorer:
                 if ample_total else 0.0,
             "mc.safety_cache_hits": self.safety.hits,
             "mc.safety_cache_misses": self.safety.misses,
+            "mc.deadline_hit": bool(result.deadline_hit),
             "mc.mem_peak_mb": peak_rss_mb(),
             "mc.depth": _depth_summary(depth_counts),
             "mc.depth_hist": [[d, depth_counts[d]]
@@ -393,26 +416,50 @@ class Explorer:
         ledger.note_mc(result)
         return result
 
+    def _eta_fields(self, result: MCResult, now: float,
+                    elapsed: float) -> tuple[str, dict]:
+        """EWMA rate + ETA for the heartbeat: the suffix of the
+        stderr line and the extra event fields.  The ETA targets the
+        state cap when one is set; a running deadline additionally
+        reports its remaining budget."""
+        rate = self._rate.update(result.states, now)
+        text = f" rate={rate:,.0f}/s"
+        fields: dict = {"rate_states_per_s": round(rate, 1)}
+        if self.max_states is not None:
+            eta = self._rate.eta_s(self.max_states - result.states)
+            text += f" eta_cap={eta:.1f}s" if eta is not None \
+                else " eta_cap=?"
+            if eta is not None:
+                fields["eta_cap_s"] = round(eta, 3)
+        if self.deadline is not None:
+            left = max(0.0, self.deadline - elapsed)
+            text += f" deadline_in={left:.1f}s"
+            fields["deadline_in_s"] = round(left, 3)
+        return text, fields
+
     def _beat(self, result: MCResult, start: float,
               final: bool = False) -> None:
         """One ``--progress`` heartbeat: a stderr line plus an
         ``explorer.progress`` event."""
-        elapsed = time.perf_counter() - start
+        now = time.perf_counter()
+        elapsed = now - start
         frontier = getattr(self, "_stack_len", 0)
         tag = "done " if final else ""
+        eta_text, eta_fields = self._eta_fields(result, now, elapsed)
         self.progress_sink(
             f"[mc:{self.mode}] {tag}t={elapsed:.1f}s "
             f"states={result.states} trans={result.transitions} "
             f"frontier={frontier} "
             f"depth_max={getattr(self, '_max_depth_seen', 0)} "
-            f"mem={peak_rss_mb():.1f}MB")
+            f"mem={peak_rss_mb():.1f}MB{eta_text}")
         if self.events is not None:
             self.events.emit("explorer.progress",
                              states=result.states,
                              transitions=result.transitions,
                              depth=getattr(self, "_max_depth_seen", 0),
                              frontier=frontier,
-                             elapsed_s=round(elapsed, 3))
+                             elapsed_s=round(elapsed, 3),
+                             **eta_fields)
 
     def run(self) -> MCResult:
         with self.tracer.span("mc:run", mode=self.mode):
@@ -438,6 +485,10 @@ class Explorer:
                 tracemalloc.start()
         next_beat = start + self.progress \
             if self.progress is not None else None
+        deadline_at = start + self.deadline \
+            if self.deadline is not None else None
+        check_clock = next_beat is not None or deadline_at is not None
+        self._rate = EwmaRate()
         loop_i = 0
         # profiler hot-loop accumulators, flushed once at the end
         succ_wall = 0.0
@@ -494,10 +545,18 @@ class Explorer:
         prof_on = self._prof_on
         while stack:
             loop_i += 1
-            if next_beat is not None \
-                    and not (loop_i & _BEAT_CHECK_MASK):
+            if check_clock and not (loop_i & _BEAT_CHECK_MASK):
                 now = time.perf_counter()
-                if now >= next_beat:
+                if deadline_at is not None and now >= deadline_at:
+                    # graceful stop: keep every counter and the
+                    # telemetry; the verdict becomes UNKNOWN
+                    result.deadline_hit = True
+                    if self.events is not None:
+                        self.events.emit("mc.deadline",
+                                         states=result.states,
+                                         deadline_s=self.deadline)
+                    break
+                if next_beat is not None and now >= next_beat:
                     self._stack_len = len(stack)
                     self._max_depth_seen = max_depth
                     self._beat(result, start)

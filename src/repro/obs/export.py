@@ -220,6 +220,10 @@ PROFILE_SCHEMA = {
     "properties": {
         "v": {"type": "integer"},
         "hotspots": {"type": "array", "items": HOTSPOT_SCHEMA},
+        # collapsed-stack view: {"outer;inner": wall_s} per region
+        # nesting path — feeds the report's inline SVG flame chart
+        # and the --profile-out folded export
+        "folded": {"type": "object"},
         "sampled": {"type": "array", "items": SAMPLE_SCHEMA},
     },
 }
@@ -283,6 +287,7 @@ MC_SCHEMA = {
         "states_per_s": {"type": "number"},
         "violation": {"type": ["string", "null"]},
         "capped": {"type": "boolean"},
+        "deadline_hit": {"type": "boolean"},
         "trace": {"type": "array", "items": {"type": "string"}},
         "path": {"type": "array", "items": PATH_STEP_SCHEMA},
         "metrics": {"type": "object"},
@@ -325,6 +330,10 @@ CEX_SCHEMA = {
     },
 }
 
+#: version stamp of the v2 wrapped bench file (bare v1 arrays carry
+#: no stamp and remain accepted everywhere)
+BENCH_SCHEMA_VERSION = 2
+
 BENCH_RECORD_SCHEMA = {
     "type": "object",
     "required": ["name", "wall_s", "states", "transitions",
@@ -354,10 +363,57 @@ BENCH_RECORD_SCHEMA = {
         # canonical-hash dedup hit rate of the exploration (hits over
         # lookups; 0 for analysis records)
         "dedup_hit_rate": {"type": "number"},
+        # repeat statistics from the statistical bench harness
+        # (repro bench run): when present, wall_s IS the median and
+        # the regression watchdog gates on it with iqr as the noise
+        # band instead of single-sample thresholds
+        "stats": {
+            "type": "object",
+            "required": ["repeats", "min", "median", "iqr"],
+            "properties": {
+                "repeats": {"type": "integer"},
+                "min": {"type": "number"},
+                "max": {"type": "number"},
+                "mean": {"type": "number"},
+                "median": {"type": "number"},
+                "iqr": {"type": "number"},
+            },
+        },
     },
 }
 
 BENCH_FILE_SCHEMA = {"type": "array", "items": BENCH_RECORD_SCHEMA}
+
+#: environment fingerprint stamped into v2 bench files and every
+#: BENCH_history.jsonl line, so perf numbers are never compared
+#: across machines/interpreters without noticing
+BENCH_ENV_SCHEMA = {
+    "type": "object",
+    "required": ["python", "platform", "cpu_count"],
+    "properties": {
+        "git_rev": {"type": ["string", "null"]},
+        "python": {"type": "string"},
+        "platform": {"type": "string"},
+        "cpu_count": {"type": ["integer", "null"]},
+    },
+}
+
+#: v2 bench file: the record array wrapped with provenance — schema
+#: version, environment fingerprint, and the repeat policy that
+#: produced the medians.  v1 bare arrays remain readable everywhere
+#: (:func:`bench_records` / :func:`validate_bench_file` accept both).
+BENCH_RUN_SCHEMA = {
+    "type": "object",
+    "required": ["v", "env", "records"],
+    "properties": {
+        "v": {"type": "integer"},
+        "at": {"type": "number"},
+        "env": BENCH_ENV_SCHEMA,
+        "repeats": {"type": "integer"},
+        "warmup": {"type": "integer"},
+        "records": BENCH_FILE_SCHEMA,
+    },
+}
 
 
 # -- serializers ---------------------------------------------------------------
@@ -393,6 +449,7 @@ def mc_to_dict(result) -> dict:
         "states_per_s": round(result.states_per_s, 3),
         "violation": result.violation,
         "capped": result.capped,
+        "deadline_hit": bool(getattr(result, "deadline_hit", False)),
         "trace": list(result.trace),
         "metrics": dict(getattr(result, "metrics", {}) or {}),
     }
@@ -469,7 +526,8 @@ def bench_record(name: str, wall_s: float, states: int = 0,
                  transitions: int = 0,
                  percentiles: Optional[dict] = None,
                  mem_peak_mb: Optional[float] = None,
-                 dedup_hit_rate: Optional[float] = None) -> dict:
+                 dedup_hit_rate: Optional[float] = None,
+                 stats: Optional[dict] = None) -> dict:
     """One ``BENCH_*.json`` entry; ``states_per_s`` is 0 for records
     with no state count (pure analysis timings) and for runs shorter
     than :data:`MIN_RATE_WINDOW_S` (sub-millisecond rates are timer
@@ -495,36 +553,55 @@ def bench_record(name: str, wall_s: float, states: int = 0,
         out["mem_peak_mb"] = round(float(mem_peak_mb), 3)
     if dedup_hit_rate is not None:
         out["dedup_hit_rate"] = round(float(dedup_hit_rate), 6)
+    if stats is not None:
+        out["stats"] = {k: (int(v) if k == "repeats"
+                            else round(float(v), 6))
+                        for k, v in stats.items()}
     return out
 
 
+def bench_records(doc) -> list[dict]:
+    """The record array of a loaded bench document — a v1 bare array
+    or a v2 ``{v, env, records}`` wrapper (already validated or
+    trusted)."""
+    if isinstance(doc, dict):
+        return list(doc.get("records", []))
+    return list(doc)
+
+
 def write_bench(path: Union[str, pathlib.Path],
-                records: list[dict]) -> pathlib.Path:
-    """Validate and write a benchmark record file.  When a ledger run
-    is active the records are also attached to it as a
-    content-addressed artifact plus a ``bench`` note, so ``runs diff``
-    can render bench deltas."""
-    errors = validate(records, BENCH_FILE_SCHEMA)
+                doc) -> pathlib.Path:
+    """Validate and write a benchmark file — a v1 record array or a v2
+    ``{v, env, records}`` run document.  When a ledger run is active
+    the records are also attached to it as a content-addressed
+    artifact plus a ``bench`` note, so ``runs diff`` can render bench
+    deltas."""
+    schema = BENCH_RUN_SCHEMA if isinstance(doc, dict) \
+        else BENCH_FILE_SCHEMA
+    errors = validate(doc, schema)
     if errors:
         raise ValueError("invalid bench records: " + "; ".join(errors))
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(records, indent=2) + "\n")
+    path.write_text(json.dumps(doc, indent=2) + "\n")
     from repro.obs import ledger
     if ledger.current() is not None:
-        ledger.add_artifact(path.name, records)
-        ledger.note("bench", {"records": records})
+        ledger.add_artifact(path.name, doc)
+        ledger.note("bench", {"records": bench_records(doc)})
     return path
 
 
 def validate_bench_file(path: Union[str, pathlib.Path]) -> list[dict]:
-    """Load + validate a ``BENCH_*.json`` file, returning its records.
-    Raises ``ValueError`` on schema violations."""
-    records = json.loads(pathlib.Path(path).read_text())
-    errors = validate(records, BENCH_FILE_SCHEMA)
+    """Load + validate a ``BENCH_*.json`` file (v1 array or v2 run
+    document), returning its records.  Raises ``ValueError`` on schema
+    violations."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    schema = BENCH_RUN_SCHEMA if isinstance(doc, dict) \
+        else BENCH_FILE_SCHEMA
+    errors = validate(doc, schema)
     if errors:
         raise ValueError(f"{path}: " + "; ".join(errors))
-    return records
+    return bench_records(doc)
 
 
 def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover

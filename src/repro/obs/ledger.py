@@ -176,6 +176,10 @@ def outcome_for(command: str, exit_code: int) -> str:
             return "violation"
         if exit_code == 3:
             return "capped"
+        if exit_code == 4:
+            return "deadline"
+    if command == "bench" and exit_code == 1:
+        return "drift"
     if command == "analyze" and exit_code == 1:
         return "not-atomic"
     if command == "lint" and exit_code in (1, 2):
@@ -556,7 +560,10 @@ def note_mc(result) -> None:
     summary: dict = {"mode": result.mode, "states": result.states,
                      "transitions": result.transitions,
                      "violation": result.violation,
-                     "capped": bool(result.capped)}
+                     "capped": bool(result.capped),
+                     "deadline_hit": bool(getattr(result,
+                                                  "deadline_hit",
+                                                  False))}
     if result.violation:
         summary["fingerprint"] = fingerprint(
             {"violation": result.violation,

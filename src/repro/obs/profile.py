@@ -18,6 +18,14 @@ report:
   call/return pays the hook), so it is opt-in behind
   ``--profile-sample`` / ``REPRO_PROFILE=sample``.
 
+Region scopes additionally maintain a live nesting stack feeding a
+**collapsed-stack accumulator**: every ``acc``/region exit credits its
+wall time to the full ``outer;inner`` path, so
+:meth:`Profiler.folded_lines` emits standard folded format (integer
+microsecond counts, flamegraph.pl/speedscope-ready, ``--profile-out``)
+and ``repro report`` renders an inline SVG flame chart from the same
+data.
+
 The report surface is :meth:`Profiler.hotspots` — entries ranked by
 wall time (deterministic ``work`` then name break ties) with each
 entry's share of the total *attributed* time.  Regions may nest and
@@ -66,11 +74,16 @@ class _Region:
         self.start = 0.0
 
     def __enter__(self) -> "_Region":
+        self.profiler._stack.append(self.name)
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
-        self.profiler.acc(self.name, time.perf_counter() - self.start)
+        elapsed = time.perf_counter() - self.start
+        stack = self.profiler._stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self.profiler.acc(self.name, elapsed)
         return False
 
 
@@ -83,12 +96,17 @@ class Profiler:
     flush once.
     """
 
-    __slots__ = ("enabled", "_entries")
+    __slots__ = ("enabled", "_entries", "_stack", "_folded")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         # name -> [calls, work, wall_s]
         self._entries: dict[str, list] = {}
+        # live region-nesting stack (region() scopes push/pop) and
+        # the collapsed-stack accumulator it feeds:
+        # "outer;inner" -> cumulative wall_s, flame-chart/folded food
+        self._stack: list[str] = []
+        self._folded: dict[str, float] = {}
 
     # -- accumulation ------------------------------------------------------
     def region(self, name: str):
@@ -117,6 +135,10 @@ class Profiler:
         entry[0] += calls
         entry[1] += work
         entry[2] += wall_s
+        if wall_s > 0:
+            path = ";".join(self._stack) + ";" + name \
+                if self._stack else name
+            self._folded[path] = self._folded.get(path, 0.0) + wall_s
 
     # -- reporting ---------------------------------------------------------
     def counters(self) -> dict[str, dict]:
@@ -142,10 +164,35 @@ class Profiler:
                  "share": round(entry[2] / total, 4) if total else 0.0}
                 for name, entry in ranked]
 
+    def folded(self) -> dict[str, float]:
+        """Collapsed-stack view: ``{"outer;inner": wall_s}`` per
+        region-nesting path (parents include their children's time —
+        region scopes are cumulative)."""
+        return dict(self._folded)
+
+    def folded_lines(self) -> list[str]:
+        """Brendan-Gregg folded format: one ``path count`` line per
+        nesting path, counts in integer microseconds — feed straight
+        into ``flamegraph.pl`` or speedscope."""
+        return [f"{path} {max(1, round(wall * 1_000_000))}"
+                for path, wall in sorted(self._folded.items())]
+
+    def write_folded(self, path) -> None:
+        """Write :meth:`folded_lines` to ``path``."""
+        import pathlib
+
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(self.folded_lines()) + "\n")
+
     def to_dict(self, sampler: Optional["Sampler"] = None,
                 limit: Optional[int] = None) -> dict:
         out: dict = {"v": PROFILE_VERSION,
                      "hotspots": self.hotspots(limit)}
+        if self._folded:
+            out["folded"] = {path: round(wall, 6)
+                             for path, wall in
+                             sorted(self._folded.items())}
         if sampler is not None and sampler.stats:
             out["sampled"] = sampler.top(25)
         return out
@@ -183,7 +230,14 @@ class Profiler:
         if not self.enabled:
             return
         for name, entry in other._entries.items():
-            self.acc(name, entry[2], work=entry[1], calls=entry[0])
+            entry_self = self._entries.get(name)
+            if entry_self is None:
+                entry_self = self._entries[name] = [0, 0, 0.0]
+            entry_self[0] += entry[0]
+            entry_self[1] += entry[1]
+            entry_self[2] += entry[2]
+        for path, wall in other._folded.items():
+            self._folded[path] = self._folded.get(path, 0.0) + wall
 
 
 #: shared disabled profiler — the default for instrumented call sites.

@@ -10,7 +10,10 @@ per-metric relative thresholds:
 * ``wall_s`` — regression when more than 25% *slower*;
 * ``states_per_s`` — regression when more than 25% lower throughput;
 * ``percentiles.p95`` — regression when tail latency grew over 30%
-  (only checked when both sides carry percentiles);
+  (only checked when both sides carry percentiles, clear
+  :data:`P95_FLOOR_S`, and estimate the tail from a real sample —
+  harness records with fewer than :data:`MIN_P95_REPEATS` repeats
+  skip the gate, because their p95 is just the sample maximum);
 * ``mem_peak_mb`` — regression when the peak RSS grew over 30%
   (only checked when both sides carry the field; growths under
   :data:`MEM_FLOOR_MB` are allocator jitter, not leaks).
@@ -20,6 +23,19 @@ micro-benchmarks jitter far more than 25% at that scale); state or
 transition *count* changes are reported as notes, not failures — the
 searches are deterministic, so a count drift means the checker itself
 changed and the baseline wants a refresh.
+
+Records produced by the statistical bench harness (``repro bench
+run``) are gated on **median-of-repeats**: the comparison uses
+``stats.median`` and only flags a wall-time regression when the delta
+also clears the combined interquartile-range noise band of the two
+records (floored at :data:`NOISE_FLOOR_S` absolute), so single-sample
+jitter cannot fail CI.  When both sides carry a v2 env fingerprint
+that differs in platform or CPU count, timing regressions are
+downgraded to notes — cross-machine wall comparisons measure the
+hardware delta, not the code — while structural findings still gate.
+v2 wrapped bench
+files (``{v, env, records}``) are accepted interchangeably with the
+legacy bare arrays.
 
 Every check appends one JSON line to an append-only history file
 (``benchmarks/out/REGRESS_history.jsonl`` by default), giving CI a
@@ -67,6 +83,11 @@ DEFAULT_THRESHOLDS = {
 
 #: timings at or below this are pure scheduler jitter — never flagged
 NOISE_FLOOR_S = 0.005
+
+#: tail-latency (p95) estimates from a handful of repeats need even
+#: more headroom than medians before a relative threshold means
+#: anything — p95 comparisons under this floor are never flagged
+P95_FLOOR_S = 2 * NOISE_FLOOR_S
 
 #: peak-RSS growths below this many MB are allocator noise (the
 #: interpreter's baseline RSS dwarfs any per-benchmark allocation)
@@ -134,23 +155,60 @@ def compare_records(fresh: list[dict], baseline: list[dict],
     return findings
 
 
+def _median_wall(record: dict) -> float:
+    """The gated wall time: ``stats.median`` when the record came from
+    the statistical bench harness (``repro bench run``), else the
+    single-shot ``wall_s``.  Harness records set wall_s = median, so
+    this is belt-and-braces for hand-edited files."""
+    stats = record.get("stats") or {}
+    return float(stats.get("median", record["wall_s"]))
+
+
+def _iqr(record: dict) -> float:
+    return float((record.get("stats") or {}).get("iqr", 0.0))
+
+
+#: below this many repeats a p95 is just the sample maximum — gating
+#: on it flags scheduler jitter, not tail regressions
+MIN_P95_REPEATS = 10
+
+
+def _p95_meaningful(record: dict) -> bool:
+    """Harness records stamp ``stats.repeats``; with a small sample
+    the p95 degenerates to the max and is pure noise, so the p95 gate
+    only applies to records whose percentiles came from a real
+    distribution (multi-round histograms, or >= :data:`MIN_P95_REPEATS`
+    repeats).  Records without ``stats`` predate the harness and keep
+    the historical behavior."""
+    stats = record.get("stats")
+    if not stats:
+        return True
+    return int(stats.get("repeats", 0)) >= MIN_P95_REPEATS
+
+
 def _compare_one(file: str, name: str, fresh: dict, base: dict,
                  limits: dict) -> list[Finding]:
     out: list[Finding] = []
 
     def slower(metric: str, new: float, old: float, limit: float,
-               floor: float = 0.0) -> None:
+               floor: float = 0.0, noise: float = 0.0) -> None:
         if max(new, old) <= floor:
             return
-        if old > 0 and new > old * (1 + limit):
+        if old > 0 and new > old * (1 + limit) and new - old > noise:
             out.append(Finding(
                 file, name, metric, "regression",
                 f"{metric} {old:.6g} -> {new:.6g} "
                 f"(+{_pct(new, old):.1f}%, limit +{limit * 100:.0f}%)",
                 baseline=old, fresh=new))
 
-    slower("wall_s", fresh["wall_s"], base["wall_s"],
-           limits["wall_s"], floor=NOISE_FLOOR_S)
+    # median-of-repeats gating: compare the medians and additionally
+    # require the delta to clear the combined IQR noise band — and
+    # always the absolute noise floor, so a few-ms wobble on a small
+    # benchmark cannot flag a phantom regression no matter how large
+    # it is relatively
+    slower("wall_s", _median_wall(fresh), _median_wall(base),
+           limits["wall_s"], floor=NOISE_FLOOR_S,
+           noise=max(NOISE_FLOOR_S, _iqr(fresh) + _iqr(base)))
 
     new_rate, old_rate = fresh["states_per_s"], base["states_per_s"]
     # rate gating only matters for real searches, and only when the
@@ -166,9 +224,13 @@ def _compare_one(file: str, name: str, fresh: dict, base: dict,
 
     fresh_p = fresh.get("percentiles")
     base_p = base.get("percentiles")
-    if fresh_p and base_p:
+    if fresh_p and base_p and _p95_meaningful(fresh) \
+            and _p95_meaningful(base):
+        # tail estimates from a handful of repeats are the noisiest
+        # number in the record — the IQR band applies here too
         slower("p95", fresh_p["p95"], base_p["p95"],
-               limits["p95"], floor=NOISE_FLOOR_S)
+               limits["p95"], floor=P95_FLOOR_S,
+               noise=_iqr(fresh) + _iqr(base))
 
     new_mem = fresh.get("mem_peak_mb")
     old_mem = base.get("mem_peak_mb")
@@ -200,7 +262,8 @@ def baselines_from_ledger(root: Union[None, str, pathlib.Path] = None
     file, the copy recorded by the most recent ledgered run (schema-
     validated; unreadable artifacts are skipped)."""
     from repro.obs import ledger
-    from repro.obs.export import BENCH_FILE_SCHEMA, validate
+    from repro.obs.export import (BENCH_FILE_SCHEMA, BENCH_RUN_SCHEMA,
+                                  bench_records, validate)
 
     ledger_root = ledger.ledger_root(root)
     out: dict[str, list] = {}
@@ -211,12 +274,63 @@ def baselines_from_ledger(root: Union[None, str, pathlib.Path] = None
                 continue
             path = ledger_root / manifest["run_id"] / artifact["path"]
             try:
-                records = json.loads(path.read_text())
+                doc = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
                 continue
-            if not validate(records, BENCH_FILE_SCHEMA):
-                out[artifact["name"]] = records   # newest wins
+            schema = BENCH_RUN_SCHEMA if isinstance(doc, dict) \
+                else BENCH_FILE_SCHEMA
+            if not validate(doc, schema):
+                out[artifact["name"]] = bench_records(doc)  # newest wins
     return out
+
+
+#: env-fingerprint fields whose mismatch makes absolute timings
+#: incomparable (a different machine class, not a different moment)
+_ENV_TIMING_FIELDS = ("platform", "cpu_count")
+
+#: metrics that measure time — the ones an env mismatch invalidates
+_TIMING_METRICS = ("wall_s", "states_per_s", "p95")
+
+
+def _file_env(path: pathlib.Path) -> Optional[dict]:
+    """The v2 env fingerprint of a bench file, or ``None`` for v1
+    arrays (which carry no provenance)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(doc, dict):
+        env = doc.get("env")
+        return env if isinstance(env, dict) else None
+    return None
+
+
+def _env_mismatch(fresh_env: Optional[dict],
+                  base_env: Optional[dict]) -> Optional[str]:
+    """A human-readable description of why the two sides' timings are
+    not comparable, or ``None`` when they are (unknown provenance is
+    treated as comparable — v1 files keep the historical behavior)."""
+    if not fresh_env or not base_env:
+        return None
+    diffs = [f"{key} {base_env.get(key)} -> {fresh_env.get(key)}"
+             for key in _ENV_TIMING_FIELDS
+             if fresh_env.get(key) != base_env.get(key)]
+    return "; ".join(diffs) if diffs else None
+
+
+def _timing_as_note(finding: Finding, mismatch: str) -> Finding:
+    """Cross-machine wall comparisons measure the hardware delta, not
+    the code: downgrade timing regressions to informational notes and
+    leave structural findings (counts, memory, missing records) to
+    gate as usual."""
+    if finding.severity != "regression" \
+            or finding.metric not in _TIMING_METRICS:
+        return finding
+    return Finding(
+        finding.file, finding.name, finding.metric, "note",
+        finding.message + f" [env mismatch: {mismatch} — timing "
+        f"informational, refresh baselines from this environment]",
+        baseline=finding.baseline, fresh=finding.fresh)
 
 
 def check_dir(out_dir: Union[str, pathlib.Path],
@@ -234,10 +348,12 @@ def check_dir(out_dir: Union[str, pathlib.Path],
     baseline_dir = pathlib.Path(baseline_dir)
     findings: list[Finding] = []
     compared: list[str] = []
+    env_mismatch: Optional[str] = None
     for filename in BENCH_FILES:
         fresh_path = out_dir / filename
         if not fresh_path.exists():
             continue
+        base_env: Optional[dict] = None
         if from_ledger is not None:
             baseline = from_ledger.get(filename)
             if baseline is None:
@@ -251,20 +367,30 @@ def check_dir(out_dir: Union[str, pathlib.Path],
                     f"{fresh_path} has no baseline {baseline_path} — "
                     f"run with --update to record one")
             baseline = validate_bench_file(baseline_path)
+            base_env = _file_env(baseline_path)
         fresh = validate_bench_file(fresh_path)
-        findings.extend(compare_records(fresh, baseline, thresholds,
-                                        file=filename))
+        mismatch = _env_mismatch(_file_env(fresh_path), base_env)
+        file_findings = compare_records(fresh, baseline, thresholds,
+                                        file=filename)
+        if mismatch:
+            env_mismatch = mismatch
+            file_findings = [_timing_as_note(f, mismatch)
+                             for f in file_findings]
+        findings.extend(file_findings)
         compared.append(filename)
     if not compared:
         raise ValueError(f"no {' / '.join(BENCH_FILES)} under {out_dir}")
     regressions = [f for f in findings if f.severity == "regression"]
-    return {
+    report = {
         "compared": compared,
         "status": "regression" if regressions else "ok",
         "regressions": len(regressions),
         "notes": len(findings) - len(regressions),
         "findings": [f.to_dict() for f in findings],
     }
+    if env_mismatch:
+        report["env_mismatch"] = env_mismatch
+    return report
 
 
 def update_baselines(out_dir: Union[str, pathlib.Path],

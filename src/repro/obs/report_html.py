@@ -21,8 +21,16 @@ Sections (each ``<section id="sec-NAME">``, see :data:`SECTIONS`):
 * ``crossval``  — preformatted experiment/cross-validation tables;
 * ``bench``     — baseline vs fresh comparison and the regression
   history sparkline;
+* ``trend``     — the perf trajectory: per-record sparklines + line
+  charts over the append-only ``BENCH_history.jsonl`` written by
+  ``repro bench run`` (a placeholder, never dropped, when absent);
 * ``runs``      — the persistent run ledger: one row per recorded
   invocation (pass the ledger root, e.g. ``.repro/runs``).
+
+Profiler documents carrying a collapsed-stack ``folded`` view
+additionally render an inline SVG flame chart in ``hotspots``.  Bench
+inputs may be legacy bare record arrays or v2 ``{v, env, records}``
+run documents (``repro bench run``) — both are accepted.
 
 Inputs are classified by *shape*, not by filename (see
 :func:`classify`), so ``repro report out/*.json benchmarks/out`` just
@@ -45,7 +53,7 @@ REPORT_VERSION = 1
 
 #: required section ids; check_html() fails on any that is missing
 SECTIONS = ("overview", "trace", "metrics", "hotspots", "coverage",
-            "lint", "crossval", "bench", "runs")
+            "lint", "crossval", "bench", "trend", "runs")
 
 
 # -- input collection ----------------------------------------------------------
@@ -63,6 +71,7 @@ class ReportInputs:
     bench_fresh: dict = field(default_factory=dict)
     bench_baseline: dict = field(default_factory=dict)
     history: list[dict] = field(default_factory=list)
+    bench_history: list[dict] = field(default_factory=list)
     tables: list[tuple] = field(default_factory=list)  # (label, text)
     runs: list[dict] = field(default_factory=list)     # ledger manifests
 
@@ -89,6 +98,8 @@ def classify(label: str, doc) -> Optional[str]:
         return "mc"
     if "targets" in doc or ("findings" in doc and "summary" in doc):
         return "lint"
+    if isinstance(doc.get("records"), list) and "env" in doc:
+        return "bench"          # v2 bench run document
     return None
 
 
@@ -133,7 +144,11 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             continue
         if path.suffix == ".jsonl":
             records = _read_jsonl(path)
-            if label == "REGRESS_history.jsonl" or all(
+            if label == "BENCH_history.jsonl" or (records and all(
+                    isinstance(r, dict) and "metrics" in r
+                    and "at" in r for r in records)):
+                inputs.bench_history.extend(records)
+            elif label == "REGRESS_history.jsonl" or all(
                     "status" in r and "at" in r for r in records):
                 inputs.history.extend(records)
             else:
@@ -154,16 +169,18 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             for target in doc.get("targets", [doc]):
                 inputs.lints.append((label, target))
         elif kind == "bench":
-            inputs.bench_fresh[label] = doc
+            from repro.obs.export import bench_records
+            inputs.bench_fresh[label] = bench_records(doc)
         elif kind == "events":
             inputs.events.append((label, doc))
     if baseline_dir is not None:
+        from repro.obs.export import bench_records
         base = pathlib.Path(baseline_dir)
         if base.is_dir():
             for path in sorted(base.glob("BENCH_*.json")):
                 try:
-                    inputs.bench_baseline[path.name] = json.loads(
-                        path.read_text())
+                    inputs.bench_baseline[path.name] = bench_records(
+                        json.loads(path.read_text()))
                 except json.JSONDecodeError:
                     continue
     return inputs
@@ -260,6 +277,66 @@ def _svg_hbars(pairs: list[tuple], width: int = 460,
     return "".join(parts)
 
 
+_FLAME_COLORS = ("#d98a5e", "#c9734a", "#e0a070", "#b86a48",
+                 "#d67d52", "#cc8b63")
+
+
+def _svg_flame(folded: dict, width: int = 460,
+               title: str = "") -> str:
+    """Icicle-style flame chart over a collapsed-stack profile
+    (``{"outer;inner": wall_s}``).  Frame widths are proportional to
+    wall time within the parent; region scopes are cumulative, so a
+    parent frame spans at least its children."""
+    if not folded:
+        return "<p class='empty'>(no folded data)</p>"
+    # build the nesting tree: name -> [own_cumulative_s, children]
+    root: dict = {}
+    for path, wall in sorted(folded.items()):
+        level = root
+        parts = path.split(";")
+        for i, part in enumerate(parts):
+            node = level.setdefault(part, [0.0, {}])
+            if i == len(parts) - 1:
+                node[0] += float(wall)
+            level = node[1]
+    row_h = 16
+
+    def depth_of(level: dict) -> int:
+        return 1 + max((depth_of(n[1]) for n in level.values()),
+                       default=0) if level else 0
+
+    height = row_h * depth_of(root) + 2
+    total = sum(n[0] for n in root.values()) or 1.0
+    parts_out = [f"<svg viewBox='0 0 {width} {height}' class='chart' "
+                 f"role='img' aria-label='{_esc(title)}'>"]
+
+    def emit(level: dict, x: float, w: float, depth: int,
+             budget: float) -> None:
+        for i, (name, (value, children)) in enumerate(
+                sorted(level.items(), key=lambda kv: -kv[1][0])):
+            fw = min(w, w * (value / budget)) if budget > 0 else 0.0
+            if fw < 0.5:
+                continue
+            color = _FLAME_COLORS[(depth + i) % len(_FLAME_COLORS)]
+            y = 1 + depth * row_h
+            parts_out.append(
+                f"<rect x='{x:.1f}' y='{y}' width='{fw:.1f}' "
+                f"height='{row_h - 2}' fill='{color}' rx='1'>"
+                f"<title>{_esc(name)}: {value * 1000:.2f} ms"
+                f"</title></rect>")
+            if fw > 40:
+                parts_out.append(
+                    f"<text x='{x + 3:.1f}' y='{y + 11}' "
+                    f"class='tick'>{_esc(name)}</text>")
+            if children:
+                emit(children, x, fw, depth + 1, value or budget)
+            x += fw
+
+    emit(root, 2.0, width - 4.0, 0, total)
+    parts_out.append("</svg>")
+    return "".join(parts_out)
+
+
 # -- section renderers ---------------------------------------------------------
 
 def _table(headers: list[str], rows: list[list],
@@ -313,6 +390,9 @@ def _overview(inputs: ReportInputs) -> str:
     if inputs.history:
         rows.append(["history", "REGRESS_history.jsonl",
                      f"{len(inputs.history)} check(s)"])
+    if inputs.bench_history:
+        rows.append(["trend", "BENCH_history.jsonl",
+                     f"{len(inputs.bench_history)} bench run(s)"])
     if not rows:
         return _placeholder(
             "input", "pass JSON artifacts or a directory such as "
@@ -380,6 +460,11 @@ def _hotspots(inputs: ReportInputs) -> str:
                        f"{s.get('share', 0) * 100:.1f}%",
                        s["calls"], s["work"]] for s in spots],
                      "mono"))
+        folded = profile.get("folded") or {}
+        if folded:
+            parts.append(
+                "<h4>flame chart (collapsed region stacks)</h4>"
+                + _svg_flame(folded, title=f"flame chart — {label}"))
         sampled = profile.get("sampled") or []
         if sampled:
             parts.append(
@@ -498,17 +583,21 @@ def _bench(inputs: ReportInputs) -> str:
             if f and b and b["wall_s"]:
                 pct = (f["wall_s"] - b["wall_s"]) / b["wall_s"] * 100
                 delta = f"{pct:+.1f}%"
+            iqr_ms = ""
+            if f and isinstance(f.get("stats"), dict):
+                iqr_ms = f"{f['stats'].get('iqr', 0) * 1000:.2f}"
             rows.append([
                 rec_name,
                 f"{b['wall_s'] * 1000:.2f}" if b else "—",
                 f"{f['wall_s'] * 1000:.2f}" if f else "—",
-                delta,
+                delta, iqr_ms,
                 f.get("mem_peak_mb", "") if f else "",
                 f.get("dedup_hit_rate", "") if f else ""])
         parts.append(
             f"<h3>{_esc(name)}</h3>"
             + _table(["record", "baseline (ms)", "fresh (ms)",
-                      "Δ wall", "mem_peak_mb", "dedup_hit_rate"],
+                      "Δ wall", "iqr (ms)", "mem_peak_mb",
+                      "dedup_hit_rate"],
                      rows, "mono"))
         chart = [(r["name"], r["wall_s"] * 1000)
                  for r in inputs.bench_fresh.get(name, [])]
@@ -535,6 +624,44 @@ def _bench(inputs: ReportInputs) -> str:
             "bench", "pass benchmarks/out (fresh BENCH_*.json + "
             "REGRESS_history.jsonl); baselines come from "
             "--baselines (default benchmarks/baselines)")
+    return "".join(parts)
+
+
+def _trend(inputs: ReportInputs) -> str:
+    """Perf trajectory over the append-only ``BENCH_history.jsonl``
+    written by ``repro bench run``.  Always renders — a placeholder
+    explains how to start the trajectory when no history exists."""
+    if not inputs.bench_history:
+        return _placeholder(
+            "bench trajectory", "repro bench run appends one line "
+            "per run to benchmarks/out/BENCH_history.jsonl — pass "
+            "that file (or its directory) to grow per-record "
+            "sparkline trajectories here")
+    from repro.obs.bench import sparkline, trend_series
+    history = inputs.bench_history
+    series = trend_series(history, "wall_s")
+    env = (history[-1].get("env") or {})
+    parts = [f"<p>{len(history)} bench run(s); latest on "
+             f"{_esc(env.get('platform', '?'))}, python "
+             f"{_esc(env.get('python', '?'))}, git "
+             f"{_esc((env.get('git_rev') or '?')[:10])}</p>"]
+    rows = []
+    for name in sorted(series):
+        values = [v for _, v in series[name]]
+        delta = ""
+        if len(values) > 1 and values[0] > 0:
+            delta = f"{(values[-1] - values[0]) / values[0] * 100:+.1f}%"
+        rows.append([name, sparkline(values),
+                     f"{values[0] * 1000:.2f}",
+                     f"{values[-1] * 1000:.2f}", delta])
+    parts.append(_table(
+        ["record", "trajectory", "first (ms)", "latest (ms)",
+         "Δ wall"], rows, "mono"))
+    for name in sorted(series)[:6]:
+        points = [(i, v * 1000) for i, v in series[name]]
+        parts.append(f"<h4>{_esc(name)} — wall ms per run</h4>"
+                     + _svg_line(points,
+                                 title=f"wall ms trend — {name}"))
     return "".join(parts)
 
 
@@ -600,7 +727,8 @@ def render_report(inputs: ReportInputs,
         "coverage": ("State-space coverage", _coverage(inputs)),
         "lint": ("Lint findings", _lint(inputs)),
         "crossval": ("Cross-validation tables", _crossval(inputs)),
-        "bench": ("Bench trajectory", _bench(inputs)),
+        "bench": ("Bench vs baseline", _bench(inputs)),
+        "trend": ("Perf trajectory", _trend(inputs)),
         "runs": ("Run ledger", _runs(inputs)),
     }
     nav = "".join(f"<a href='#sec-{name}'>{_esc(label)}</a>"
@@ -678,7 +806,11 @@ SELF_CHECK_FIXTURE = {
             {"name": "mc.successors", "calls": 64, "work": 96,
              "wall_s": 0.004, "share": 0.6},
             {"name": "mc.canonicalize", "calls": 96, "work": 96,
-             "wall_s": 0.002, "share": 0.3}]},
+             "wall_s": 0.002, "share": 0.3}],
+            "folded": {"mc.run": 0.008,
+                       "mc.run;mc.successors": 0.004,
+                       "mc.run;mc.successors;mc.canonicalize": 0.002,
+                       "mc.run;mc.dedup": 0.001}},
     },
     "events.jsonl": [
         {"v": 1, "seq": 0, "t": 0.001, "kind": "explorer.progress",
@@ -700,6 +832,19 @@ SELF_CHECK_FIXTURE = {
          "compared": ["BENCH_mc.json"]},
         {"at": 2.0, "status": "regression", "regressions": 1,
          "notes": 1, "compared": ["BENCH_mc.json"]}],
+    "BENCH_history": [
+        {"at": 1.0, "repeats": 5,
+         "env": {"git_rev": "0123456789abcdef", "python": "3.11.0",
+                 "platform": "fixture-os", "cpu_count": 4},
+         "metrics": {"mc/fixture/por": {"wall_s": 0.011,
+                                        "states_per_s": 5800.0,
+                                        "iqr": 0.001}}},
+        {"at": 2.0, "repeats": 5,
+         "env": {"git_rev": "123456789abcdef0", "python": "3.11.0",
+                 "platform": "fixture-os", "cpu_count": 4},
+         "metrics": {"mc/fixture/por": {"wall_s": 0.01,
+                                        "states_per_s": 6400.0,
+                                        "iqr": 0.0008}}}],
     "crossval.txt": ("Lint/MC cross-validation (fixture)\n\n"
                      "program   | lint errors | violation\n"
                      "----------+-------------+----------\n"
@@ -734,6 +879,7 @@ def fixture_inputs() -> ReportInputs:
         bench_fresh={"BENCH_mc.json": fx["BENCH_mc.json"]},
         bench_baseline={"BENCH_mc.json": fx["baseline_BENCH_mc.json"]},
         history=list(fx["history"]),
+        bench_history=[dict(e) for e in fx["BENCH_history"]],
         tables=[("crossval.txt", fx["crossval.txt"])],
         runs=[dict(m) for m in fx["runs"]])
 
@@ -746,9 +892,13 @@ def self_check() -> tuple[int, str]:
     problems = check_html(html_text)
     if "class='empty'" in html_text:
         problems.append("placeholder rendered from full fixture")
-    if html_text.count("<svg") < 4:
+    if html_text.count("<svg") < 6:
         problems.append(
-            f"expected >=4 charts, got {html_text.count('<svg')}")
+            f"expected >=6 charts, got {html_text.count('<svg')}")
+    for marker, what in (("flame chart", "flame chart"),
+                         ("Perf trajectory", "trend section")):
+        if marker not in html_text:
+            problems.append(f"{what} missing from fixture render")
     if problems:
         return 1, "self-check FAILED: " + "; ".join(problems)
     return 0, (f"self-check ok: {len(SECTIONS)} sections, "

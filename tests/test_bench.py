@@ -1,0 +1,302 @@
+"""The statistical bench harness: repeat statistics, the trajectory
+file, noise-aware comparison verdicts, the EWMA rate/ETA estimator,
+and the ``repro bench`` CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (BenchCase, append_history,
+                             compare_records_stats, compare_sets,
+                             env_fingerprint, history_line, iqr,
+                             load_history, median, percentiles_of,
+                             render_compare, render_trend,
+                             resolve_repeats, resolve_side, run_case,
+                             run_matrix, sparkline, summarize,
+                             trend_series, write_run)
+from repro.obs.export import bench_record, write_bench
+from repro.obs.metrics import EwmaRate
+
+
+# -- repeat statistics -------------------------------------------------------------
+
+def test_median_small_n():
+    assert median([]) == 0.0
+    assert median([3.0]) == 3.0
+    assert median([1.0, 3.0]) == 2.0          # mean of middle two
+    assert median([1.0, 100.0, 2.0]) == 2.0   # order-insensitive
+    assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+
+def test_iqr_small_n():
+    assert iqr([]) == 0.0
+    assert iqr([5.0]) == 0.0                  # N=1 must not blow up
+    assert iqr([1.0, 3.0]) == 2.0
+    # Tukey hinges on odd N share the middle sample
+    assert iqr([1.0, 2.0, 3.0, 4.0, 5.0]) == 2.0
+
+
+def test_summarize_fields():
+    stats = summarize([0.02, 0.01, 0.03])
+    assert stats["repeats"] == 3
+    assert stats["min"] == 0.01 and stats["max"] == 0.03
+    assert stats["median"] == 0.02
+    assert stats["mean"] == pytest.approx(0.02)
+    assert stats["iqr"] == pytest.approx(0.01)  # hinges share middle
+
+
+def test_percentiles_nearest_rank():
+    assert percentiles_of([]) is None
+    pct = percentiles_of([0.01, 0.02, 0.03])
+    assert pct["p50"] == 0.02
+    assert pct["p95"] == pct["p99"] == 0.03
+
+
+def test_resolve_repeats_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_REPEATS", raising=False)
+    assert resolve_repeats(None) == 5          # default
+    assert resolve_repeats(3) == 3             # flag wins
+    assert resolve_repeats(0) == 1             # clamped
+    monkeypatch.setenv("REPRO_BENCH_REPEATS", "7")
+    assert resolve_repeats(None) == 7          # env beats default
+    assert resolve_repeats(2) == 2             # flag beats env
+    monkeypatch.setenv("REPRO_BENCH_REPEATS", "junk")
+    assert resolve_repeats(None) == 5          # bad env falls through
+
+
+def test_env_fingerprint_fields():
+    env = env_fingerprint()
+    assert env["python"] and env["platform"]
+    assert isinstance(env["cpu_count"], int)
+
+
+# -- running a matrix --------------------------------------------------------------
+
+def _fake_case(name="mc/fake", kind="mc", walls=(0.03, 0.01, 0.02)):
+    calls = {"n": 0}
+
+    def run():
+        wall = walls[min(calls["n"], len(walls) - 1)]
+        calls["n"] += 1
+        return wall, {"states": 64, "transitions": 96}
+
+    return BenchCase(name, kind, run), calls
+
+
+def test_run_case_emits_median_of_repeats():
+    case, calls = _fake_case()
+    record = run_case(case, repeats=3, warmup=1)
+    assert calls["n"] == 4                     # 1 warmup + 3 timed
+    # warmup discarded: timed samples are walls[1:] + last repeated
+    assert record["wall_s"] == record["stats"]["median"]
+    assert record["stats"]["repeats"] == 3
+    assert record["states"] == 64
+    assert record["percentiles"]["p50"] == record["stats"]["median"]
+
+
+def test_run_matrix_splits_by_kind_and_stamps_env(tmp_path):
+    mc_case, _ = _fake_case("mc/a", "mc")
+    an_case, _ = _fake_case("analysis/b", "analysis")
+    docs = run_matrix([mc_case, an_case], repeats=2, warmup=0)
+    assert set(docs) == {"BENCH_mc.json", "BENCH_analysis.json"}
+    for doc in docs.values():
+        assert doc["v"] == 2 and doc["repeats"] == 2
+        assert doc["env"]["python"]
+        assert len(doc["records"]) == 1
+    paths = write_run(docs, tmp_path)
+    assert all(p.is_file() for p in paths)
+
+
+# -- the append-only trajectory ----------------------------------------------------
+
+def _docs(wall=0.02, rate=3200.0):
+    record = bench_record("mc/a", wall, states=64, transitions=96,
+                          stats=summarize([wall, wall, wall]))
+    record["states_per_s"] = rate
+    return {"BENCH_mc.json": {"v": 2, "at": 1.0,
+                              "env": {"python": "3.x",
+                                      "platform": "test",
+                                      "cpu_count": 1},
+                              "repeats": 3, "records": [record]}}
+
+
+def test_history_round_trip(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    assert load_history(path) == []
+    append_history(path, history_line(_docs(0.02)))
+    append_history(path, history_line(_docs(0.01)))
+    path.open("a").write("not json\n{\"no\": \"metrics\"}\n")
+    entries = load_history(path)                # garbage filtered
+    assert len(entries) == 2
+    assert entries[0]["metrics"]["mc/a"]["wall_s"] == 0.02
+    assert entries[0]["metrics"]["mc/a"]["states_per_s"] == 3200.0
+    assert "iqr" in entries[0]["metrics"]["mc/a"]
+
+
+def test_trend_series_and_render(tmp_path):
+    history = [history_line(_docs(w)) for w in (0.02, 0.015, 0.01)]
+    series = trend_series(history, "wall_s")
+    assert [v for _, v in series["mc/a"]] == [0.02, 0.015, 0.01]
+    text = render_trend(history)
+    assert "mc/a" in text and "-50.0%" in text
+    assert "3 run(s)" in text
+    assert render_trend(history, last=2).count("run(s)") == 1
+    assert "no trajectory yet" in render_trend([])
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0]) == "▁▁"       # flat series
+    line = sparkline([0.0, 0.5, 1.0])
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+# -- noise-aware comparison --------------------------------------------------------
+
+def _rec(name="mc/a", wall=0.1, iqr_s=0.0):
+    return bench_record(name, wall, states=10, transitions=20,
+                        stats={"repeats": 3, "min": wall - iqr_s,
+                               "max": wall + iqr_s, "mean": wall,
+                               "median": wall, "iqr": iqr_s})
+
+
+def test_compare_within_noise_band_is_tilde():
+    # 20% slower but the IQR bands swallow the delta
+    rows = compare_records_stats([_rec(wall=0.1, iqr_s=0.01)],
+                                 [_rec(wall=0.12, iqr_s=0.015)])
+    assert rows[0]["verdict"] == "~"
+
+
+def test_compare_flags_significant_slowdown():
+    rows = compare_records_stats([_rec(wall=0.1, iqr_s=0.001)],
+                                 [_rec(wall=0.15, iqr_s=0.001)])
+    assert rows[0]["verdict"] == "slower"
+    assert rows[0]["delta_pct"] == 50.0
+
+
+def test_compare_speedup_and_noise_floor():
+    rows = compare_records_stats([_rec(wall=0.15)], [_rec(wall=0.1)])
+    assert rows[0]["verdict"] == "faster"
+    # both sides under the 5ms floor: never significant
+    rows = compare_records_stats([_rec(wall=0.001)],
+                                 [_rec(wall=0.004)])
+    assert rows[0]["verdict"] == "~"
+
+
+def test_compare_new_and_missing_records():
+    rows = compare_records_stats([_rec("mc/old")], [_rec("mc/new")])
+    verdicts = {r["name"]: r["verdict"] for r in rows}
+    assert verdicts == {"mc/old": "missing", "mc/new": "new"}
+
+
+def test_compare_sets_drift_semantics():
+    a = {"BENCH_mc.json": [_rec(wall=0.1)]}
+    faster = {"BENCH_mc.json": [_rec(wall=0.05)]}
+    report = compare_sets(a, faster)
+    assert not report["drift"] and report["improvements"] == 1
+    slower = {"BENCH_mc.json": [_rec(wall=0.2)]}
+    report = compare_sets(a, slower)
+    assert report["drift"] and report["regressions"] == 1
+    missing = {"BENCH_mc.json": []}
+    assert compare_sets(a, missing)["drift"]
+    text = render_compare(compare_sets(a, slower))
+    assert "DRIFT" in text and "slower" in text
+
+
+def test_resolve_side_forms(tmp_path):
+    doc = _docs()["BENCH_mc.json"]
+    file_path = tmp_path / "BENCH_mc.json"
+    write_bench(file_path, doc)
+    by_file = resolve_side(str(file_path))
+    by_dir = resolve_side(str(tmp_path))
+    assert by_file == by_dir
+    assert by_file["BENCH_mc.json"][0]["name"] == "mc/a"
+    baseline = resolve_side("baseline", baseline_dir=tmp_path)
+    assert baseline == by_dir
+    with pytest.raises(ValueError):
+        resolve_side(str(tmp_path / "nope"))
+    empty = tmp_path / "empty_dir"
+    empty.mkdir()
+    with pytest.raises(ValueError):
+        resolve_side(str(empty))
+
+
+# -- the EWMA rate / ETA estimator -------------------------------------------------
+
+def test_ewma_first_update_baselines():
+    rate = EwmaRate()
+    assert rate.update(100, now=1.0) == 0.0    # nothing to rate yet
+    assert rate.update(200, now=2.0) == pytest.approx(100.0)
+
+
+def test_ewma_smooths_toward_instantaneous():
+    rate = EwmaRate(alpha=0.5)
+    rate.update(0, now=0.0)
+    rate.update(100, now=1.0)                  # 100/s baseline
+    smoothed = rate.update(400, now=2.0)       # inst 300/s
+    assert 100.0 < smoothed < 300.0
+
+
+def test_ewma_ignores_zero_dt_and_counter_resets():
+    rate = EwmaRate()
+    rate.update(0, now=0.0)
+    first = rate.update(100, now=1.0)
+    assert rate.update(200, now=1.0) == first  # dt=0 ignored
+    # a counter reset (fresh search) re-baselines without a negative
+    # or absurd rate
+    assert rate.update(5, now=2.0) == first
+    assert rate.update(105, now=3.0) > 0.0
+
+
+def test_ewma_eta():
+    rate = EwmaRate()
+    assert rate.eta_s(100) is None             # no rate yet
+    rate.update(0, now=0.0)
+    rate.update(100, now=1.0)
+    assert rate.eta_s(200) == pytest.approx(2.0)
+    assert rate.eta_s(0) == 0.0
+    assert rate.eta_s(-5) == 0.0
+
+
+# -- CLI surface -------------------------------------------------------------------
+
+def test_cli_bench_run_trend_compare(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    out = tmp_path / "out"
+    assert main(["bench", "run", "--quick", "--out", str(out)]) == 0
+    assert main(["bench", "run", "--quick", "--out", str(out)]) == 0
+    capsys.readouterr()
+    history = out / "BENCH_history.jsonl"
+    assert len(load_history(history)) == 2
+    assert main(["bench", "trend", "--history", str(history)]) == 0
+    text = capsys.readouterr().out
+    assert "2 run(s)" in text and "analysis/nfq_prime" in text
+    # back-to-back quick runs of the same code: no significant drift
+    code = main(["bench", "compare", str(out), str(out), "--json"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["drift"] is False
+
+
+def test_cli_bench_compare_usage_error(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    code = main(["bench", "compare", str(tmp_path / "a"),
+                 str(tmp_path / "b")])
+    assert code == 2
+    assert "cannot resolve" in capsys.readouterr().err
+
+
+def test_compare_noise_band_floored_at_absolute_floor():
+    # +77% relatively but under 5ms absolutely: jitter, not drift
+    rows = compare_records_stats([_rec(wall=0.0053)],
+                                 [_rec(wall=0.0094)])
+    assert rows[0]["verdict"] == "~"
+    rows = compare_records_stats([_rec(wall=0.053)],
+                                 [_rec(wall=0.094)])
+    assert rows[0]["verdict"] == "slower"

@@ -8,7 +8,7 @@ from __future__ import annotations
 import pytest
 
 from repro import corpus
-from repro.cli import EXIT_CAPPED, main
+from repro.cli import EXIT_CAPPED, EXIT_DEADLINE, main
 from repro.obs import ledger
 
 
@@ -87,6 +87,32 @@ def test_mc_capped_exits_3(ledger_root, tmp_path, capsys):
     assert manifest["mc"]["capped"] is True
 
 
+def test_mc_deadline_exits_4(ledger_root, tmp_path, capsys):
+    # a §6.3-style Gao-Hesselink search is far too big to finish in
+    # ~0 seconds, so the soft deadline fires; the stop is graceful —
+    # the manifest still carries the partial MC summary
+    code = main(["mc", _write(tmp_path, "gh.synl", corpus.GH_PROGRAM1),
+                 "Apply(1)", "Apply(2)", "Apply(3)", "--mode", "full",
+                 "--deadline", "0"])
+    assert code == EXIT_DEADLINE
+    assert "UNKNOWN" in capsys.readouterr().out
+    manifest = _assert_recorded(ledger_root, EXIT_DEADLINE, "deadline")
+    assert manifest["mc"]["deadline_hit"] is True
+    assert manifest["mc"]["violation"] is None
+    assert manifest["mc"]["states"] >= 1
+
+
+def test_mc_deadline_violation_still_wins(ledger_root, tmp_path,
+                                          capsys):
+    # a found violation outranks the deadline verdict
+    code = main(["mc", _write(tmp_path, "sem.synl",
+                              corpus.BROKEN_SEMAPHORE),
+                 "DownBad()", "DownBad()", "--mode", "full",
+                 "--deadline", "3600"])
+    assert code == 1
+    _assert_recorded(ledger_root, 1, "violation")
+
+
 # -- run: 0 clean / 1 violation ----------------------------------------------------
 
 def test_run_clean_exits_0(ledger_root, tmp_path, capsys):
@@ -141,5 +167,42 @@ def test_report_self_check_exits_0(ledger_root, capsys):
 
 def test_experiments_unknown_name_exits_2(ledger_root, capsys):
     code = main(["experiments", "no-such-experiment"])
+    assert code == 2
+    _assert_recorded(ledger_root, 2, "error")
+
+
+# -- bench: 0 ok / 1 drift / 2 usage -----------------------------------------------
+
+def test_bench_run_records_ledger_ok(ledger_root, tmp_path, capsys):
+    code = main(["bench", "run", "--quick",
+                 "--out", str(tmp_path / "out")])
+    assert code == 0
+    manifest = _assert_recorded(ledger_root, 0, "ok")
+    names = {a["name"] for a in manifest["artifacts"]}
+    assert {"BENCH_analysis.json", "BENCH_mc.json"} <= names
+
+
+def test_bench_compare_drift_exits_1(ledger_root, tmp_path, capsys):
+    from repro.obs.export import bench_record, write_bench
+
+    def side(wall):
+        record = bench_record("mc/x", wall, states=10, transitions=20,
+                              stats={"repeats": 3, "min": wall,
+                                     "max": wall, "mean": wall,
+                                     "median": wall, "iqr": 0.0})
+        return [record]
+
+    a, b = tmp_path / "a", tmp_path / "b"
+    write_bench(a / "BENCH_mc.json", side(0.1))
+    write_bench(b / "BENCH_mc.json", side(0.2))
+    code = main(["bench", "compare", str(a), str(b)])
+    assert code == 1
+    _assert_recorded(ledger_root, 1, "drift")
+
+
+def test_bench_compare_usage_error_exits_2(ledger_root, tmp_path,
+                                           capsys):
+    code = main(["bench", "compare", str(tmp_path / "missing"),
+                 str(tmp_path / "missing2")])
     assert code == 2
     _assert_recorded(ledger_root, 2, "error")

@@ -163,3 +163,44 @@ def test_variant_mode_matches_run_to_commit():
                    variant_map=variant_map,
                    collect_quiescent=True).run()
     assert var.quiescent == rtc.quiescent
+
+
+# -- deadline: graceful soft-timeout -----------------------------------------------
+
+def test_deadline_zero_stops_immediately_with_telemetry():
+    specs = [ThreadSpec.of(("Inc",)), ThreadSpec.of(("Inc",)),
+             ThreadSpec.of(("Inc",))]
+    r = _explore(TINY, specs, "full", deadline=0.0)
+    assert r.deadline_hit and not r.capped and r.violation is None
+    # the stop is graceful: partial counts and telemetry survive
+    assert r.states >= 1
+    assert r.metrics["mc.deadline_hit"] is True
+    assert "mc.depth_hist" in r.metrics
+    assert "UNKNOWN (deadline)" in str(r)
+
+
+def test_generous_deadline_never_fires():
+    specs = [ThreadSpec.of(("Inc",)), ThreadSpec.of(("Inc",))]
+    r = _explore(TINY, specs, "full", deadline=3600.0)
+    assert not r.deadline_hit
+    assert r.metrics["mc.deadline_hit"] is False
+    assert "UNKNOWN" not in str(r)
+    # and the default (no deadline) matches the deadline-free counts
+    plain = _explore(TINY, specs, "full")
+    assert (r.states, r.transitions) == (plain.states, plain.transitions)
+
+
+def test_deadline_emits_event():
+    from repro.obs.events import EventStream
+
+    # three threads: enough loop iterations to reach the clock-check
+    # stride (a sub-stride search finishes before the soft deadline
+    # is ever consulted — that is the documented semantics)
+    events = EventStream()
+    specs = [ThreadSpec.of(("Inc",)), ThreadSpec.of(("Inc",)),
+             ThreadSpec.of(("Inc",))]
+    interp = Interp(TINY)
+    r = Explorer(interp, specs, mode="full", deadline=0.0,
+                 events=events).run()
+    assert r.deadline_hit
+    assert events.snapshot("mc.deadline")

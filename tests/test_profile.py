@@ -298,3 +298,68 @@ def test_bench_record_rate_guard_and_resource_fields():
     assert rec["dedup_hit_rate"] == 0.333333
     assert bench_record("mc/x", 0.5, states=500)["states_per_s"] \
         == pytest.approx(1000.0)
+
+
+# -- collapsed-stack (folded) accumulator ------------------------------------------
+
+def test_folded_paths_follow_region_nesting():
+    prof = Profiler()
+    with prof.region("outer"):
+        time.sleep(0.001)
+        with prof.region("inner"):
+            time.sleep(0.001)
+    folded = prof.folded()
+    assert set(folded) == {"outer", "outer;inner"}
+    # region scopes are cumulative: outer includes inner's time
+    assert folded["outer"] >= folded["outer;inner"]
+
+
+def test_acc_folds_under_the_live_stack():
+    prof = Profiler()
+    with prof.region("phase"):
+        prof.acc("hot-loop", 0.002, work=10)
+    assert "phase;hot-loop" in prof.folded()
+    # acc outside any region lands at the root
+    prof.acc("flush", 0.001)
+    assert "flush" in prof.folded()
+    # zero-wall acc contributes no folded path
+    prof.acc("counter-only", 0.0, work=5)
+    assert "counter-only" not in prof.folded()
+
+
+def test_folded_lines_format_and_write(tmp_path):
+    prof = Profiler()
+    prof.acc("a", 0.002)
+    with prof.region("a"):
+        prof.acc("b", 0.0000001)   # rounds up to the 1us floor
+    lines = prof.folded_lines()
+    assert lines == sorted(lines)
+    by_path = dict(line.rsplit(" ", 1) for line in lines)
+    assert by_path["a;b"] == "1"
+    assert int(by_path["a"]) >= 2000
+    target = tmp_path / "nested" / "profile.folded"
+    prof.write_folded(target)
+    assert target.read_text().splitlines() == lines
+
+
+def test_merge_combines_folded_without_double_count():
+    a, b = Profiler(), Profiler()
+    with a.region("r"):
+        a.acc("x", 0.001)
+    with b.region("r"):
+        b.acc("x", 0.003)
+    a.merge(b)
+    assert a.folded()["r;x"] == pytest.approx(0.004)
+    # entries merged once, not re-folded through the live stack
+    assert a._entries["x"][0] == 2
+
+
+def test_to_dict_carries_folded_and_validates():
+    prof = Profiler()
+    with prof.region("outer"):
+        prof.acc("inner", 0.002)
+    doc = prof.to_dict()
+    assert doc["folded"]["outer;inner"] == pytest.approx(0.002)
+    assert validate(doc, PROFILE_SCHEMA) == []
+    empty = Profiler().to_dict()
+    assert "folded" not in empty

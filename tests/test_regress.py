@@ -237,3 +237,127 @@ def test_main_update_then_check(dirs, capsys):
     assert main(argv + ["--update"]) == 0
     assert "baseline updated" in capsys.readouterr().out
     assert main(argv + ["--history", "-"]) == 0
+
+
+# -- median-of-repeats gating ------------------------------------------------------
+
+def _stat(wall_median, iqr_s=0.0, wall_s=None):
+    record = _mc(wall_s=wall_s if wall_s is not None
+                 else wall_median, states=0)
+    record["stats"] = {"repeats": 5, "min": wall_median - iqr_s,
+                       "max": wall_median + iqr_s,
+                       "mean": wall_median, "median": wall_median,
+                       "iqr": iqr_s}
+    return record
+
+
+def test_median_gates_over_single_shot_wall():
+    # a hand-edited record whose wall_s spiked but whose median did
+    # not must pass: stats.median is the gated value
+    base = [_stat(0.1)]
+    fresh = [_stat(0.1, wall_s=0.9)]
+    assert compare_records(fresh, base) == []
+    # and a genuine median regression is still caught
+    (finding,) = compare_records([_stat(0.2)], base)
+    assert finding.metric == "wall_s"
+
+
+def test_iqr_noise_band_suppresses_wobbly_pairs():
+    # +30% median delta, but the combined IQR swallows it
+    base = [_stat(0.1, iqr_s=0.02)]
+    fresh = [_stat(0.13, iqr_s=0.02)]
+    assert all(f.metric != "wall_s"
+               for f in compare_records(fresh, base))
+    # tight IQR: the same delta is a real regression
+    (finding,) = compare_records([_stat(0.13, iqr_s=0.001)],
+                                 [_stat(0.1, iqr_s=0.001)])
+    assert finding.metric == "wall_s"
+
+
+def test_p95_floor_suppresses_small_sample_tail_jitter():
+    from repro.obs.regress import P95_FLOOR_S
+
+    assert P95_FLOOR_S == 2 * NOISE_FLOOR_S
+    # sub-floor p95s double: jitter from a 3-sample max, not a tail
+    base = [_mc(percentiles={"p50": 0.004, "p95": 0.004,
+                             "p99": 0.004})]
+    fresh = [_mc(percentiles={"p50": 0.004, "p95": 0.009,
+                              "p99": 0.009})]
+    assert all(f.metric != "p95"
+               for f in compare_records(fresh, base))
+
+
+def test_check_dir_accepts_v2_documents(dirs):
+    out, baselines = dirs
+    records = json.loads((out / "BENCH_mc.json").read_text())
+    v2 = {"v": 2, "at": 1.0, "repeats": 3,
+          "env": {"python": "3.x", "platform": "t", "cpu_count": 1},
+          "records": records}
+    (out / "BENCH_mc.json").write_text(json.dumps(v2))
+    report = check_dir(out, baselines)   # v2 fresh vs v1 baseline
+    assert report["status"] == "ok"
+
+
+def test_p95_gate_skipped_for_small_sample_harness_records():
+    from repro.obs.regress import MIN_P95_REPEATS
+
+    def stat_p95(p95, repeats):
+        record = _stat(0.1)
+        record["stats"]["repeats"] = repeats
+        record["percentiles"] = {"p50": 0.05, "p95": p95, "p99": p95}
+        return record
+
+    # 3-repeat p95 is the sample max: a 3x spike must not gate
+    base = [stat_p95(0.05, 3)]
+    fresh = [stat_p95(0.15, 3)]
+    assert all(f.metric != "p95"
+               for f in compare_records(fresh, base))
+    # with a real sample behind it, the same spike is a regression
+    big_base = [stat_p95(0.05, MIN_P95_REPEATS)]
+    big_fresh = [stat_p95(0.15, MIN_P95_REPEATS)]
+    (finding,) = compare_records(big_fresh, big_base)
+    assert finding.metric == "p95"
+
+
+def test_wall_delta_must_clear_absolute_floor():
+    # +76% relatively, but only +4ms absolutely: machine-load jitter
+    # on a small benchmark, not a regression
+    base = [_stat(0.0053)]
+    fresh = [_stat(0.0094)]
+    assert all(f.metric != "wall_s"
+               for f in compare_records(fresh, base))
+    # the same relative growth with real absolute weight still gates
+    (finding,) = compare_records([_stat(0.094)], [_stat(0.053)])
+    assert finding.metric == "wall_s"
+
+
+def test_env_mismatch_downgrades_timing_to_notes(tmp_path):
+    # baselines recorded on one machine, fresh run on another: wall
+    # regressions measure the hardware delta, so they inform instead
+    # of gating; a missing record still fails
+    def v2(records, cpu):
+        return {"v": 2, "at": 1.0, "repeats": 3,
+                "env": {"python": "3.x", "platform": "t",
+                        "cpu_count": cpu},
+                "records": records}
+
+    out, baselines = tmp_path / "out", tmp_path / "baselines"
+    out.mkdir(), baselines.mkdir()
+    (baselines / "BENCH_mc.json").write_text(
+        json.dumps(v2([_stat(0.05)], cpu=8)))
+    (out / "BENCH_mc.json").write_text(
+        json.dumps(v2([_stat(0.2)], cpu=2)))      # 4x slower, 2 cpus
+    report = check_dir(out, baselines)
+    assert report["status"] == "ok"
+    assert "cpu_count 8 -> 2" in report["env_mismatch"]
+    (finding,) = [f for f in report["findings"]
+                  if f["metric"] == "wall_s"]
+    assert finding["severity"] == "note"
+    assert "env mismatch" in finding["message"]
+    # same env: the identical delta gates as a regression
+    (out / "BENCH_mc.json").write_text(
+        json.dumps(v2([_stat(0.2)], cpu=8)))
+    assert check_dir(out, baselines)["status"] == "regression"
+    # structural findings survive the downgrade
+    (out / "BENCH_mc.json").write_text(json.dumps(v2([], cpu=2)))
+    assert check_dir(out, baselines)["status"] == "regression"

@@ -117,6 +117,8 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
         json.dumps(fx["BENCH_mc.json"]))
     (tmp_path / "REGRESS_history.jsonl").write_text(
         "\n".join(json.dumps(e) for e in fx["history"]))
+    (tmp_path / "BENCH_history.jsonl").write_text(
+        "\n".join(json.dumps(e) for e in fx["BENCH_history"]))
     (tmp_path / "crossval.txt").write_text(fx["crossval.txt"])
     (tmp_path / "junk.json").write_text("not json {")
     for manifest in fx["runs"]:
@@ -135,6 +137,7 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
     assert set(inputs.bench_fresh) == {"BENCH_mc.json"}
     assert set(inputs.bench_baseline) == {"BENCH_mc.json"}
     assert len(inputs.history) == 2
+    assert len(inputs.bench_history) == 2
     assert [label for label, _ in inputs.tables] == ["crossval.txt"]
     assert sorted(m["run_id"] for m in inputs.runs) == \
         sorted(m["run_id"] for m in fx["runs"])
@@ -183,3 +186,51 @@ def test_cli_report_no_inputs_errors(tmp_path, capsys, monkeypatch):
     code = cli.main(["report", "-o", str(tmp_path / "r.html")])
     assert code == 2
     assert "no inputs" in capsys.readouterr().err
+
+
+# -- perf trajectory + flame chart -------------------------------------------------
+
+def test_trend_section_renders_from_history():
+    html_text = render_report(fixture_inputs())
+    assert "Perf trajectory" in html_text
+    assert "2 bench run(s)" in html_text
+    # sparkline glyphs from repro.obs.bench make it into the table
+    assert any(ch in html_text for ch in "▁▂▃▄▅▆▇█")
+
+
+def test_trend_placeholder_never_dropped():
+    html_text = render_report(ReportInputs())
+    assert "id='sec-trend'" in html_text
+    assert "repro bench run" in html_text      # the how-to hint
+    assert check_html(html_text) == []
+
+
+def test_flame_chart_rendered_from_folded_profile():
+    html_text = render_report(fixture_inputs())
+    assert "flame chart (collapsed region stacks)" in html_text
+    # nested frames from the fixture's collapsed stacks appear as rects
+    assert "mc.successors" in html_text
+
+
+def test_classify_v2_bench_document():
+    doc = {"v": 2, "at": 1.0, "repeats": 3,
+           "env": {"python": "3.x", "platform": "t", "cpu_count": 1},
+           "records": list(SELF_CHECK_FIXTURE["BENCH_mc.json"])}
+    assert classify("BENCH_mc.json", doc) == "bench"
+
+
+def test_collect_inputs_unwraps_v2_and_routes_history(tmp_path):
+    fx = SELF_CHECK_FIXTURE
+    v2 = {"v": 2, "at": 1.0, "repeats": 3,
+          "env": {"python": "3.x", "platform": "t", "cpu_count": 1},
+          "records": list(fx["BENCH_mc.json"])}
+    (tmp_path / "BENCH_mc.json").write_text(json.dumps(v2))
+    (tmp_path / "BENCH_history.jsonl").write_text(
+        "\n".join(json.dumps(e) for e in fx["BENCH_history"]))
+    inputs = collect_inputs([tmp_path])
+    # v2 wrappers are unwrapped to bare record lists for the table
+    assert inputs.bench_fresh["BENCH_mc.json"] == fx["BENCH_mc.json"]
+    assert len(inputs.bench_history) == 2
+    html_text = render_report(inputs)
+    assert check_html(html_text) == []
+    assert "Perf trajectory" in html_text and "bench run(s)" in html_text
