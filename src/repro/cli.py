@@ -9,6 +9,9 @@
     python -m repro mc FILE T0 ... --mode atomic   # model-check
     python -m repro lint FILE            # discipline linter (docs/LINT.md)
     python -m repro report -o out.html   # unified HTML report artifact
+    python -m repro graph stats G.jsonl  # state-graph capture analytics
+    python -m repro graph diff A B       # structural drift between runs
+    python -m repro top EVENTS.jsonl     # live dashboard over an events file
     python -m repro bench run            # statistical benchmark matrix
     python -m repro bench trend          # perf trajectory sparklines
     python -m repro bench compare A B    # noise-aware bench diff
@@ -32,9 +35,11 @@ FILE`` (Chrome/Perfetto trace-event export) and ``--events-out FILE``
 accept ``--explain-cex`` (annotated counterexample timeline on
 violation), and ``mc`` accepts ``--progress N`` (live heartbeat with
 EWMA throughput + ETA), ``--deadline SECS`` (graceful soft timeout,
-exit :data:`EXIT_DEADLINE`) and ``--trace-malloc`` (allocation-site
-telemetry).  ``--profile-out FILE`` writes the region profile in
-collapsed-stack format.  ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` /
+exit :data:`EXIT_DEADLINE`), ``--trace-malloc`` (allocation-site
+telemetry) and ``--graph-out FILE`` (stream the explored state graph
+as schema-versioned JSONL; ``--graph-por-pruned`` additionally records
+the transitions POR pruned away).  ``--profile-out FILE`` writes the
+region profile in collapsed-stack format.  ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` /
 ``REPRO_PROFILE=1`` enable the same from the environment — see
 docs/OBSERVABILITY.md.
 
@@ -389,13 +394,42 @@ def cmd_mc(args) -> int:
     program = _load(args.file)
     interp = Interp(program, events=events)
     specs = [_parse_spec(s) for s in args.threads]
-    with _sampling(sampler):
-        result = Explorer(interp, specs, mode=args.mode,
-                          max_states=args.max_states, tracer=tracer,
-                          events=events, profiler=profiler,
-                          progress=args.progress,
-                          trace_malloc=args.trace_malloc,
-                          deadline=args.deadline).run()
+    # uid -> (proc, text, mover) source annotations back the heatmap
+    # document (--json) and the graph edges' mover tags (--graph-out);
+    # best-effort — an unanalyzable program still runs, unannotated
+    analysis = annotations = None
+    if args.graph_out or args.json:
+        from repro.obs import heatmap
+        try:
+            analysis = analyze_program(_load(args.file))
+        except ReproError:
+            analysis = None
+        annotations = heatmap.uid_annotations(interp, analysis)
+    graph = None
+    if args.graph_out:
+        from repro.obs import heatmap
+        from repro.obs.graph import GraphWriter, stable_uid_map
+        graph = GraphWriter(args.graph_out, mode=args.mode,
+                            threads=len(specs),
+                            record_pruned=args.graph_por_pruned,
+                            mover_of=heatmap.mover_fn(annotations),
+                            uid_map=stable_uid_map(interp),
+                            events=events)
+    try:
+        with _sampling(sampler):
+            result = Explorer(interp, specs, mode=args.mode,
+                              max_states=args.max_states,
+                              tracer=tracer,
+                              events=events, profiler=profiler,
+                              progress=args.progress,
+                              trace_malloc=args.trace_malloc,
+                              deadline=args.deadline,
+                              graph=graph).run()
+    finally:
+        if graph is not None:
+            graph.close()
+    if graph is not None:
+        ledger.ref_artifact(args.graph_out)
     if sampler is not None and result.profile:
         result.profile = profiler.to_dict(sampler)
     cex = None
@@ -404,6 +438,11 @@ def cmd_mc(args) -> int:
     _write_obs_outputs(args, tracer, events, profiler)
     if args.json:
         doc = result.to_dict()
+        if annotations is not None:
+            from repro.obs.heatmap import build_heatmap
+            doc["heatmap"] = build_heatmap(
+                result.metrics.get("mc.stmt_heat", []), annotations,
+                annotated=analysis is not None)
         if cex is not None:
             doc["counterexample"] = cex.to_dict()
         if cfg.trace:
@@ -587,8 +626,9 @@ def cmd_bench(args) -> int:
             else (0 if args.quick else bench.DEFAULT_WARMUP)
         cases = bench.default_matrix(quick=args.quick)
         out_dir = pathlib.Path(args.out)
-        progress = None if args.json else \
-            (lambda line: print(line, file=sys.stderr))
+        # progress is human-readable and goes to stderr even with
+        # --json: stdout must stay machine-clean either way
+        progress = (lambda line: print(line, file=sys.stderr))
         docs = bench.run_matrix(cases, repeats, warmup,
                                 progress=progress)
         paths = bench.write_run(docs, out_dir)
@@ -640,6 +680,62 @@ def cmd_bench(args) -> int:
     else:
         print(bench.render_compare(report))
     return 1 if report["drift"] else 0
+
+
+def cmd_graph(args) -> int:
+    """State-graph capture analytics (docs/OBSERVABILITY.md).
+
+    ``stats`` prints structural analytics of one capture, ``dot``
+    exports small captures as GraphViz DOT, ``diff`` compares two
+    captures by canonical node/edge ids (exit 0 identical, 1 drifted,
+    2 usage error) — the structural twin of ``runs diff``."""
+    from repro.obs import graph as graph_mod
+
+    try:
+        if args.graph_cmd == "stats":
+            stats = graph_mod.graph_stats(
+                graph_mod.read_graph(args.capture))
+            if args.json:
+                print(json.dumps(stats, indent=2))
+            else:
+                print(graph_mod.render_stats(stats))
+            return 0
+        if args.graph_cmd == "dot":
+            cap = args.max_nodes if args.max_nodes is not None \
+                else graph_mod.DEFAULT_DOT_CAP
+            dot = graph_mod.to_dot(graph_mod.read_graph(args.capture),
+                                   max_nodes=cap)
+            if args.output:
+                pathlib.Path(args.output).write_text(dot)
+                print(f"wrote {args.output}")
+            else:
+                print(dot)
+            return 0
+        # diff
+        drift = graph_mod.diff_graphs(graph_mod.read_graph(args.a),
+                                      graph_mod.read_graph(args.b))
+        if args.json:
+            print(json.dumps(drift, indent=2))
+        else:
+            print(graph_mod.render_diff(drift, args.a, args.b))
+        return 0 if drift["identical"] else 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_top(args) -> int:
+    """Live dashboard over an ``--events-out`` JSONL (docs/
+    OBSERVABILITY.md).  Attaches by tailing the file — no shared
+    process state — and exits 0 once the run ends (or the duration
+    elapses), 2 when no events ever appeared."""
+    from repro.obs import top
+
+    interval = args.interval if args.interval is not None \
+        else top.DEFAULT_INTERVAL
+    return top.run_top(args.events_file, interval=interval,
+                       duration=args.duration, once=args.once,
+                       as_json=args.json)
 
 
 def cmd_experiments(args) -> int:
@@ -852,6 +948,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "gracefully after N seconds with verdict "
                         "UNKNOWN, partial counts and full telemetry "
                         f"(exit status {EXIT_DEADLINE})")
+    p.add_argument("--graph-out", metavar="FILE", default=None,
+                   help="stream the visited state graph as JSONL "
+                        "(canonical-hash node ids, mover-tagged "
+                        "edges; inspect with 'repro graph'; record "
+                        "emission thins out above "
+                        "$REPRO_GRAPH_NODE_CAP nodes)")
+    p.add_argument("--graph-por-pruned", action="store_true",
+                   help="additionally record the transitions POR "
+                        "elected not to explore (separate 'pruned' "
+                        "records; executes the not-taken successors, "
+                        "so the search does full-expansion work)")
     p.set_defaults(fn=cmd_mc)
 
     p = sub.add_parser("lint", parents=[obs],
@@ -950,6 +1057,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a machine-readable JSON document "
                         "instead of text")
     q.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("graph",
+                       help="state-graph capture analytics: stats, "
+                            "DOT export, structural diff "
+                            "(docs/OBSERVABILITY.md)")
+    graph_sub = p.add_subparsers(dest="graph_cmd", required=True)
+    q = graph_sub.add_parser(
+        "stats", help="node/edge/pruned counts, branching and "
+                      "in-degree distributions, depth layers, "
+                      "terminal/quiescent sets, POR reduction ratio")
+    q.add_argument("capture", help="a --graph-out JSONL capture")
+    q.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document "
+                        "instead of text")
+    q.set_defaults(fn=cmd_graph)
+    q = graph_sub.add_parser(
+        "dot", help="export a small capture as GraphViz DOT "
+                    "(mover-coloured edges, pruned edges dotted)")
+    q.add_argument("capture", help="a --graph-out JSONL capture")
+    q.add_argument("-o", "--output", default=None, metavar="FILE",
+                   help="write to FILE instead of stdout")
+    q.add_argument("--max-nodes", type=int, default=None,
+                   metavar="N", help="refuse captures with more than "
+                                     "N retained nodes (default: 250)")
+    q.set_defaults(fn=cmd_graph)
+    q = graph_sub.add_parser(
+        "diff", help="compare two captures by canonical node/edge "
+                     "ids (exit 1 on drift) — the structural twin "
+                     "of 'runs diff'")
+    q.add_argument("a", help="older capture")
+    q.add_argument("b", help="newer capture")
+    q.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document "
+                        "instead of text")
+    q.set_defaults(fn=cmd_graph)
+
+    p = sub.add_parser("top",
+                       help="live dashboard over a running "
+                            "exploration's --events-out JSONL "
+                            "(docs/OBSERVABILITY.md)")
+    p.add_argument("events_file", metavar="EVENTS_JSONL",
+                   help="the file a running 'repro mc --events-out' "
+                        "is streaming to")
+    p.add_argument("--interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="refresh period (default: 1.0)")
+    p.add_argument("--duration", type=float, default=None,
+                   metavar="SECONDS",
+                   help="detach after N seconds (default: 60)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame from the file's current "
+                        "contents and exit (no TTY needed)")
+    p.add_argument("--json", action="store_true",
+                   help="print the final dashboard state as JSON")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("experiments",
                        help="regenerate a table/figure of the paper")

@@ -36,8 +36,7 @@ from typing import Optional
 from repro.cfg.graph import CFGNode, NodeKind
 from repro.synl.printer import pretty_expr
 
-#: bump when the counterexample dict layout changes incompatibly
-SCHEMA_VERSION = 1
+from repro.obs.schemas import CEX as SCHEMA_VERSION
 
 #: annotation used for transitions that touch no shared state
 _CONTROL = ("B", "Thm 3.1: thread-local control flow")

@@ -172,7 +172,8 @@ class Explorer:
                  progress: Optional[float] = None,
                  progress_sink: Optional[Callable[[str], None]] = None,
                  trace_malloc: bool = False,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 graph=None):
         if mode not in ("full", "por", "atomic", "both"):
             raise ValueError(f"unknown mode {mode!r}")
         self.interp = interp
@@ -209,6 +210,12 @@ class Explorer:
         #: gracefully once exceeded, preserving all telemetry and
         #: reporting the verdict UNKNOWN (``MCResult.deadline_hit``)
         self.deadline = deadline
+        #: optional :class:`repro.obs.graph.GraphWriter` streaming the
+        #: visited state graph to JSONL (None = off); node records are
+        #: emitted exactly when a state is counted and edge records
+        #: exactly when a transition is counted, so the capture totals
+        #: reconcile with the result by construction
+        self.graph = graph
         #: EWMA states/sec estimator feeding the heartbeat's rate/ETA
         self._rate = EwmaRate()
         # ample-set bookkeeping (plain ints: DFS is single-threaded)
@@ -217,6 +224,14 @@ class Explorer:
         self._prof_on = self.profiler.enabled
         self._ample_wall = 0.0
         self._ample_checks = 0
+        # POR-pruned transition capture (only with a graph writer that
+        # asked for it): ample-set code stashes the not-taken
+        # successors here; the DFS drains the buffer into the writer
+        self._record_pruned = graph is not None and graph.record_pruned
+        self._pruned_buf: list[_Succ] = []
+        # always-on per-statement heat: uid -> [visits, switches, tidmask]
+        self._stmt_heat: dict[int, list] = {}
+        self._cache_hits = 0
 
     # -- successor generation --------------------------------------------------
     def _step_thread(self, world: World, tid: int) -> _Succ:
@@ -268,6 +283,11 @@ class Explorer:
                 self._ample_reduced += 1
                 if self.events is not None:
                     self.events.emit("mc.ample", tid=tid, desc=succ.desc)
+                if self._record_pruned:
+                    # the transitions a full expansion would also have
+                    # taken, executed solely to capture their targets
+                    self._pruned_buf = [self._step_thread(world, o)
+                                        for o in enabled if o != tid]
                 return [succ]
             self._ample_full += 1
         return [self._step_thread(world, tid) for tid in enabled]
@@ -327,6 +347,10 @@ class Explorer:
                 if self.events is not None:
                     self.events.emit("mc.ample", tid=tid,
                                      desc=real[0].desc)
+                if self._record_pruned:
+                    self._pruned_buf = [
+                        s for o in live if o != tid
+                        for s in self._atomic_one(world, o)]
                 return succs
         if self.mode == "both":
             self._ample_full += 1
@@ -368,6 +392,7 @@ class Explorer:
         telemetry onto the result (``time.perf_counter`` throughout —
         monotonic, immune to wall-clock jumps)."""
         result.elapsed = time.perf_counter() - start
+        self._cache_hits = cache_hits
         lookups = cache_hits + result.states
         hit_rate = round(cache_hits / lookups, 6) if lookups else 0.0
         ample_total = self._ample_reduced + self._ample_full
@@ -397,6 +422,11 @@ class Explorer:
             "mc.frontier_samples": [
                 list(pair)
                 for pair in getattr(self, "_frontier_samples", [])],
+            # per-statement heat: [uid, visits, switches, n_threads]
+            # (always on — the source-heatmap substrate)
+            "mc.stmt_heat": [
+                [uid, heat[0], heat[1], bin(heat[2]).count("1")]
+                for uid, heat in sorted(self._stmt_heat.items())],
         }
         if self.trace_malloc:
             result.metrics["mc.malloc_top"] = malloc_top()
@@ -453,12 +483,18 @@ class Explorer:
             f"depth_max={getattr(self, '_max_depth_seen', 0)} "
             f"mem={peak_rss_mb():.1f}MB{eta_text}")
         if self.events is not None:
+            hits = self._cache_hits
+            lookups = hits + result.states
             self.events.emit("explorer.progress",
                              states=result.states,
                              transitions=result.transitions,
                              depth=getattr(self, "_max_depth_seen", 0),
                              frontier=frontier,
                              elapsed_s=round(elapsed, 3),
+                             dedup_hit_rate=round(hits / lookups, 6)
+                             if lookups else 0.0,
+                             mem_mb=round(peak_rss_mb(), 1),
+                             final=final,
                              **eta_fields)
 
     def run(self) -> MCResult:
@@ -477,6 +513,11 @@ class Explorer:
         self._frontier_samples: list[tuple[int, int]] = []
         self._stack_len = 1
         self._max_depth_seen = 1
+        self._stmt_heat = {}
+        self._cache_hits = 0
+        graph = self.graph
+        self._record_pruned = graph is not None and graph.record_pruned
+        self._pruned_buf = []
         sample_stride = _FRONTIER_SAMPLE_STRIDE
         next_sample = sample_stride
         if self.trace_malloc:
@@ -519,6 +560,9 @@ class Explorer:
             key0 = (state_key(world0), ghosts0)
             seen = {key0}
             result.states = 1
+            gid0 = graph.node(key0, 1, init=True,
+                              quiescent=world0.quiescent()) \
+                if graph is not None else None
             message = self._check(world0, ghosts0)
         if message is not None:
             result.violation = message
@@ -540,8 +584,9 @@ class Explorer:
                 self.events.emit("mc.violation", desc=succ.desc,
                                  message=message)
 
-        # stack entries: (key, world, ghosts, successor list, index, step)
-        stack = [[key0, world0, ghosts0, None, 0, init_step]]
+        # stack entries: (key, world, ghosts, successor list, index,
+        # step, graph node id)
+        stack = [[key0, world0, ghosts0, None, 0, init_step, gid0]]
         prof_on = self._prof_on
         while stack:
             loop_i += 1
@@ -559,10 +604,11 @@ class Explorer:
                 if next_beat is not None and now >= next_beat:
                     self._stack_len = len(stack)
                     self._max_depth_seen = max_depth
+                    self._cache_hits = cache_hits
                     self._beat(result, start)
                     next_beat = now + self.progress
             entry = stack[-1]
-            key, world, ghosts, succs, index, _step = entry
+            key, world, ghosts, succs, index, step = entry[:6]
             if succs is None:
                 if prof_on:
                     t0 = time.perf_counter()
@@ -573,6 +619,20 @@ class Explorer:
                 else:
                     succs = self._successors(world, on_stack)
                 entry[3] = succs
+                if self._pruned_buf:
+                    # POR elected not to take these from this state;
+                    # record the would-be edges (same filters as the
+                    # counting path: disabled and violating successors
+                    # never become transitions)
+                    for s in self._pruned_buf:
+                        if s.world is None or s.violation is not None:
+                            continue
+                        graph.pruned(
+                            entry[6],
+                            (state_key(s.world),
+                             self._apply_events(ghosts, s.events)),
+                            tid=s.tid, uid=s.uid, op=s.kind)
+                    self._pruned_buf = []
             if index >= len(succs):
                 stack.pop()
                 on_stack.discard(key[0])
@@ -587,6 +647,19 @@ class Explorer:
             if succ.world is None:
                 continue  # disabled transition
             result.transitions += 1
+            if succ.uid is not None:
+                # always-on source heat: visits / context switches /
+                # which threads ran this statement (one dict op per
+                # transition — noise next to the canonical-hash walk)
+                heat = self._stmt_heat.get(succ.uid)
+                if heat is None:
+                    heat = self._stmt_heat[succ.uid] = [0, 0, 0]
+                heat[0] += 1
+                parent_tid = step["tid"]
+                if 0 <= parent_tid != succ.tid:
+                    heat[1] += 1
+                if succ.tid >= 0:
+                    heat[2] |= 1 << succ.tid
             if result.transitions >= next_sample:
                 self._frontier_samples.append(
                     (result.transitions, len(stack)))
@@ -603,11 +676,18 @@ class Explorer:
                 canon_calls += 1
             else:
                 new_key = (state_key(succ.world), new_ghosts)
-            if new_key in seen:
+            dup = new_key in seen
+            if graph is not None:
+                graph.edge(entry[6], new_key, tid=succ.tid,
+                           uid=succ.uid, op=succ.kind, dup=dup)
+            if dup:
                 cache_hits += 1
                 continue
             seen.add(new_key)
             result.states += 1
+            new_gid = graph.node(new_key, len(stack) + 1,
+                                 quiescent=succ.world.quiescent()) \
+                if graph is not None else None
             message = self._check(succ.world, new_ghosts)
             if message is not None:
                 record_violation(message, succ)
@@ -621,7 +701,7 @@ class Explorer:
                 break
             on_stack.add(new_key[0])
             stack.append([new_key, succ.world, new_ghosts, None, 0,
-                          succ.step_info()])
+                          succ.step_info(), new_gid])
             depth = len(stack)
             self._depth_counts[depth] = \
                 self._depth_counts.get(depth, 0) + 1

@@ -395,6 +395,9 @@ def render_trend(history: list[dict], metric: str = "wall_s",
     width = max((len(n) for n in series), default=6)
     lines = [f"bench trajectory — {metric} over "
              f"{len(history)} run(s)"]
+    if len(history) == 1:
+        lines.append("(1 sample — deltas appear from the second "
+                     "bench run onward)")
     for name in sorted(series):
         values = [v for _, v in series[name]]
         first, latest = values[0], values[-1]

@@ -32,8 +32,7 @@ import weakref
 from collections import deque
 from typing import IO, Optional, Union
 
-#: bump when the event dict layout changes incompatibly
-SCHEMA_VERSION = 1
+from repro.obs.schemas import EVENTS as SCHEMA_VERSION
 
 #: the emitted event vocabulary (kind -> kind-specific keys)
 KINDS = {
@@ -42,6 +41,9 @@ KINDS = {
     "mc.ample": ("tid", "desc"),                     # singleton ample set
     "mc.violation": ("desc", "message"),             # property/assert hit
     "mc.cap": ("states",),                           # --max-states abort
+    "mc.deadline": ("states", "deadline_s"),         # --deadline stop
+    # graph-capture summary (GraphWriter.close): exact totals + cap
+    "mc.graph": ("nodes", "edges", "pruned", "truncated", "path"),
     "interp.sc": ("tid", "addr", "ok"),              # SC attempt
     "interp.cas": ("tid", "addr", "ok"),             # CAS attempt
     "sched.seed": ("seed",),                         # scheduler seeded
@@ -52,9 +54,12 @@ KINDS = {
     "lint.run": ("target", "errors", "warnings", "infos"),  # lint summary
     # ranked profiler entry (Profiler.emit_hotspots, top-N at run end)
     "profile.hotspot": ("name", "wall_s", "work", "calls"),
-    # --progress heartbeat from the DFS (also printed to stderr)
+    # --progress heartbeat from the DFS (also printed to stderr);
+    # `repro top` tails these — the final beat carries final=True so
+    # an attached dashboard knows the run ended
     "explorer.progress": ("states", "transitions", "depth", "frontier",
-                          "elapsed_s"),
+                          "elapsed_s", "dedup_hit_rate", "mem_mb",
+                          "final"),
 }
 
 #: JSON-schema (export.validate subset) for one event

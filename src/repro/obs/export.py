@@ -21,6 +21,8 @@ import json
 import pathlib
 from typing import Optional, Union
 
+from repro.obs import schemas
+
 #: throughput rates computed over windows at or below this are
 #: noise-dominated (timer resolution + interpreter jitter swamp the
 #: signal on sub-millisecond runs) and are reported as 0.0 so the
@@ -274,6 +276,33 @@ PATH_STEP_SCHEMA = {
     },
 }
 
+HEATMAP_ROW_SCHEMA = {
+    "type": "object",
+    "required": ["uid", "visits", "switches", "threads"],
+    "properties": {
+        "uid": {"type": "integer"},
+        "proc": {"type": ["string", "null"]},
+        "text": {"type": ["string", "null"]},
+        "mover": {"type": ["string", "null"]},
+        "visits": {"type": "integer"},
+        "switches": {"type": "integer"},
+        "threads": {"type": "integer"},
+    },
+}
+
+#: per-statement source heatmap attached to mc --json documents
+#: (visits × interleaving switches × mover class per CFG statement)
+HEATMAP_SCHEMA = {
+    "type": "object",
+    "required": ["v", "annotated", "total_visits", "rows"],
+    "properties": {
+        "v": {"type": "integer"},
+        "annotated": {"type": "boolean"},
+        "total_visits": {"type": "integer"},
+        "rows": {"type": "array", "items": HEATMAP_ROW_SCHEMA},
+    },
+}
+
 MC_SCHEMA = {
     "type": "object",
     "required": ["mode", "states", "transitions", "elapsed_s",
@@ -292,6 +321,7 @@ MC_SCHEMA = {
         "path": {"type": "array", "items": PATH_STEP_SCHEMA},
         "metrics": {"type": "object"},
         "counterexample": {"type": "object"},
+        "heatmap": HEATMAP_SCHEMA,
         "profile": PROFILE_SCHEMA,
         "run_meta": RUN_META_SCHEMA,
     },
@@ -330,9 +360,9 @@ CEX_SCHEMA = {
     },
 }
 
-#: version stamp of the v2 wrapped bench file (bare v1 arrays carry
-#: no stamp and remain accepted everywhere)
-BENCH_SCHEMA_VERSION = 2
+#: bare v1 bench record arrays carry no stamp and remain accepted
+#: everywhere alongside v2 wrapped files
+BENCH_SCHEMA_VERSION = schemas.BENCH
 
 BENCH_RECORD_SCHEMA = {
     "type": "object",

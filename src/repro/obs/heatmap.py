@@ -1,0 +1,95 @@
+"""Source-level state-space heatmaps.
+
+The explorer keeps always-on per-statement counters — for every
+explored transition that executed CFG node ``uid``: how many times it
+ran (*visits*), how many of those runs were a context switch (the
+scheduled thread differed from the thread that took the parent step —
+*switches*, a direct measure of interleaving pressure at that
+statement), and which threads ever ran it.  The counters cost one dict
+operation per transition, noise next to the canonical-hash walk the
+same loop iteration performs, so they need no flag.
+
+This module turns those raw ``[[uid, visits, switches, tid_mask]]``
+rows into a *source overlay*: each CFG uid is resolved back to its
+procedure, one-line source text (:func:`repro.mc.cex.describe_node`),
+and — when an analysis result is supplied — the mover classification
+the §5.4 inference assigned to that line (reusing the textual matcher
+counterexample explanations use).  The HTML report renders the overlay
+as the "State space" section: statement text × visit intensity ×
+mover class, the localization layer repair tools need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.schemas import HEATMAP as SCHEMA_VERSION
+
+
+def uid_annotations(interp, analysis=None,
+                    variant_interp=None) -> dict[int, dict]:
+    """Map every CFG node uid to ``{proc, text, mover}``.
+
+    ``mover`` is the static classification (``"R"|"L"|"B"|"N"``) when
+    ``analysis`` covers the statement, ``"B"`` for pure control flow
+    (Thm 3.1), else None (no analysis / no textual match)."""
+    from repro.mc.cex import _CONTROL_KINDS, _ProcIndex, describe_node
+
+    indexes: dict[str, _ProcIndex] = {}
+    if analysis is not None:
+        indexes = {name: _ProcIndex(verdict)
+                   for name, verdict in analysis.verdicts.items()}
+    out: dict[int, dict] = {}
+    for source in (interp, variant_interp):
+        if source is None:
+            continue
+        for proc_name, cfg in source.cfgs.items():
+            index = indexes.get(proc_name)
+            for node in cfg.nodes:
+                text = describe_node(node)
+                mover: Optional[str] = None
+                if node.kind in _CONTROL_KINDS:
+                    mover = "B"
+                elif index is not None:
+                    la = index.match(text)
+                    # statements the variants elided contribute no
+                    # shared action: both-mover by Thm 3.1
+                    mover = la.mover if la is not None else "B"
+                out[node.uid] = {"proc": proc_name, "text": text,
+                                 "mover": mover}
+    return out
+
+
+def mover_fn(annotations: dict[int, dict]
+             ) -> Callable[[Optional[int]], Optional[str]]:
+    """A uid → mover lookup suitable for
+    :class:`repro.obs.graph.GraphWriter`'s ``mover_of``."""
+    def mover_of(uid: Optional[int]) -> Optional[str]:
+        if uid is None:
+            return None
+        record = annotations.get(uid)
+        return record["mover"] if record is not None else None
+    return mover_of
+
+
+def build_heatmap(stmt_heat: list, annotations: dict[int, dict],
+                  annotated: bool = True) -> dict:
+    """Assemble the schema-versioned heatmap document from the
+    explorer's raw rows (``metrics["mc.stmt_heat"]``).
+
+    Rows are ordered by procedure then uid — source order within a
+    procedure — and uids the annotation map does not know (e.g. a
+    variant interp was live but not passed here) still appear, with
+    null proc/text."""
+    rows = []
+    for uid, visits, switches, threads in stmt_heat:
+        meta = annotations.get(uid) or {"proc": None, "text": None,
+                                        "mover": None}
+        rows.append({"uid": uid, "proc": meta["proc"],
+                     "text": meta["text"], "mover": meta["mover"],
+                     "visits": visits, "switches": switches,
+                     "threads": threads})
+    rows.sort(key=lambda r: (r["proc"] or "~", r["uid"]))
+    return {"v": SCHEMA_VERSION, "annotated": annotated,
+            "total_visits": sum(r["visits"] for r in rows),
+            "rows": rows}

@@ -47,8 +47,7 @@ import time
 import traceback as _traceback
 from typing import Optional, Union
 
-#: bump when the manifest layout changes incompatibly
-SCHEMA_VERSION = 1
+from repro.obs.schemas import MANIFEST as SCHEMA_VERSION
 
 #: ledger root when ``REPRO_LEDGER_DIR`` is unset
 DEFAULT_ROOT = os.path.join(".repro", "runs")
@@ -136,10 +135,8 @@ def git_rev() -> Optional[str]:
 
 def schema_versions() -> dict:
     """Versions of every document schema a run may emit or reference."""
-    from repro.obs.events import SCHEMA_VERSION as events_v
-    from repro.obs.profile import PROFILE_VERSION
-    return {"manifest": SCHEMA_VERSION, "events": events_v,
-            "profile": PROFILE_VERSION, "lint": 1, "bench": 1}
+    from repro.obs import schemas
+    return schemas.registry()
 
 
 def ledger_root(override: Union[None, str, pathlib.Path] = None

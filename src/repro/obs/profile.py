@@ -46,8 +46,7 @@ import sys
 import time
 from typing import Optional
 
-#: version stamp of the ``to_dict`` document (see PROFILE_SCHEMA)
-PROFILE_VERSION = 1
+from repro.obs.schemas import PROFILE as PROFILE_VERSION
 
 
 class _NullRegion:

@@ -17,6 +17,9 @@ Sections (each ``<section id="sec-NAME">``, see :data:`SECTIONS`):
 * ``metrics``   — flat counter/gauge tables;
 * ``hotspots``  — ranked profiler tables (+ share bar chart);
 * ``coverage``  — depth histogram + frontier-size chart per MC run;
+* ``statespace`` — graph-capture analytics (``--graph-out`` JSONL:
+  depth layers, branching, POR reduction) plus the always-on
+  source-level statement heatmap embedded in MC documents;
 * ``lint``      — findings grouped by target;
 * ``crossval``  — preformatted experiment/cross-validation tables;
 * ``bench``     — baseline vs fresh comparison and the regression
@@ -53,7 +56,7 @@ REPORT_VERSION = 1
 
 #: required section ids; check_html() fails on any that is missing
 SECTIONS = ("overview", "trace", "metrics", "hotspots", "coverage",
-            "lint", "crossval", "bench", "trend", "runs")
+            "statespace", "lint", "crossval", "bench", "trend", "runs")
 
 
 # -- input collection ----------------------------------------------------------
@@ -74,6 +77,7 @@ class ReportInputs:
     bench_history: list[dict] = field(default_factory=list)
     tables: list[tuple] = field(default_factory=list)  # (label, text)
     runs: list[dict] = field(default_factory=list)     # ledger manifests
+    graphs: list[tuple] = field(default_factory=list)  # graph captures
 
 
 def classify(label: str, doc) -> Optional[str]:
@@ -144,6 +148,15 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             continue
         if path.suffix == ".jsonl":
             records = _read_jsonl(path)
+            if records and isinstance(records[0], dict) \
+                    and records[0].get("kind") == "graph.header":
+                from repro.obs import graph as _graph
+                try:
+                    inputs.graphs.append(
+                        (label, _graph.from_records(records, label)))
+                except ValueError:
+                    pass        # unreadable capture: skip, don't crash
+                continue
             if label == "BENCH_history.jsonl" or (records and all(
                     isinstance(r, dict) and "metrics" in r
                     and "at" in r for r in records)):
@@ -382,6 +395,15 @@ def _overview(inputs: ReportInputs) -> str:
         rows.append(["bench", name, f"{len(records)} record(s)"])
     for label, events in inputs.events:
         rows.append(["events", label, f"{len(events)} event(s)"])
+    for label, doc in inputs.graphs:
+        summary = doc.get("summary") or {}
+        rows.append(["graph", label,
+                     f"{summary.get('nodes', len(doc['nodes']))} "
+                     f"node(s), "
+                     f"{summary.get('edges', len(doc['edges']))} "
+                     f"edge(s), "
+                     f"{summary.get('pruned', len(doc['pruned']))} "
+                     f"pruned"])
     for label, _text in inputs.tables:
         rows.append(["table", label, "preformatted"])
     if inputs.runs:
@@ -527,6 +549,100 @@ def _coverage(inputs: ReportInputs) -> str:
     return "".join(parts)
 
 
+#: mover class -> badge color (mirrors the DOT export palette)
+_MOVER_COLORS = {"R": "#2b8cbe", "L": "#e34a33", "B": "#31a354",
+                 "N": "#756bb1"}
+
+
+def _heat_rows(heatmap: dict) -> str:
+    """Annotated-source overlay: statement text × visit intensity ×
+    mover class, one row per executed CFG statement."""
+    rows = heatmap.get("rows") or []
+    if not rows:
+        return "<p class='empty'>(no statements visited)</p>"
+    peak = max(r.get("visits", 0) for r in rows) or 1
+    parts = ["<table class='mono heat'><thead><tr><th>proc</th>"
+             "<th>statement</th><th>mover</th><th>visits</th>"
+             "<th></th><th>switches</th><th>threads</th></tr>"
+             "</thead><tbody>"]
+    for r in rows:
+        visits = r.get("visits", 0)
+        mover = r.get("mover")
+        color = _MOVER_COLORS.get(mover or "", "#999")
+        badge = (f"<span class='mover' style='background:{color}'>"
+                 f"{_esc(mover)}</span>" if mover else "—")
+        # heat shade: visit share as a background alpha on the text cell
+        alpha = 0.08 + 0.72 * (visits / peak)
+        text = r.get("text") or f"uid {r.get('uid')}"
+        parts.append(
+            f"<tr><td>{_esc(r.get('proc') or '?')}</td>"
+            f"<td style='background:rgba(224,112,64,{alpha:.2f})'>"
+            f"{_esc(text)}</td>"
+            f"<td>{badge}</td>"
+            f"<td>{visits:,}</td>"
+            f"<td>{_esc('█' * max(1, round(12 * visits / peak)))}</td>"
+            f"<td>{r.get('switches', 0):,}</td>"
+            f"<td>{r.get('threads', 0)}</td></tr>")
+    parts.append("</tbody></table>")
+    return "".join(parts)
+
+
+def _statespace(inputs: ReportInputs) -> str:
+    """Graph-capture analytics + the source-level statement heatmap."""
+    from repro.obs.graph import graph_stats
+    parts = []
+    for label, doc in inputs.graphs:
+        stats = graph_stats(doc)
+        parts.append(f"<h3>{_esc(label)} (graph capture, mode="
+                     f"{_esc(doc['header'].get('mode', '?'))})</h3>")
+        facts = [["nodes", f"{stats['nodes']:,}"
+                  + (" (emission truncated by cap)"
+                     if stats["truncated"] else "")],
+                 ["edges", f"{stats['edges']:,}"],
+                 ["pruned (POR)", f"{stats['pruned']:,}"],
+                 ["POR reduction ratio",
+                  f"{stats['por_reduction_ratio']:.1%}"],
+                 ["max depth", stats["max_depth"]],
+                 ["terminal states", f"{stats['terminal']:,}"],
+                 ["quiescent states", f"{stats['quiescent']:,}"],
+                 ["branching (min/mean/max)",
+                  f"{stats['branching']['min']} / "
+                  f"{stats['branching']['mean']} / "
+                  f"{stats['branching']['max']}"]]
+        parts.append(_table(["graph", "value"], facts, "mono"))
+        if stats["depth_layers"]:
+            parts.append(
+                "<h4>depth layers (states first seen per depth)</h4>"
+                + _svg_bars([(f"depth {d}", n)
+                             for d, n in stats["depth_layers"]],
+                            color="#6a51a3",
+                            title=f"depth layers — {label}"))
+        branching_hist = stats["branching"]["hist"]
+        if branching_hist:
+            parts.append(
+                "<h4>branching factor (out-degree histogram)</h4>"
+                + _svg_bars([(f"out-degree {k}", n)
+                             for k, n in branching_hist],
+                            color="#31a354",
+                            title=f"branching — {label}"))
+    for label, doc in inputs.mcs:
+        heatmap = doc.get("heatmap") or {}
+        if not heatmap.get("rows"):
+            continue
+        note = "" if heatmap.get("annotated") else \
+            " — mover classes unavailable (analysis did not run)"
+        parts.append(
+            f"<h3>{_esc(label)} (statement heatmap, "
+            f"{heatmap.get('total_visits', 0):,} visits){_esc(note)}"
+            f"</h3>" + _heat_rows(heatmap))
+    if not parts:
+        return _placeholder(
+            "state-space introspection", "re-run repro mc --json "
+            "(embeds the statement heatmap) and/or with --graph-out "
+            "capture.jsonl, then pass those artifacts")
+    return "".join(parts)
+
+
 def _lint(inputs: ReportInputs) -> str:
     docs = list(inputs.lints)
     for label, doc in inputs.analyses:
@@ -645,6 +761,9 @@ def _trend(inputs: ReportInputs) -> str:
              f"{_esc(env.get('platform', '?'))}, python "
              f"{_esc(env.get('python', '?'))}, git "
              f"{_esc((env.get('git_rev') or '?')[:10])}</p>"]
+    if len(history) == 1:
+        parts.append("<p>1 sample — deltas appear from the second "
+                     "bench run onward</p>")
     rows = []
     for name in sorted(series):
         values = [v for _, v in series[name]]
@@ -713,6 +832,8 @@ svg.chart{display:block;max-width:100%;margin:.4em 0;
   background:#fafbfc;border:1px solid #eee}
 svg .tick{font:9px ui-monospace,monospace;fill:#666}
 p.empty{color:#777;font-style:italic}
+span.mover{color:#fff;padding:0 .35em;border-radius:2px;
+  font-weight:bold}
 """
 
 
@@ -725,6 +846,7 @@ def render_report(inputs: ReportInputs,
         "metrics": ("Metrics", _metrics(inputs)),
         "hotspots": ("Profiler hotspots", _hotspots(inputs)),
         "coverage": ("State-space coverage", _coverage(inputs)),
+        "statespace": ("State space", _statespace(inputs)),
         "lint": ("Lint findings", _lint(inputs)),
         "crossval": ("Cross-validation tables", _crossval(inputs)),
         "bench": ("Bench vs baseline", _bench(inputs)),
@@ -811,7 +933,40 @@ SELF_CHECK_FIXTURE = {
                        "mc.run;mc.successors": 0.004,
                        "mc.run;mc.successors;mc.canonicalize": 0.002,
                        "mc.run;mc.dedup": 0.001}},
+        "heatmap": {"v": 1, "annotated": True, "total_visits": 160,
+                    "rows": [
+                        {"uid": 0, "proc": "Inc",
+                         "text": "t = LL(&this.count)", "mover": "R",
+                         "visits": 64, "switches": 20, "threads": 2},
+                        {"uid": 1, "proc": "Inc",
+                         "text": "ok = SC(&this.count, t + 1)",
+                         "mover": "L", "visits": 60, "switches": 12,
+                         "threads": 2},
+                        {"uid": 2, "proc": "Inc",
+                         "text": "if ok", "mover": "B", "visits": 36,
+                         "switches": 4, "threads": 2}]},
     },
+    "graph.jsonl": [
+        {"kind": "graph.header", "v": 1, "mode": "por", "threads": 2,
+         "node_cap": 200000, "por_pruned": True},
+        {"kind": "node", "id": "aa00", "depth": 1, "init": True,
+         "q": True},
+        {"kind": "node", "id": "bb11", "depth": 2},
+        {"kind": "node", "id": "cc22", "depth": 2},
+        {"kind": "node", "id": "dd33", "depth": 3, "q": True},
+        {"kind": "edge", "src": "aa00", "dst": "bb11", "tid": 0,
+         "uid": 0, "op": "stmt", "mover": "R", "dup": False},
+        {"kind": "edge", "src": "aa00", "dst": "cc22", "tid": 1,
+         "uid": 0, "op": "stmt", "mover": "R", "dup": False},
+        {"kind": "edge", "src": "bb11", "dst": "dd33", "tid": 0,
+         "uid": 1, "op": "stmt", "mover": "L", "dup": False},
+        {"kind": "edge", "src": "cc22", "dst": "dd33", "tid": 1,
+         "uid": 1, "op": "stmt", "mover": "L", "dup": True},
+        {"kind": "pruned", "src": "bb11", "dst": "cc22", "tid": 1,
+         "uid": 0, "op": "stmt"},
+        {"kind": "graph.summary", "nodes": 4, "edges": 4, "pruned": 1,
+         "nodes_written": 4, "edges_written": 4, "truncated": False,
+         "max_depth": 3}],
     "events.jsonl": [
         {"v": 1, "seq": 0, "t": 0.001, "kind": "explorer.progress",
          "states": 20, "transitions": 28, "depth": 5, "frontier": 4,
@@ -871,8 +1026,11 @@ SELF_CHECK_FIXTURE = {
 
 def fixture_inputs() -> ReportInputs:
     """The :data:`SELF_CHECK_FIXTURE` loaded as report inputs."""
+    from repro.obs.graph import from_records
     fx = SELF_CHECK_FIXTURE
     return ReportInputs(
+        graphs=[("graph.jsonl",
+                 from_records(fx["graph.jsonl"], "graph.jsonl"))],
         analyses=[("analysis.json", fx["analysis.json"])],
         mcs=[("mc.json", fx["mc.json"])],
         events=[("events.jsonl", fx["events.jsonl"])],
@@ -896,9 +1054,15 @@ def self_check() -> tuple[int, str]:
         problems.append(
             f"expected >=6 charts, got {html_text.count('<svg')}")
     for marker, what in (("flame chart", "flame chart"),
-                         ("Perf trajectory", "trend section")):
+                         ("Perf trajectory", "trend section"),
+                         ("graph capture", "graph-capture analytics"),
+                         ("statement heatmap", "statement heatmap"),
+                         ("depth layers", "depth-layer chart")):
         if marker not in html_text:
             problems.append(f"{what} missing from fixture render")
+    from repro.obs import schemas
+    problems.extend(f"schema registry: {drift}"
+                    for drift in schemas.check_registry())
     if problems:
         return 1, "self-check FAILED: " + "; ".join(problems)
     return 0, (f"self-check ok: {len(SECTIONS)} sections, "

@@ -1,0 +1,277 @@
+"""``repro top`` — attachable live dashboard over an events file.
+
+Attach to a *running* (or finished) exploration by tailing the JSONL
+file its ``--events-out`` flag streams to::
+
+    repro mc prog.synl "Apply(1)" "Apply(2)" --events-out /tmp/ev.jsonl &
+    repro top /tmp/ev.jsonl
+
+There is no shared process state — the dashboard re-reads whatever the
+explorer has flushed so far, which is exactly the transport that will
+let one ``top`` watch many sharded explorer processes later.  The
+``explorer.progress`` heartbeats drive the headline numbers (EWMA
+throughput, frontier, dedup hit rate, peak RSS, cap-ETA / deadline);
+``mc.push`` events accumulate a depth histogram for the percentile
+row; terminal events (``mc.violation`` / ``mc.cap`` / ``mc.deadline``
+/ a ``final`` heartbeat / ``mc.graph``) flip the status line.
+
+Rendering degrades gracefully: an ANSI in-place dashboard when stdout
+is a TTY, one summary line per new heartbeat otherwise (CI-safe), and
+``--once`` renders a single frame from the current file contents and
+exits — the no-TTY smoke-test mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, Optional
+
+from repro.obs.metrics import EwmaRate
+
+#: default refresh period in seconds
+DEFAULT_INTERVAL = 1.0
+
+#: ``top`` gives up waiting for a first event after this many seconds
+#: unless ``--duration`` says otherwise
+DEFAULT_DURATION = 60.0
+
+_SPARK = " .:-=+*#%@"
+
+
+def _bar(value: float, peak: float, width: int = 24) -> str:
+    """A filled proportional bar (``peak`` <= 0 renders empty)."""
+    if peak <= 0:
+        return "·" * width
+    filled = max(0, min(width, round(width * value / peak)))
+    return "█" * filled + "·" * (width - filled)
+
+
+@dataclass
+class TopState:
+    """Accumulated view of one events file."""
+
+    progress: dict = field(default_factory=dict)  # last heartbeat
+    beats: int = 0
+    events: int = 0
+    depth_counts: dict = field(default_factory=dict)  # mc.push depths
+    status: str = "waiting"
+    graph: Optional[dict] = None                  # last mc.graph event
+    rate: EwmaRate = field(default_factory=EwmaRate)
+    ewma_rate: float = 0.0
+    peak_rate: float = 0.0
+
+    def feed(self, event: dict) -> bool:
+        """Fold one event in; True when the frame should refresh."""
+        self.events += 1
+        kind = event.get("kind")
+        if kind == "explorer.progress":
+            self.progress = event
+            self.beats += 1
+            self.ewma_rate = self.rate.update(
+                event.get("states", 0),
+                event.get("elapsed_s", event.get("t", 0.0)))
+            if self.ewma_rate > self.peak_rate:
+                self.peak_rate = self.ewma_rate
+            if self.status == "waiting":
+                self.status = "running"
+            if event.get("final"):
+                self.status = "done" if self.status == "running" \
+                    else self.status
+            return True
+        if kind == "mc.push":
+            depth = event.get("depth", 0)
+            self.depth_counts[depth] = \
+                self.depth_counts.get(depth, 0) + 1
+        elif kind == "mc.violation":
+            self.status = f"VIOLATION: {event.get('message', '?')}"
+        elif kind == "mc.cap":
+            self.status = f"CAPPED at {event.get('states')} states"
+        elif kind == "mc.deadline":
+            self.status = (f"DEADLINE after {event.get('states')} "
+                           f"states")
+        elif kind == "mc.graph":
+            self.graph = event
+        return False
+
+    def depth_percentiles(self) -> tuple[int, int, int]:
+        """(p50, p95, max) over observed push depths."""
+        total = sum(self.depth_counts.values())
+        if not total:
+            return (0, 0, 0)
+        ordered = sorted(self.depth_counts)
+        out = []
+        for q in (0.50, 0.95):
+            rank = max(1, int(q * total + 0.999999))
+            seen = 0
+            value = ordered[-1]
+            for depth in ordered:
+                seen += self.depth_counts[depth]
+                if seen >= rank:
+                    value = depth
+                    break
+            out.append(value)
+        return (out[0], out[1], ordered[-1])
+
+    def to_dict(self) -> dict:
+        p50, p95, dmax = self.depth_percentiles()
+        return {"status": self.status, "beats": self.beats,
+                "events": self.events,
+                "ewma_rate": round(self.ewma_rate, 1),
+                "depth_p50": p50, "depth_p95": p95, "depth_max": dmax,
+                "progress": dict(self.progress),
+                "graph": dict(self.graph) if self.graph else None}
+
+
+def render_frame(state: TopState, path: str) -> list[str]:
+    """The dashboard frame as a list of lines."""
+    p = state.progress
+    p50, p95, dmax = state.depth_percentiles()
+    rate = state.ewma_rate or p.get("rate_states_per_s", 0.0)
+    frontier = p.get("frontier", 0)
+    lines = [
+        f"repro top — {path}",
+        f"status: {state.status}   beats: {state.beats}   "
+        f"events: {state.events}",
+        f"states      {p.get('states', 0):>12,}   "
+        f"transitions {p.get('transitions', 0):>12,}",
+        f"throughput  {rate:>10,.0f}/s   "
+        f"{_bar(rate, state.peak_rate or rate)}",
+        f"frontier    {frontier:>12,}   "
+        f"dedup hit rate {p.get('dedup_hit_rate', 0.0):>7.1%}",
+        f"depth       p50={p50} p95={p95} max={dmax}",
+        f"peak RSS    {p.get('mem_mb', 0.0):>9.1f} MB   "
+        f"elapsed {p.get('elapsed_s', 0.0):.1f}s",
+    ]
+    eta_bits = []
+    if p.get("eta_cap_s") is not None:
+        eta_bits.append(f"ETA to cap {p['eta_cap_s']:.1f}s")
+    if p.get("deadline_in_s") is not None:
+        eta_bits.append(f"deadline in {p['deadline_in_s']:.1f}s")
+    if eta_bits:
+        lines.append("            " + "   ".join(eta_bits))
+    if state.graph is not None:
+        g = state.graph
+        lines.append(
+            f"graph       {g.get('nodes')} nodes, {g.get('edges')} "
+            f"edges, {g.get('pruned')} pruned -> {g.get('path')}")
+    return lines
+
+
+def render_line(state: TopState) -> str:
+    """One-line summary (line-mode / non-TTY fallback)."""
+    p = state.progress
+    return (f"[top] {state.status} states={p.get('states', 0)} "
+            f"trans={p.get('transitions', 0)} "
+            f"frontier={p.get('frontier', 0)} "
+            f"rate={state.ewma_rate:,.0f}/s "
+            f"dedup={p.get('dedup_hit_rate', 0.0):.1%} "
+            f"mem={p.get('mem_mb', 0.0):.1f}MB")
+
+
+class _Tail:
+    """Incremental JSONL reader that survives partially-written last
+    lines (the writer may be mid-``write`` when we poll)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO] = None
+        self._buf = ""
+
+    def poll(self) -> list[dict]:
+        if self._fh is None:
+            if not os.path.exists(self.path):
+                return []
+            self._fh = open(self.path)
+        chunk = self._fh.read()
+        if not chunk:
+            return []
+        self._buf += chunk
+        out = []
+        while "\n" in self._buf:
+            line, self._buf = self._buf.split("\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn line: wait for the rest
+        return out
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def run_top(path: str, *, interval: float = DEFAULT_INTERVAL,
+            duration: Optional[float] = None, once: bool = False,
+            as_json: bool = False, out: Optional[IO] = None,
+            force_tty: Optional[bool] = None) -> int:
+    """Drive the dashboard; returns the process exit code.
+
+    ``once`` renders a single frame from the file's current contents
+    (no waiting — works without a TTY and without a live writer).
+    ``duration`` bounds the attach time in seconds (default
+    :data:`DEFAULT_DURATION`); the loop also ends on a ``final``
+    heartbeat or a terminal event.
+    """
+    out = out or sys.stdout
+    is_tty = force_tty if force_tty is not None \
+        else getattr(out, "isatty", lambda: False)()
+    tail = _Tail(path)
+    state = TopState()
+    deadline = time.monotonic() + (duration if duration is not None
+                                   else DEFAULT_DURATION)
+    painted = 0
+
+    def paint() -> None:
+        nonlocal painted
+        lines = render_frame(state, path)
+        if is_tty and painted:
+            out.write(f"\x1b[{painted}F\x1b[J")  # up + clear below
+        out.write("\n".join(lines) + "\n")
+        out.flush()
+        painted = len(lines)
+
+    try:
+        if once:
+            for event in tail.poll():
+                state.feed(event)
+            if state.status == "running":
+                state.status = "running (snapshot)"
+            elif state.status == "waiting" and state.events:
+                state.status = ("no heartbeats recorded "
+                                "(run mc with --progress)")
+            if as_json:
+                out.write(json.dumps(state.to_dict(), indent=2) + "\n")
+            else:
+                out.write("\n".join(render_frame(state, path)) + "\n")
+            return 0 if state.events else 2
+        while time.monotonic() < deadline:
+            fresh = False
+            for event in tail.poll():
+                fresh = state.feed(event) or fresh
+            if fresh:
+                if is_tty:
+                    paint()
+                else:
+                    out.write(render_line(state) + "\n")
+                    out.flush()
+            if state.status.startswith(("done", "VIOLATION", "CAPPED",
+                                        "DEADLINE")):
+                break
+            time.sleep(interval)
+        if as_json:
+            out.write(json.dumps(state.to_dict(), indent=2) + "\n")
+        elif is_tty:
+            paint()
+        else:
+            out.write(render_line(state) + "\n")
+        return 0 if state.events else 2
+    finally:
+        tail.close()

@@ -300,3 +300,53 @@ def test_compare_noise_band_floored_at_absolute_floor():
     rows = compare_records_stats([_rec(wall=0.053)],
                                  [_rec(wall=0.094)])
     assert rows[0]["verdict"] == "slower"
+
+
+def test_trend_single_sample_renders_explicit_note():
+    history = [history_line(_docs(0.02))]
+    text = render_trend(history)
+    assert "1 run(s)" in text
+    assert "1 sample" in text
+    assert "mc/a" in text                 # record still listed
+    assert "%" not in text                # no bogus delta from 1 point
+    # and the note disappears as soon as a second run exists
+    assert "1 sample" not in render_trend(
+        [history_line(_docs(0.02)), history_line(_docs(0.01))])
+
+
+def test_report_trend_single_sample_note():
+    from repro.obs.report_html import ReportInputs, render_report
+
+    entry = history_line(_docs(0.02))
+    one = render_report(ReportInputs(bench_history=[entry]))
+    assert "1 sample" in one
+    two = render_report(ReportInputs(
+        bench_history=[entry, history_line(_docs(0.01))]))
+    assert "1 sample" not in two
+
+
+def test_ewma_eta_is_monotone_under_steady_rate():
+    # deadline-style consumer: with a steady rate and a shrinking
+    # remainder the ETA must walk monotonically down to zero, never
+    # jitter upward (what `repro top` renders as "deadline in Ns")
+    rate = EwmaRate()
+    rate.update(0, now=0.0)
+    etas = []
+    for i in range(1, 6):
+        rate.update(i * 100, now=float(i))   # steady 100/s
+        etas.append(rate.eta_s(500 - i * 100))
+    assert etas == sorted(etas, reverse=True)
+    assert etas[-1] == 0.0
+
+
+def test_ewma_reset_mid_run_recovers():
+    # a restarted search re-baselines: the stale rate survives the
+    # reset beat, then converges onto the new regime
+    rate = EwmaRate(alpha=0.5)
+    rate.update(0, now=0.0)
+    rate.update(1000, now=1.0)                # 1000/s
+    before = rate.rate
+    assert rate.update(10, now=2.0) == before  # reset only re-baselines
+    for i in range(3, 30):
+        rate.update(10 + (i - 2) * 100, now=float(i))  # now 100/s
+    assert abs(rate.rate - 100.0) < 1.0

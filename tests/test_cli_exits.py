@@ -206,3 +206,33 @@ def test_bench_compare_usage_error_exits_2(ledger_root, tmp_path,
                  str(tmp_path / "missing2")])
     assert code == 2
     _assert_recorded(ledger_root, 2, "error")
+
+
+# -- machine-clean stdout: progress stays on stderr --------------------------------
+
+def test_mc_json_stdout_stays_parseable_with_progress(
+        ledger_root, tmp_path, capsys):
+    import json
+
+    code = main(["mc", _write(tmp_path, "sem.synl", corpus.SEMAPHORE),
+                 "Down()", "Up()", "--mode", "full", "--json",
+                 "--progress", "9999"])
+    assert code == 0
+    captured = capsys.readouterr()
+    doc = json.loads(captured.out)       # stdout is ONE JSON document
+    assert doc["states"] > 0
+    assert "heatmap" in doc
+
+
+def test_bench_quick_json_stdout_stays_parseable(
+        ledger_root, tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    code = main(["bench", "run", "--quick", "--json",
+                 "--out", str(tmp_path / "out")])
+    assert code == 0
+    captured = capsys.readouterr()
+    doc = json.loads(captured.out)       # heartbeats went to stderr
+    assert doc["files"] and doc["entry"]["metrics"]
+    assert "[bench]" not in captured.out

@@ -243,3 +243,47 @@ def test_active_registry_tracks_latest_stream():
     gc.collect()
     # weakref registry: a collected stream must not be kept alive
     assert events_mod.active() is None
+
+
+# -- graph / deadline kinds (state-space introspection) ----------------------------
+
+def test_deadline_events_roundtrip_jsonl(tmp_path):
+    # mc.deadline is a declared kind: a sink file from a deadline-hit
+    # run must load back through the validating reader
+    path = tmp_path / "ev.jsonl"
+    with EventStream(sink=path) as stream:
+        stream.emit("mc.deadline", states=12, deadline_s=0.5)
+    events = read_jsonl(path)
+    assert [e["kind"] for e in events] == ["mc.deadline"]
+
+
+def test_graph_writer_emits_mc_graph_event(tmp_path):
+    from repro.obs.graph import GraphWriter
+
+    stream = EventStream()
+    writer = GraphWriter(tmp_path / "g.jsonl", mode="full", threads=2,
+                         events=stream)
+    writer.node((("init",), ()), 1, init=True)
+    writer.edge("aa", (("next",), ()), tid=0, uid=1, op="stmt",
+                dup=False)
+    writer.close()
+    (event,) = stream.snapshot("mc.graph")
+    assert event["nodes"] == 1 and event["edges"] == 1
+    assert event["path"].endswith("g.jsonl")
+    assert not event["truncated"]
+    # bounded drain keeps the newest records, graph event included
+    assert stream.drain(1)[0]["kind"] == "mc.graph"
+
+
+def test_final_progress_beat_carries_extended_fields():
+    events = EventStream()
+    interp = Interp(corpus.SEMAPHORE)
+    specs = [ThreadSpec.of(("Down",)), ThreadSpec.of(("Up",))]
+    Explorer(interp, specs, mode="full", events=events,
+             progress=9999).run()
+    beats = events.snapshot("explorer.progress")
+    assert beats, "a final heartbeat must always be emitted"
+    final = beats[-1]
+    assert final["final"] is True
+    assert 0.0 <= final["dedup_hit_rate"] <= 1.0
+    assert final["mem_mb"] > 0

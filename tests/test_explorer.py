@@ -204,3 +204,74 @@ def test_deadline_emits_event():
                  events=events).run()
     assert r.deadline_hit
     assert events.snapshot("mc.deadline")
+
+
+# -- always-on statement heat counters ---------------------------------------------
+
+def test_stmt_heat_counts_visits_and_switches():
+    specs = [ThreadSpec.of(("Inc",)), ThreadSpec.of(("Inc",))]
+    r = _explore(TINY, specs, "full")
+    heat = r.metrics["mc.stmt_heat"]
+    assert heat, "the explorer always collects statement heat"
+    # rows are [uid, visits, switches, distinct threads], sorted by uid
+    assert heat == sorted(heat)
+    assert all(len(row) == 4 for row in heat)
+    visits = sum(row[1] for row in heat)
+    switches = sum(row[2] for row in heat)
+    # every uid-carrying transition is one visit; a symmetric 2-thread
+    # search must context-switch somewhere and both threads run the
+    # same code
+    assert 0 < visits <= r.transitions
+    assert 0 < switches < visits
+    assert max(row[3] for row in heat) == 2
+
+
+def test_stmt_heat_single_thread_has_no_switches():
+    r = _explore(TINY, [ThreadSpec.of(("Set", 5))], "full")
+    heat = r.metrics["mc.stmt_heat"]
+    assert heat
+    assert all(row[2] == 0 for row in heat)     # nothing to switch from
+    assert all(row[3] == 1 for row in heat)
+
+
+def test_stmt_heat_is_deterministic():
+    # raw CFG uids shift between program builds (process-global
+    # counter), but relative order and every count column must agree
+    specs = [ThreadSpec.of(("Inc",)), ThreadSpec.of(("Inc",))]
+    a = _explore(TINY, specs, "full").metrics["mc.stmt_heat"]
+    b = _explore(TINY, specs, "full").metrics["mc.stmt_heat"]
+    assert [row[1:] for row in a] == [row[1:] for row in b]
+
+
+def test_heatmap_document_annotates_statements():
+    from repro.analysis import analyze_program
+    from repro.obs.export import HEATMAP_SCHEMA, validate
+    from repro.obs.heatmap import build_heatmap, uid_annotations
+
+    interp = Interp(corpus.GH_PROGRAM1)
+    analysis = analyze_program(corpus.GH_PROGRAM1)
+    specs = [ThreadSpec.of(("Apply", 1)), ThreadSpec.of(("Apply", 2))]
+    r = Explorer(interp, specs, mode="full").run()
+    annotations = uid_annotations(interp, analysis)
+    doc = build_heatmap(r.metrics["mc.stmt_heat"], annotations,
+                        annotated=True)
+    assert validate(doc, HEATMAP_SCHEMA) == []
+    assert doc["annotated"] is True
+    assert doc["total_visits"] == sum(x[1] for x
+                                      in r.metrics["mc.stmt_heat"])
+    movers = {row["mover"] for row in doc["rows"]}
+    assert movers & {"R", "L", "B", "N"}
+    assert any(row["text"] for row in doc["rows"])
+
+
+def test_heatmap_without_analysis_is_unannotated():
+    from repro.obs.heatmap import build_heatmap, uid_annotations
+
+    interp = Interp(TINY)
+    specs = [ThreadSpec.of(("Inc",)), ThreadSpec.of(("Inc",))]
+    r = Explorer(interp, specs, mode="full").run()
+    annotations = uid_annotations(interp, None)
+    doc = build_heatmap(r.metrics["mc.stmt_heat"], annotations,
+                        annotated=False)
+    assert doc["annotated"] is False
+    assert doc["rows"]

@@ -466,3 +466,24 @@ def test_obs_config_env_parsing():
     merged = ObsConfig.from_env({"REPRO_METRICS": "yes"}).with_flags(
         trace=True)
     assert merged.trace and merged.metrics
+
+
+# -- the centralized schema-version registry ---------------------------------------
+
+def test_schema_registry_matches_live_constants():
+    from repro.obs import schemas
+
+    registry = schemas.registry()
+    assert set(registry) == {"events", "bench", "graph", "profile",
+                             "manifest", "lint", "cex", "heatmap"}
+    assert all(isinstance(v, int) and v >= 1
+               for v in registry.values())
+    # every emitter imports its constant from the registry, so the
+    # live tree must report zero drift
+    assert schemas.check_registry() == []
+
+
+def test_schema_registry_backs_ledger_manifest():
+    from repro.obs import ledger, schemas
+
+    assert ledger.schema_versions() == schemas.registry()

@@ -234,3 +234,54 @@ def test_collect_inputs_unwraps_v2_and_routes_history(tmp_path):
     html_text = render_report(inputs)
     assert check_html(html_text) == []
     assert "Perf trajectory" in html_text and "bench run(s)" in html_text
+
+
+# -- state-space section (graph captures + statement heatmap) ----------------------
+
+def test_statespace_renders_graph_and_heatmap():
+    html_text = render_report(fixture_inputs())
+    assert "id='sec-statespace'" in html_text
+    assert "graph capture, mode=por" in html_text
+    assert "statement heatmap" in html_text
+    assert "depth layers" in html_text
+    assert "branching factor" in html_text
+    # mover badges carry the palette colors
+    assert "span class='mover'" in html_text
+    assert "#2b8cbe" in html_text
+
+
+def test_statespace_placeholder_when_absent():
+    html_text = render_report(ReportInputs())
+    assert "id='sec-statespace'" in html_text
+    assert "no state-space introspection artifacts supplied" \
+        in html_text
+
+
+def test_collect_inputs_routes_graph_captures(tmp_path):
+    capture = tmp_path / "graph.jsonl"
+    capture.write_text("".join(
+        json.dumps(r) + "\n" for r in SELF_CHECK_FIXTURE["graph.jsonl"]))
+    inputs = collect_inputs([tmp_path])
+    assert [label for label, _ in inputs.graphs] == ["graph.jsonl"]
+    assert inputs.events == []            # not misfiled as events
+    doc = inputs.graphs[0][1]
+    assert doc["summary"]["nodes"] == 4
+
+
+def test_collect_inputs_skips_unreadable_graph_capture(tmp_path):
+    capture = tmp_path / "graph.jsonl"
+    capture.write_text(
+        '{"kind": "graph.header", "v": 999}\n')
+    inputs = collect_inputs([tmp_path])
+    assert inputs.graphs == [] and inputs.events == []
+
+
+def test_self_check_consults_schema_registry(monkeypatch):
+    from repro.obs import report_html, schemas
+
+    monkeypatch.setattr(
+        schemas, "check_registry",
+        lambda: ["events: registry=1 live=2"])
+    code, message = report_html.self_check()
+    assert code == 1
+    assert "schema registry" in message

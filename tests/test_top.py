@@ -1,0 +1,168 @@
+"""``repro top`` dashboard: event folding, depth percentiles, the
+torn-line-safe tail reader, and the no-TTY / ``--once`` CLI modes."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import corpus
+from repro.cli import main
+from repro.obs.top import (TopState, _Tail, render_frame, render_line,
+                           run_top)
+
+
+def _beat(seq, states, elapsed, **extra):
+    return {"v": 1, "seq": seq, "t": elapsed,
+            "kind": "explorer.progress", "states": states,
+            "transitions": states * 2, "depth": 4, "frontier": 3,
+            "elapsed_s": elapsed, **extra}
+
+
+# -- state folding -----------------------------------------------------------------
+
+def test_feed_progress_refreshes_and_tracks_rate():
+    state = TopState()
+    assert state.status == "waiting"
+    assert state.feed(_beat(0, 100, 1.0)) is True
+    assert state.status == "running"
+    assert state.feed(_beat(1, 300, 2.0)) is True
+    assert state.ewma_rate > 0
+    assert state.peak_rate >= state.ewma_rate
+    assert state.beats == 2 and state.events == 2
+
+
+def test_feed_terminal_events_flip_status():
+    state = TopState()
+    state.feed(_beat(0, 10, 1.0))
+    state.feed({"kind": "mc.violation", "message": "assert failed"})
+    assert state.status.startswith("VIOLATION")
+
+    state = TopState()
+    state.feed({"kind": "mc.cap", "states": 500})
+    assert state.status == "CAPPED at 500 states"
+
+    state = TopState()
+    state.feed({"kind": "mc.deadline", "states": 9, "deadline_s": 1})
+    assert state.status.startswith("DEADLINE")
+
+    state = TopState()
+    state.feed(_beat(0, 10, 1.0))
+    state.feed(_beat(1, 20, 2.0, final=True))
+    assert state.status == "done"
+
+
+def test_feed_graph_event_lands_in_frame():
+    state = TopState()
+    state.feed(_beat(0, 10, 1.0))
+    state.feed({"kind": "mc.graph", "nodes": 7, "edges": 9,
+                "pruned": 2, "truncated": False, "path": "g.jsonl"})
+    frame = "\n".join(render_frame(state, "ev.jsonl"))
+    assert "7 nodes, 9 edges, 2 pruned" in frame
+
+
+def test_depth_percentiles():
+    state = TopState()
+    for depth, n in [(1, 50), (2, 40), (3, 9), (9, 1)]:
+        for _ in range(n):
+            state.feed({"kind": "mc.push", "depth": depth})
+    p50, p95, dmax = state.depth_percentiles()
+    assert (p50, p95, dmax) == (1, 3, 9)
+    assert TopState().depth_percentiles() == (0, 0, 0)
+
+
+def test_to_dict_roundtrips_to_json():
+    state = TopState()
+    state.feed(_beat(0, 10, 1.0, dedup_hit_rate=0.25, mem_mb=40.0))
+    doc = json.loads(json.dumps(state.to_dict()))
+    assert doc["status"] == "running"
+    assert doc["progress"]["dedup_hit_rate"] == 0.25
+
+
+def test_render_line_and_frame_smoke():
+    state = TopState()
+    state.feed(_beat(0, 1234, 1.0, dedup_hit_rate=0.1, mem_mb=33.0,
+                     eta_cap_s=4.5, deadline_in_s=10.0))
+    line = render_line(state)
+    assert "states=1234" in line
+    frame = "\n".join(render_frame(state, "ev.jsonl"))
+    assert "ETA to cap" in frame and "deadline in" in frame
+
+
+# -- tail reader -------------------------------------------------------------------
+
+def test_tail_survives_torn_lines(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    tail = _Tail(str(path))
+    assert tail.poll() == []              # file does not exist yet
+    path.write_text('{"kind": "mc.push", "depth": 1}\n{"kind": "mc.')
+    first = tail.poll()
+    assert [e["kind"] for e in first] == ["mc.push"]
+    with open(path, "a") as fh:           # writer finishes the line
+        fh.write('pop", "depth": 1}\n')
+    second = tail.poll()
+    assert [e["kind"] for e in second] == ["mc.pop"]
+    tail.close()
+
+
+# -- run_top / CLI -----------------------------------------------------------------
+
+def _events_file(tmp_path, events):
+    path = tmp_path / "ev.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return path
+
+
+def test_run_top_once_without_tty(tmp_path):
+    path = _events_file(tmp_path, [_beat(0, 10, 1.0),
+                                   _beat(1, 30, 2.0, final=True)])
+    out = io.StringIO()
+    assert run_top(str(path), once=True, out=out) == 0
+    text = out.getvalue()
+    assert "repro top" in text and "status: done" in text
+
+
+def test_run_top_once_without_heartbeats_explains(tmp_path):
+    path = _events_file(tmp_path, [{"kind": "mc.push", "depth": 1}])
+    out = io.StringIO()
+    assert run_top(str(path), once=True, out=out) == 0
+    assert "no heartbeats recorded" in out.getvalue()
+
+
+def test_run_top_empty_file_exits_2(tmp_path):
+    path = tmp_path / "missing.jsonl"
+    out = io.StringIO()
+    assert run_top(str(path), once=True, out=out) == 2
+
+
+def test_run_top_line_mode_ends_on_final(tmp_path):
+    path = _events_file(tmp_path, [_beat(0, 10, 1.0),
+                                   _beat(1, 30, 2.0, final=True)])
+    out = io.StringIO()
+    code = run_top(str(path), interval=0.01, duration=5.0, out=out,
+                   force_tty=False)
+    assert code == 0
+    assert "[top] done" in out.getvalue()
+
+
+def test_run_top_tty_repaints_in_place(tmp_path):
+    path = _events_file(tmp_path, [_beat(0, 10, 1.0),
+                                   _beat(1, 30, 2.0, final=True)])
+    out = io.StringIO()
+    assert run_top(str(path), interval=0.01, duration=5.0, out=out,
+                   force_tty=True) == 0
+    assert "\x1b[" in out.getvalue()      # ANSI cursor repaint
+
+
+def test_cli_top_once_json_from_real_mc_run(tmp_path, capsys):
+    prog = tmp_path / "p.synl"
+    prog.write_text(corpus.SEMAPHORE)
+    events = tmp_path / "ev.jsonl"
+    assert main(["mc", str(prog), "Down()", "Up()", "--mode", "full",
+                 "--progress", "9999",
+                 "--events-out", str(events)]) == 0
+    capsys.readouterr()
+    assert main(["top", str(events), "--once", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["beats"] >= 1              # the final heartbeat
+    assert doc["progress"]["states"] > 0
