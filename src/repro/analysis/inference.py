@@ -256,7 +256,8 @@ class AtomicityChecker:
     def __init__(self, program: A.Program | str,
                  options: InferenceOptions | None = None,
                  tracer=None, metrics: MetricsRegistry | None = None,
-                 profiler: Profiler | None = None):
+                 profiler: Profiler | None = None,
+                 source_text: str | None = None):
         self.tracer = tracer or NULL_TRACER
         self.registry = metrics or MetricsRegistry()
         self.profiler = profiler or NULL_PROFILER
@@ -264,9 +265,13 @@ class AtomicityChecker:
         #: at the end of :meth:`run`
         self._counts: dict[str, int] = {}
         if isinstance(program, str):
+            #: original text, so the embedded lint pass can read
+            #: ``// lint: ignore[...]`` suppression comments
+            source_text = program if source_text is None else source_text
             with self.tracer.span("analysis:parse-resolve"), \
                     self.profiler.region("analysis.parse_resolve"):
                 program = load_program(program)
+        self.source_text = source_text
         self.program = program
         self.options = options or InferenceOptions()
         self.diagnostics: list[str] = []
@@ -362,6 +367,7 @@ class AtomicityChecker:
         with self.tracer.span("analysis:lint"), \
                 self.profiler.region("analysis.lint"):
             self.lint = lint_program(self.program,
+                                     source_text=self.source_text,
                                      metrics=self.registry,
                                      profiler=self.profiler)
         noted: dict[tuple, set[str]] = {}
@@ -1054,8 +1060,10 @@ def analyze_program(source: A.Program | str,
                     options: InferenceOptions | None = None,
                     tracer=None,
                     metrics: MetricsRegistry | None = None,
-                    profiler: Profiler | None = None
+                    profiler: Profiler | None = None,
+                    source_text: str | None = None
                     ) -> AnalysisResult:
     """Convenience entry point: run the full inference."""
     return AtomicityChecker(source, options, tracer=tracer,
-                            metrics=metrics, profiler=profiler).run()
+                            metrics=metrics, profiler=profiler,
+                            source_text=source_text).run()

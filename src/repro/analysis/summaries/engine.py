@@ -1,0 +1,511 @@
+"""The incremental resolution phase over the §5.4 pipeline.
+
+``analyze_with_summaries`` front-ends
+:func:`repro.analysis.inference.analyze_program` with a three-step
+summary resolution:
+
+1. **hash** — parse + resolve the *pre-inline* program, compute the
+   per-procedure dependency digests and the whole-program key
+   (:mod:`repro.analysis.summaries.canon`);
+2. **resolve** — look the keys up in the
+   :class:`~repro.analysis.summaries.store.SummaryStore`; a full hit
+   (program record + every procedure record) replays the stored
+   verdicts into a :class:`CachedAnalysisResult` without running any
+   pass;
+3. **miss** — run the passes once for the whole program (the
+   classification steps are whole-program, so one stale procedure
+   costs one full run), refresh every record, and — for the
+   procedures that *were* hits — diff their stored slices against the
+   fresh ones.  Any disagreement is reported as **drift**: the cache
+   returned (or would have returned) a verdict a fresh run
+   contradicts, which is the soundness canary `repro analyze
+   --corpus` and `repro summaries verify` alarm on.
+
+Cache traffic is observable: ``summary.*`` profiler regions
+(hash/resolve/replay/emit), ``summary.*`` events, and hit / miss /
+invalidation counters merged into the caller's metrics registry.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.inference import (
+    AtomicityChecker,
+    InferenceOptions,
+)
+from repro.analysis.report import render_figure
+from repro.analysis.summaries import canon
+from repro.analysis.summaries.store import SummaryStore
+from repro.obs import ledger, rundiff
+from repro.obs.profile import NULL_PROFILER
+from repro.synl.inline import inline_calls
+from repro.synl.parser import parse_program
+from repro.synl.resolve import resolve
+
+#: default store location (override with --summary-store / REPRO_SUMMARIES)
+DEFAULT_STORE_DIR = ".repro/summaries"
+
+#: env var enabling incremental mode and naming the store directory
+ENV_VAR = "REPRO_SUMMARIES"
+
+#: doc fields excluded from stored records and from hit-vs-fresh
+#: comparison: they vary run to run without the verdict changing
+VOLATILE_KEYS = ("run_meta", "cached", "trace", "profile")
+
+#: doc fields compared when deciding drift (verdicts, provenance,
+#: lint findings — not timings or counter noise)
+COMPARE_KEYS = ("procedures", "all_atomic", "diagnostics", "options",
+                "lint", "downgrades")
+
+
+def resolve_store(store_dir: str | None = None,
+                  incremental: bool = False) -> SummaryStore | None:
+    """The store for this invocation: an explicit directory wins, then
+    ``$REPRO_SUMMARIES``, then (with ``incremental``) the default
+    location; plain runs get ``None``."""
+    directory = store_dir or os.environ.get(ENV_VAR)
+    if directory is None and not incremental:
+        return None
+    return SummaryStore(directory or DEFAULT_STORE_DIR)
+
+
+def stable_doc(doc: dict) -> dict:
+    """``doc`` minus the volatile fields — the storable projection."""
+    return {k: v for k, v in doc.items() if k not in VOLATILE_KEYS}
+
+
+def compare_doc(doc: dict) -> dict:
+    """The drift-comparison projection of an analysis doc."""
+    return {k: doc.get(k) for k in COMPARE_KEYS}
+
+
+def proc_slices(doc: dict) -> dict[str, dict]:
+    """Per-procedure summary slices of an analysis doc.  Variant line
+    labels are re-lettered to a per-procedure alphabet so the slice
+    does not depend on where the procedure sits in the program-wide
+    prefix sequence; lint findings are attributed by their ``proc``
+    field (minus source positions — the procedure key is
+    position-independent, so its slice must be too)."""
+    positional = ("line", "col", "end_line", "end_col")
+    lint_findings = [
+        {k: v for k, v in f.items() if k not in positional}
+        for f in (doc.get("lint") or {}).get("findings", [])]
+    slices: dict[str, dict] = {}
+    for entry in doc.get("procedures", []):
+        variants = []
+        for index, variant in enumerate(entry.get("variants", [])):
+            variant = dict(variant)
+            variant["lines"] = canon.reletter_variant(
+                variant.get("lines", []), index)
+            variants.append(variant)
+        slices[entry["name"]] = {
+            "atomic": bool(entry.get("atomic")),
+            "variants": variants,
+            "lint": [f for f in lint_findings
+                     if f.get("proc") == entry["name"]],
+        }
+    return slices
+
+
+class CachedAnalysisResult:
+    """An :class:`~repro.analysis.inference.AnalysisResult` look-alike
+    replayed from a stored program record.  Exposes the attributes the
+    CLI, ledger and exporters touch; ``to_dict()`` returns the stored
+    document (provenance chains intact) plus a fresh ``run_meta`` and
+    ``cached: true``."""
+
+    cached = True
+
+    class _Verdict:
+        __slots__ = ("atomic",)
+
+        def __init__(self, atomic: bool):
+            self.atomic = atomic
+
+    class _Finding:
+        __slots__ = ("_text",)
+
+        def __init__(self, text: str):
+            self._text = text
+
+        def render(self) -> str:
+            return self._text
+
+    class _Lint:
+        def __init__(self, doc: dict, rendered: list[str]):
+            self._doc = doc
+            self.findings = [CachedAnalysisResult._Finding(t)
+                             for t in rendered]
+
+        def to_dict(self) -> dict:
+            return self._doc
+
+    def __init__(self, record: dict, options: InferenceOptions):
+        self.record = record
+        self.options = options
+        self._doc = dict(record["doc"])
+        self.verdicts = {
+            p["name"]: self._Verdict(bool(p.get("atomic")))
+            for p in self._doc.get("procedures", [])}
+        self.diagnostics = list(self._doc.get("diagnostics", []))
+        self.downgrades = [dict(d)
+                           for d in self._doc.get("downgrades", [])]
+        self.metrics = dict(self._doc.get("metrics", {}))
+        self.trace: list = []
+        self.profile: dict = {}
+        lint_doc = self._doc.get("lint")
+        self.lint = (self._Lint(lint_doc,
+                                record.get("lint_rendered", []))
+                     if lint_doc is not None else None)
+
+    @property
+    def all_atomic(self) -> bool:
+        return bool(self._doc.get("all_atomic"))
+
+    def atomic_procedures(self) -> list[str]:
+        return [name for name, v in self.verdicts.items() if v.atomic]
+
+    def is_atomic(self, name: str) -> bool:
+        return self.verdicts[name].atomic
+
+    def figure(self, explain: bool = False) -> str:
+        key = "figure_explain" if explain else "figure"
+        return self.record.get(key, "")
+
+    def to_dict(self, include_provenance: bool = True) -> dict:
+        from repro.obs.export import run_meta
+
+        doc = dict(self._doc)
+        if not include_provenance:
+            procedures = []
+            for proc in doc.get("procedures", []):
+                proc = dict(proc)
+                variants = []
+                for variant in proc.get("variants", []):
+                    variant = dict(variant)
+                    variant["lines"] = [
+                        {k: v for k, v in line.items()
+                         if k != "provenance"}
+                        for line in variant.get("lines", [])]
+                    variants.append(variant)
+                proc["variants"] = variants
+                procedures.append(proc)
+            doc["procedures"] = procedures
+        doc["cached"] = True
+        doc["run_meta"] = run_meta()
+        return doc
+
+
+def _drift_entry(label: str, name: str, stored: dict,
+                 fresh: dict) -> dict:
+    """A drift record for one procedure, with the ``runs diff``
+    document comparing the stored slice against the fresh one."""
+    a = {"analysis": ledger.classification_summary(
+            {"procedures": [{"name": name, **stored}]}),
+         "run_id": f"{label}:{name}@cached"}
+    b = {"analysis": ledger.classification_summary(
+            {"procedures": [{"name": name, **fresh}]}),
+         "run_id": f"{label}:{name}@fresh"}
+    return {"program": label, "proc": name,
+            "diff": rundiff.diff_manifests(a, b)}
+
+
+def analyze_with_summaries(source: str,
+                           options: InferenceOptions | None = None,
+                           *,
+                           store: SummaryStore,
+                           label: str = "<program>",
+                           tracer=None, metrics=None, profiler=None,
+                           events=None):
+    """Analyze ``source`` through the summary cache.
+
+    Returns ``(result, info)`` where ``result`` is either a fresh
+    :class:`~repro.analysis.inference.AnalysisResult` or a
+    :class:`CachedAnalysisResult`, and ``info`` describes the cache
+    traffic: ``{"cached", "hits", "misses", "invalidated", "drift",
+    "program_key", "proc_keys"}``."""
+    options = options or InferenceOptions()
+    prof = profiler or NULL_PROFILER
+
+    with prof.region("summary.hash"):
+        pre = parse_program(source)
+        resolve(pre)
+        proc_keys = canon.dependency_digests(pre, options, source)
+        program_key = canon.program_key(source, options)
+        prof.add("summary.hash", len(pre.procs))
+
+    with prof.region("summary.resolve"):
+        program_record = store.get("program", program_key)
+        proc_records = {name: store.get("proc", key)
+                        for name, key in proc_keys.items()}
+        prof.add("summary.resolve", len(proc_keys))
+
+    hits = sorted(n for n, r in proc_records.items() if r is not None)
+    misses = sorted(n for n in proc_keys if proc_records[n] is None)
+    known = store.known_proc_names() if misses else set()
+    invalidated = sorted(n for n in misses if n in known)
+    full_hit = program_record is not None and not misses
+
+    info: dict = {
+        "label": label,
+        "cached": full_hit,
+        "program_key": program_key,
+        "proc_keys": dict(proc_keys),
+        "hits": hits,
+        "misses": misses,
+        "invalidated": invalidated,
+        "drift": [],
+    }
+
+    if events is not None:
+        events.emit("summary.resolve", label=label,
+                    hits=len(hits), misses=len(misses),
+                    invalidated=len(invalidated), cached=full_hit)
+
+    if full_hit:
+        with prof.region("summary.replay"):
+            result = CachedAnalysisResult(program_record, options)
+            prof.add("summary.replay", len(proc_keys))
+        if events is not None:
+            events.emit("summary.replay", label=label,
+                        procs=len(proc_keys))
+        _merge_cache_metrics(metrics, info)
+        return result, info
+
+    # Miss path: one whole-program run (mirrors the CLI's load path —
+    # procedure calls are inlined before analysis).
+    program = inline_calls(parse_program(source))
+    resolve(program)
+    result = AtomicityChecker(program, options, tracer=tracer,
+                              metrics=metrics,
+                              profiler=profiler,
+                              source_text=source).run()
+
+    with prof.region("summary.emit"):
+        doc = result.to_dict(include_provenance=True)
+        stored = stable_doc(doc)
+        fresh_slices = proc_slices(stored)
+        for name in hits:
+            stored_slice = proc_records[name].get("slice") or {}
+            fresh_slice = fresh_slices.get(name)
+            if fresh_slice is not None \
+                    and _roundtrip(stored_slice) != _roundtrip(
+                        fresh_slice):
+                info["drift"].append(_drift_entry(
+                    label, name, stored_slice, fresh_slice))
+        for name, key in proc_keys.items():
+            if name not in fresh_slices:
+                continue
+            store.put("proc", key, name, {
+                "label": label,
+                "proc": name,
+                "program_key": program_key,
+                "slice": fresh_slices[name],
+            })
+        lint = getattr(result, "lint", None)
+        store.put("program", program_key, label, {
+            "label": label,
+            "source": source,
+            "options": {k: bool(v)
+                        for k, v in vars(options).items()},
+            "proc_keys": dict(proc_keys),
+            "doc": stored,
+            "figure": render_figure(result),
+            "figure_explain": render_figure(result, explain=True),
+            "lint_rendered": ([f.render() for f in lint.findings]
+                              if lint is not None else []),
+        })
+        prof.add("summary.emit", len(proc_keys))
+
+    if events is not None:
+        events.emit("summary.emit", label=label,
+                    procs=len(proc_keys), drift=len(info["drift"]))
+    _merge_cache_metrics(metrics, info)
+    return result, info
+
+
+def _roundtrip(obj):
+    """JSON round-trip so stored (loaded) and fresh (in-memory) slices
+    compare on value, not container type."""
+    import json
+
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def _merge_cache_metrics(metrics, info: dict) -> None:
+    if metrics is None:
+        return
+    metrics.merge_counts({
+        "summary.procs.hit": len(info["hits"]),
+        "summary.procs.miss": len(info["misses"]),
+        "summary.procs.invalidated": len(info["invalidated"]),
+        "summary.programs.hit": 1 if info["cached"] else 0,
+        "summary.programs.miss": 0 if info["cached"] else 1,
+        "summary.drift": len(info["drift"]),
+    })
+
+
+# -- batch front-end -----------------------------------------------------------
+
+def corpus_targets(examples_dir: str | Path | None = "examples/synl",
+                   ) -> list[tuple[str, str]]:
+    """Every corpus program plus the example ``.synl`` files (when the
+    directory exists): ``[(label, source_text), ...]``."""
+    import repro.corpus as corpus
+
+    targets: list[tuple[str, str]] = []
+    for name in sorted(corpus.__all__):
+        source = getattr(corpus, name, None)
+        if isinstance(source, str):
+            targets.append((f"corpus/{name.lower()}", source))
+    if examples_dir is not None:
+        directory = Path(examples_dir)
+        if directory.is_dir():
+            for path in sorted(directory.glob("*.synl")):
+                targets.append((f"examples/{path.stem}",
+                                path.read_text(encoding="utf-8")))
+    return targets
+
+
+def analyze_corpus(store: SummaryStore,
+                   options: InferenceOptions | None = None,
+                   *,
+                   targets: list[tuple[str, str]] | None = None,
+                   profiler=None, events=None, metrics=None) -> dict:
+    """Analyze every target through one shared store.
+
+    Returns ``{"rows", "drift", "errors", "docs", "stats"}`` where each
+    row is ``{label, atomic, procs, hits, misses, invalidated, cached,
+    drift}`` and ``docs`` maps label to the stable (volatile-free)
+    analysis doc — the corpus canary compares these across passes."""
+    from repro.errors import ReproError
+
+    rows: list[dict] = []
+    drift: list[dict] = []
+    errors: list[dict] = []
+    docs: dict[str, dict] = {}
+    for target_label, source in (targets if targets is not None
+                                 else corpus_targets()):
+        try:
+            result, info = analyze_with_summaries(
+                source, options, store=store, label=target_label,
+                profiler=profiler, events=events, metrics=metrics)
+        except ReproError as exc:
+            errors.append({"label": target_label, "error": str(exc)})
+            continue
+        doc = result.to_dict(include_provenance=True)
+        docs[target_label] = stable_doc(doc)
+        rows.append({
+            "label": target_label,
+            "atomic": bool(result.all_atomic),
+            "procs": len(info["proc_keys"]),
+            "hits": len(info["hits"]),
+            "misses": len(info["misses"]),
+            "invalidated": len(info["invalidated"]),
+            "cached": info["cached"],
+            "drift": len(info["drift"]),
+        })
+        drift.extend(info["drift"])
+    return {"rows": rows, "drift": drift, "errors": errors,
+            "docs": docs, "stats": store.stats()}
+
+
+# -- soundness canaries --------------------------------------------------------
+
+def _verdict_word(doc: dict) -> str:
+    return "all-atomic" if doc.get("all_atomic") else "non-atomic"
+
+
+def verify_store(store: SummaryStore, sample: int = 5) -> dict:
+    """Recompute a deterministic sample of stored program records from
+    their recorded source + options and diff the stored docs against
+    the fresh ones.  Returns ``{"checked", "mismatches"}`` — any
+    mismatch means the cache would replay a verdict a fresh run
+    contradicts."""
+    records = sorted(store.records("program"),
+                     key=lambda r: r["key"])
+    if sample > 0:
+        step = max(1, len(records) // sample)
+        records = records[::step][:sample]
+    mismatches: list[dict] = []
+    checked = 0
+    for record in records:
+        source = record.get("source")
+        if not isinstance(source, str):
+            continue
+        options = InferenceOptions(**record.get("options", {}))
+        program = inline_calls(parse_program(source))
+        resolve(program)
+        result = AtomicityChecker(program, options,
+                                  source_text=source).run()
+        fresh = compare_doc(stable_doc(
+            result.to_dict(include_provenance=True)))
+        stored = compare_doc(record.get("doc") or {})
+        checked += 1
+        if _roundtrip(stored) != _roundtrip(fresh):
+            label = record.get("label", record["key"])
+            stored_doc = record.get("doc") or {}
+            fresh_doc = stable_doc(result.to_dict())
+            # the verdict rides as the manifest outcome so a diff is
+            # never empty when only the top-level flag was tampered
+            a = {"analysis": ledger.classification_summary(stored_doc),
+                 "outcome": _verdict_word(stored_doc),
+                 "run_id": f"{label}@stored"}
+            b = {"analysis": ledger.classification_summary(fresh_doc),
+                 "outcome": _verdict_word(fresh_doc),
+                 "run_id": f"{label}@fresh"}
+            mismatches.append({
+                "key": record["key"],
+                "label": label,
+                "diff": rundiff.diff_manifests(a, b),
+            })
+    return {"checked": checked, "mismatches": mismatches}
+
+
+def warm_canary(store_dir: str | Path,
+                options: InferenceOptions | None = None,
+                *,
+                targets: list[tuple[str, str]] | None = None) -> dict:
+    """The CI warm-cache canary: analyze the corpus twice through one
+    (fresh) store.  The second pass must be 100% cache hits with docs
+    byte-identical to the first pass modulo ``run_meta`` / ``cached``,
+    and the per-program ``runs diff`` must be empty.  Returns a report
+    with ``ok`` plus the failure details."""
+    import json
+
+    store = SummaryStore(store_dir)
+    cold = analyze_corpus(store, options, targets=targets)
+    warm = analyze_corpus(store, options, targets=targets)
+    not_cached = [row["label"] for row in warm["rows"]
+                  if not row["cached"]]
+    mismatched: list[dict] = []
+    for label, cold_doc in cold["docs"].items():
+        warm_doc = warm["docs"].get(label)
+        cold_bytes = json.dumps(_roundtrip(cold_doc), sort_keys=True)
+        warm_bytes = json.dumps(_roundtrip(warm_doc), sort_keys=True)
+        if cold_bytes != warm_bytes:
+            a = {"analysis": ledger.classification_summary(cold_doc),
+                 "run_id": f"{label}@cold"}
+            b = {"analysis": ledger.classification_summary(
+                    warm_doc or {}),
+                 "run_id": f"{label}@warm"}
+            mismatched.append({
+                "label": label,
+                "diff": rundiff.diff_manifests(a, b),
+            })
+    ok = (not not_cached and not mismatched
+          and not cold["drift"] and not warm["drift"]
+          and not cold["errors"] and not warm["errors"])
+    return {
+        "ok": ok,
+        "programs": len(cold["rows"]),
+        "not_cached": not_cached,
+        "mismatched": mismatched,
+        "cold_errors": cold["errors"],
+        "warm_errors": warm["errors"],
+        "drift": cold["drift"] + warm["drift"],
+        "stats": store.stats(),
+        "rows": warm["rows"],
+    }

@@ -89,7 +89,7 @@ LEDGERED_COMMANDS = frozenset({
 })
 
 
-def _load(path: str, inline: bool = True):
+def _load(path: str, inline: bool = True, with_text: bool = False):
     with open(path) as handle:
         text = handle.read()
     ledger.note_source(path, text)
@@ -97,7 +97,7 @@ def _load(path: str, inline: bool = True):
     if inline:
         program = inline_calls(program)
     resolve(program)
-    return program
+    return (program, text) if with_text else program
 
 
 def _split_calls(text: str) -> list[str]:
@@ -212,18 +212,69 @@ def _analyze_with_obs(args):
     cfg, tracer = _obs_setup(args)
     profiler, sampler = _profiler_for(cfg)
     with tracer.span("analysis:parse-resolve"):
-        program = _load(args.file)
+        program, text = _load(args.file, with_text=True)
     with _sampling(sampler):
         result = analyze_program(program, tracer=tracer,
-                                 profiler=profiler)
+                                 profiler=profiler,
+                                 source_text=text)
     if sampler is not None and result.profile:
         result.profile = profiler.to_dict(sampler)
     return cfg, tracer, result, profiler, sampler
 
 
+def _summary_store_for(args):
+    """The summary store for this invocation, or None for a plain
+    (non-incremental) run."""
+    from repro.analysis.summaries import engine as summaries
+
+    return summaries.resolve_store(
+        getattr(args, "summary_store", None),
+        getattr(args, "incremental", False))
+
+
+def _analyze_incremental(args, store):
+    """The --incremental analyze path: resolve through the summary
+    store; a full hit replays the stored verdicts without running any
+    pass."""
+    from repro.analysis.summaries import engine as summaries
+
+    cfg, tracer = _obs_setup(args)
+    profiler, sampler = _profiler_for(cfg)
+    events = _events_for(args)
+    with open(args.file) as handle:
+        text = handle.read()
+    ledger.note_source(args.file, text)
+    with _sampling(sampler):
+        result, info = summaries.analyze_with_summaries(
+            text, store=store, label=args.file, tracer=tracer,
+            profiler=profiler, events=events)
+    if sampler is not None and getattr(result, "profile", None):
+        result.profile = profiler.to_dict(sampler)
+    return cfg, tracer, result, profiler, sampler, events, info
+
+
+def _figure_text(result, explain: bool) -> str:
+    if getattr(result, "cached", False):
+        return result.figure(explain)
+    return render_figure(result, explain=explain)
+
+
 def cmd_analyze(args) -> int:
-    cfg, tracer, result, profiler, sampler = _analyze_with_obs(args)
-    _write_obs_outputs(args, tracer, None, profiler)
+    if args.corpus:
+        return _cmd_analyze_corpus(args)
+    if args.file is None:
+        print("error: analyze needs a FILE (or --corpus)",
+              file=sys.stderr)
+        return 2
+    store = _summary_store_for(args)
+    info = None
+    if store is not None:
+        (cfg, tracer, result, profiler, sampler, events,
+         info) = _analyze_incremental(args, store)
+        _write_obs_outputs(args, tracer, events, profiler)
+    else:
+        cfg, tracer, result, profiler, sampler = _analyze_with_obs(args)
+        _write_obs_outputs(args, tracer, None, profiler)
     ledger.note_analysis(result)
     if args.json:
         doc = result.to_dict()
@@ -232,7 +283,7 @@ def cmd_analyze(args) -> int:
         ledger.add_artifact("analysis.json", doc)
         print(json.dumps(doc, indent=2))
     else:
-        print(render_figure(result, explain=args.explain))
+        print(_figure_text(result, args.explain))
         print()
         for name, verdict in result.verdicts.items():
             print(f"{name}: "
@@ -249,9 +300,178 @@ def cmd_analyze(args) -> int:
             print("-- downgraded theorem applications --")
             for d in result.downgrades:
                 print(f"{d['detail']}")
+        if info is not None:
+            print()
+            print("-- summary cache --")
+            print(f"procs: {len(info['hits'])} hit, "
+                  f"{len(info['misses'])} miss "
+                  f"({len(info['invalidated'])} invalidated); program "
+                  f"{'hit (replayed)' if info['cached'] else 'miss'}")
         _emit_obs(cfg, tracer, result.metrics)
         _emit_profile(cfg, profiler, sampler)
+    if info is not None and info["drift"]:
+        _print_summary_drift(info["drift"])
+        return 1
     return 0 if args.lenient or result.all_atomic else 1
+
+
+def _print_summary_drift(drift: list[dict]) -> None:
+    """Render cached-vs-fresh disagreements with the ``runs diff``
+    drift-table renderer (exit 1 follows — a drifting cache is the
+    soundness alarm)."""
+    from repro.obs import rundiff
+
+    print(file=sys.stderr)
+    print("summary cache drift: cached verdicts disagree with a "
+          "fresh recompute", file=sys.stderr)
+    for entry in drift:
+        print(f"\n{entry['program']} / {entry['proc']}:",
+              file=sys.stderr)
+        print(rundiff.render_diff(entry["diff"]), file=sys.stderr)
+
+
+def _cmd_analyze_corpus(args) -> int:
+    """``repro analyze --corpus``: every corpus/examples program
+    through one shared summary store.  Exit 1 when any cached verdict
+    disagrees with a fresh recompute, 2 when a program fails to
+    analyze; atomicity verdicts do not affect the exit code (most
+    corpus programs are intentionally non-atomic)."""
+    from repro.analysis.summaries import engine as summaries
+    from repro.obs.export import run_meta
+
+    cfg, tracer = _obs_setup(args)
+    profiler, sampler = _profiler_for(cfg)
+    events = _events_for(args)
+    store = _summary_store_for(args) or summaries.resolve_store(
+        None, True)
+    with _sampling(sampler):
+        report = summaries.analyze_corpus(store, profiler=profiler,
+                                          events=events)
+    _write_obs_outputs(args, tracer, events, profiler)
+    if args.json:
+        doc = {"programs": report["rows"],
+               "errors": report["errors"],
+               "drift": report["drift"],
+               "stats": report["stats"],
+               "run_meta": run_meta()}
+        ledger.add_artifact("corpus-analysis.json", doc)
+        print(json.dumps(doc, indent=2))
+    else:
+        width = max((len(r["label"]) for r in report["rows"]),
+                    default=8)
+        print(f"{'program':<{width}}  procs  hit  miss  inval  "
+              f"cached  atomic")
+        for row in report["rows"]:
+            print(f"{row['label']:<{width}}  "
+                  f"{row['procs']:>5}  {row['hits']:>3}  "
+                  f"{row['misses']:>4}  {row['invalidated']:>5}  "
+                  f"{'yes' if row['cached'] else 'no':<6}  "
+                  f"{'yes' if row['atomic'] else 'no'}")
+        for err in report["errors"]:
+            print(f"{err['label']}: error: {err['error']}")
+        stats = report["stats"]
+        print(f"store {stats['root']}: {stats['procs']} proc / "
+              f"{stats['programs']} program record(s), "
+              f"{stats['bytes']} bytes")
+        _emit_profile(cfg, profiler, sampler)
+    if report["drift"]:
+        _print_summary_drift(report["drift"])
+        return 1
+    return 2 if report["errors"] else 0
+
+
+def cmd_summaries(args) -> int:
+    """Summary-store maintenance and soundness canaries
+    (docs/ANALYSIS.md)."""
+    from repro.analysis.summaries import engine as summaries
+    from repro.obs import rundiff
+    from repro.obs.export import run_meta
+
+    if args.summaries_cmd == "canary":
+        return _cmd_summaries_canary(args)
+    store = summaries.resolve_store(args.store, True)
+    if args.summaries_cmd == "list":
+        entries = store.entries()
+        if args.json:
+            print(json.dumps({"entries": entries,
+                              "stats": store.stats()}, indent=2))
+            return 0
+        for entry in entries:
+            print(f"{entry['kind']:<7} {entry['key']}  "
+                  f"{entry['name']} ({entry['bytes']} bytes)")
+        stats = store.stats()
+        print(f"{stats['procs']} proc / {stats['programs']} program "
+              f"record(s), {stats['bytes']} bytes under "
+              f"{stats['root']}")
+        return 0
+    if args.summaries_cmd == "show":
+        for record in store.records():
+            if record["key"].startswith(args.key):
+                print(json.dumps(record, indent=2, sort_keys=True))
+                return 0
+        print(f"error: no summary record matches key {args.key!r}",
+              file=sys.stderr)
+        return 2
+    if args.summaries_cmd == "gc":
+        removed = store.gc(keep=args.keep)
+        print(f"removed {len(removed)} record(s), kept the "
+              f"{args.keep} most recent per kind under {store.root}")
+        return 0
+    # verify: recompute a sampled subset of stored program records
+    # and diff against the stored docs — the soundness canary.
+    report = summaries.verify_store(store, sample=args.sample)
+    if args.json:
+        print(json.dumps({**report, "run_meta": run_meta()},
+                         indent=2))
+    else:
+        print(f"verified {report['checked']} stored program "
+              f"record(s): {len(report['mismatches'])} mismatch(es)")
+        for entry in report["mismatches"]:
+            print(f"\n{entry['label']} ({entry['key']}):")
+            print(rundiff.render_diff(entry["diff"]))
+    return 1 if report["mismatches"] else 0
+
+
+def _cmd_summaries_canary(args) -> int:
+    """Warm-cache canary (the CI job): analyze the corpus twice into
+    a fresh store; the second pass must be 100% hits with verdicts
+    byte-identical modulo ``run_meta``/``cached`` and an empty
+    ``runs diff``."""
+    import tempfile
+
+    from repro.analysis.summaries import engine as summaries
+    from repro.obs import rundiff
+    from repro.obs.export import run_meta
+    from repro.obs.schemas import SUMMARY
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-canary-")
+    report = summaries.warm_canary(store_dir)
+    doc = {"v": SUMMARY, "kind": "summary-stats", "canary": True,
+           "ok": report["ok"], "programs": report["programs"],
+           "rows": report["rows"], "stats": report["stats"],
+           "run_meta": run_meta()}
+    if args.stats_out:
+        with open(args.stats_out, "w") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        verdict = "PASS" if report["ok"] else "FAIL"
+        print(f"warm-cache canary: {verdict} "
+              f"({report['programs']} program(s), second pass "
+              f"{'100% hits' if not report['not_cached'] else 'MISSED: ' + ', '.join(report['not_cached'])})")
+        stats = report["stats"]
+        print(f"store: {stats['procs']} proc / {stats['programs']} "
+              f"program record(s), {stats['bytes']} bytes")
+        for entry in report["mismatched"]:
+            print(f"\n{entry['label']}: cold/warm verdicts differ:")
+            print(rundiff.render_diff(entry["diff"]))
+        for err in report["cold_errors"] + report["warm_errors"]:
+            print(f"{err['label']}: error: {err['error']}")
+    if report["drift"]:
+        _print_summary_drift(report["drift"])
+    return 0 if report["ok"] else 1
 
 
 def cmd_blocks(args) -> int:
@@ -890,12 +1110,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", parents=[obs],
                        help="run the atomicity inference")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?",
+                   help="SYNL source file (omit with --corpus)")
     p.add_argument("--lenient", action="store_true",
                    help="exit 0 even when procedures are not atomic")
     p.add_argument("--explain", action="store_true",
                    help="annotate every line with its classification "
                         "provenance (which theorem fired)")
+    p.add_argument("--incremental", action="store_true",
+                   help="resolve through the content-addressed "
+                        "summary cache (docs/ANALYSIS.md); also: "
+                        "REPRO_SUMMARIES=DIR")
+    p.add_argument("--summary-store", metavar="DIR",
+                   help="summary store directory (implies "
+                        "--incremental; default .repro/summaries)")
+    p.add_argument("--corpus", action="store_true",
+                   help="analyze every corpus/examples program "
+                        "through one shared store; exit 1 when any "
+                        "cached verdict disagrees with a fresh "
+                        "recompute")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("blocks", parents=[obs],
@@ -1155,6 +1388,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"runs to keep (default: "
                         f"{ledger.DEFAULT_KEEP})")
     q.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser("summaries",
+                       help="inspect the incremental-analysis "
+                            "summary store (docs/ANALYSIS.md)")
+    sum_common = argparse.ArgumentParser(add_help=False)
+    sum_common.add_argument("--store", metavar="DIR",
+                            help="summary store directory (default: "
+                                 "$REPRO_SUMMARIES or "
+                                 ".repro/summaries)")
+    sum_common.add_argument("--json", action="store_true",
+                            help="emit JSON instead of text")
+    sum_sub = p.add_subparsers(dest="summaries_cmd", required=True)
+    q = sum_sub.add_parser("list", parents=[sum_common],
+                           help="stored summary records")
+    q.set_defaults(fn=cmd_summaries)
+    q = sum_sub.add_parser("show", parents=[sum_common],
+                           help="print one record as JSON")
+    q.add_argument("key", help="record key (or unique prefix)")
+    q.set_defaults(fn=cmd_summaries)
+    q = sum_sub.add_parser("gc", parents=[sum_common],
+                           help="drop all but the most recent "
+                                "records")
+    q.add_argument("--keep", type=int, metavar="N", default=256,
+                   help="records to keep per kind (default: 256)")
+    q.set_defaults(fn=cmd_summaries)
+    q = sum_sub.add_parser("verify", parents=[sum_common],
+                           help="recompute a sampled subset and diff "
+                                "against the stored verdicts (exit 1 "
+                                "on any mismatch)")
+    q.add_argument("--sample", type=int, metavar="N", default=5,
+                   help="program records to recompute (default: 5)")
+    q.set_defaults(fn=cmd_summaries)
+    q = sum_sub.add_parser("canary", parents=[sum_common],
+                           help="warm-cache canary: corpus twice "
+                                "into a fresh store; second pass "
+                                "must be 100%% hits with identical "
+                                "verdicts (exit 1 otherwise)")
+    q.add_argument("--stats-out", metavar="FILE",
+                   help="write the canary/store stats document "
+                        "(the CI artifact; renders as the report's "
+                        "'Summary cache' block)")
+    q.set_defaults(fn=cmd_summaries)
 
     p = sub.add_parser("replay", parents=[ledger_common],
                        help="re-execute a recorded run and check the "

@@ -177,6 +177,65 @@ def _analysis_case(name: str, source: str) -> BenchCase:
     return BenchCase(f"analysis/{name}", "analysis", run)
 
 
+#: corpus subset driven through the summary cache by the cold/warm
+#: cache benchmarks (mirrors the standalone analysis cases)
+_CACHE_CORPUS = ("NFQ_PRIME", "HERLIHY_SMALL", "GH_PROGRAM1",
+                 "ALLOCATOR", "TREIBER_STACK", "CAS_COUNTER")
+
+
+def _corpus_cache_cases() -> list[BenchCase]:
+    """``analysis/corpus-cold`` vs ``analysis/corpus-warm``: the same
+    corpus subset analyzed through the summary cache, once into a
+    fresh store per repeat and once into a pre-populated store (100%
+    replay).  Each record carries ``work_units`` — the deterministic
+    profiler calls+work total — so the warm/cold speedup is gated on
+    work counters, not just wall clock."""
+    import shutil
+    import tempfile
+
+    from repro import corpus
+    from repro.analysis.summaries import (
+        SummaryStore,
+        analyze_with_summaries,
+    )
+    from repro.obs.profile import Profiler
+
+    targets = [(f"corpus/{name.lower()}", getattr(corpus, name))
+               for name in _CACHE_CORPUS]
+
+    def pass_over(store: SummaryStore) -> tuple:
+        profiler = Profiler()
+        start = time.perf_counter()
+        for label, source in targets:
+            result, _ = analyze_with_summaries(
+                source, store=store, label=label, profiler=profiler)
+            assert result.verdicts
+        wall = time.perf_counter() - start
+        work = sum(int(entry["calls"] + entry["work"])
+                   for entry in profiler.counters().values())
+        return wall, {"work_units": work}
+
+    def run_cold() -> tuple:
+        tmp = tempfile.mkdtemp(prefix="repro-bench-cold-")
+        try:
+            return pass_over(SummaryStore(tmp))
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    warm_dir = tempfile.mkdtemp(prefix="repro-bench-warm-")
+    warm_store = SummaryStore(warm_dir)
+    populated = []
+
+    def run_warm() -> tuple:
+        if not populated:
+            pass_over(warm_store)       # populate, untimed
+            populated.append(True)
+        return pass_over(warm_store)
+
+    return [BenchCase("analysis/corpus-cold", "analysis", run_cold),
+            BenchCase("analysis/corpus-warm", "analysis", run_warm)]
+
+
 def _mc_case(name: str, source: str, specs_fn: Callable, mode: str,
              max_states: int = 200_000,
              commutes: Optional[Callable] = None) -> BenchCase:
@@ -230,6 +289,7 @@ def default_matrix(quick: bool = False) -> list[BenchCase]:
         _analysis_case("allocator", corpus.ALLOCATOR),
         _analysis_case("treiber", corpus.TREIBER_STACK),
     ]
+    cases.extend(_corpus_cache_cases())
     for mode in ("full", "por", "atomic"):
         cases.append(_mc_case(f"nfq_prime/{mode}", corpus.NFQ_PRIME,
                               nfq_specs, mode))
@@ -255,7 +315,7 @@ def run_case(case: BenchCase, repeats: int,
     for _ in range(max(1, repeats)):
         wall, fields = case.run()
         samples.append(wall)
-    return bench_record(
+    record = bench_record(
         case.name, median(samples),
         states=fields.get("states", 0),
         transitions=fields.get("transitions", 0),
@@ -263,6 +323,11 @@ def run_case(case: BenchCase, repeats: int,
         mem_peak_mb=fields.get("mem_peak_mb"),
         dedup_hit_rate=fields.get("dedup_hit_rate"),
         stats=summarize(samples))
+    # deterministic profiler work total (summary-cache cases) — the
+    # bench schema ignores unknown keys, so plain records stay valid
+    if "work_units" in fields:
+        record["work_units"] = fields["work_units"]
+    return record
 
 
 def run_matrix(cases: list[BenchCase], repeats: int,

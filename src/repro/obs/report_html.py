@@ -21,6 +21,9 @@ Sections (each ``<section id="sec-NAME">``, see :data:`SECTIONS`):
   depth layers, branching, POR reduction) plus the always-on
   source-level statement heatmap embedded in MC documents;
 * ``lint``      — findings grouped by target;
+* ``summary``   — incremental-analysis summary-cache traffic
+  (``repro summaries canary --stats-out`` / store stats documents):
+  per-program hit/miss rows and store totals;
 * ``crossval``  — preformatted experiment/cross-validation tables;
 * ``bench``     — baseline vs fresh comparison and the regression
   history sparkline;
@@ -56,7 +59,8 @@ REPORT_VERSION = 1
 
 #: required section ids; check_html() fails on any that is missing
 SECTIONS = ("overview", "trace", "metrics", "hotspots", "coverage",
-            "statespace", "lint", "crossval", "bench", "trend", "runs")
+            "statespace", "lint", "summary", "crossval", "bench",
+            "trend", "runs")
 
 
 # -- input collection ----------------------------------------------------------
@@ -78,6 +82,7 @@ class ReportInputs:
     tables: list[tuple] = field(default_factory=list)  # (label, text)
     runs: list[dict] = field(default_factory=list)     # ledger manifests
     graphs: list[tuple] = field(default_factory=list)  # graph captures
+    summaries: list[tuple] = field(default_factory=list)  # cache stats
 
 
 def classify(label: str, doc) -> Optional[str]:
@@ -96,6 +101,8 @@ def classify(label: str, doc) -> Optional[str]:
         return None
     if "run_id" in doc and "argv" in doc and "outcome" in doc:
         return "manifest"
+    if doc.get("kind") == "summary-stats":
+        return "summary"
     if "procedures" in doc and "all_atomic" in doc:
         return "analysis"
     if "mode" in doc and "states" in doc and "transitions" in doc:
@@ -186,6 +193,8 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             inputs.bench_fresh[label] = bench_records(doc)
         elif kind == "events":
             inputs.events.append((label, doc))
+        elif kind == "summary":
+            inputs.summaries.append((label, doc))
     if baseline_dir is not None:
         from repro.obs.export import bench_records
         base = pathlib.Path(baseline_dir)
@@ -670,6 +679,51 @@ def _lint(inputs: ReportInputs) -> str:
     return "".join(parts)
 
 
+def _summary(inputs: ReportInputs) -> str:
+    """Summary-cache traffic: per-program hit/miss rows from canary
+    stats documents plus the store totals."""
+    if not inputs.summaries:
+        return _placeholder(
+            "summary cache", "run repro summaries canary --stats-out "
+            "FILE (or repro analyze --corpus) and pass the stats "
+            "document")
+    parts = []
+    for label, doc in inputs.summaries:
+        rows = doc.get("rows") or []
+        stats = doc.get("stats") or doc
+        if "ok" in doc:
+            verdict = "PASS" if doc.get("ok") else "FAIL"
+            cached = sum(1 for r in rows if r.get("cached"))
+            parts.append(
+                f"<h3>{_esc(label)} &mdash; warm-cache canary "
+                f"{verdict}: {cached} of {len(rows)} program(s) "
+                f"replayed from cache</h3>")
+        else:
+            parts.append(f"<h3>{_esc(label)}</h3>")
+        if rows:
+            hits = sum(r.get("hits", 0) for r in rows)
+            misses = sum(r.get("misses", 0) for r in rows)
+            invalidated = sum(r.get("invalidated", 0) for r in rows)
+            parts.append(_svg_bars(
+                [("proc hits", hits), ("proc misses", misses),
+                 ("invalidated", invalidated)],
+                title="summary-cache traffic"))
+            parts.append(_table(
+                ["program", "procs", "hits", "misses", "invalidated",
+                 "cached", "drift"],
+                [[r.get("label"), r.get("procs"), r.get("hits"),
+                  r.get("misses"), r.get("invalidated"),
+                  "yes" if r.get("cached") else "no",
+                  r.get("drift", 0)] for r in rows], "mono"))
+        parts.append(_table(
+            ["store", "proc records", "program records", "bytes",
+             "schema refused"],
+            [[stats.get("root", "?"), stats.get("procs", 0),
+              stats.get("programs", 0), stats.get("bytes", 0),
+              stats.get("schema_refused", 0)]], "mono"))
+    return "".join(parts)
+
+
 def _crossval(inputs: ReportInputs) -> str:
     if not inputs.tables:
         return _placeholder(
@@ -848,6 +902,7 @@ def render_report(inputs: ReportInputs,
         "coverage": ("State-space coverage", _coverage(inputs)),
         "statespace": ("State space", _statespace(inputs)),
         "lint": ("Lint findings", _lint(inputs)),
+        "summary": ("Summary cache", _summary(inputs)),
         "crossval": ("Cross-validation tables", _crossval(inputs)),
         "bench": ("Bench vs baseline", _bench(inputs)),
         "trend": ("Perf trajectory", _trend(inputs)),
@@ -1000,6 +1055,20 @@ SELF_CHECK_FIXTURE = {
          "metrics": {"mc/fixture/por": {"wall_s": 0.01,
                                         "states_per_s": 6400.0,
                                         "iqr": 0.0008}}}],
+    "summary_stats.json": {
+        "v": 1, "kind": "summary-stats", "canary": True, "ok": True,
+        "programs": 2,
+        "rows": [
+            {"label": "corpus/cas_counter", "atomic": True,
+             "procs": 2, "hits": 2, "misses": 0, "invalidated": 0,
+             "cached": True, "drift": 0},
+            {"label": "corpus/treiber_stack", "atomic": True,
+             "procs": 2, "hits": 2, "misses": 0, "invalidated": 0,
+             "cached": True, "drift": 0}],
+        "stats": {"v": 1, "kind": "summary-stats",
+                  "root": ".repro/summaries", "procs": 4,
+                  "programs": 2, "bytes": 20480,
+                  "schema_refused": 0, "corrupt": 0}},
     "crossval.txt": ("Lint/MC cross-validation (fixture)\n\n"
                      "program   | lint errors | violation\n"
                      "----------+-------------+----------\n"
@@ -1039,7 +1108,9 @@ def fixture_inputs() -> ReportInputs:
         history=list(fx["history"]),
         bench_history=[dict(e) for e in fx["BENCH_history"]],
         tables=[("crossval.txt", fx["crossval.txt"])],
-        runs=[dict(m) for m in fx["runs"]])
+        runs=[dict(m) for m in fx["runs"]],
+        summaries=[("summary_stats.json",
+                    dict(fx["summary_stats.json"]))])
 
 
 def self_check() -> tuple[int, str]:
@@ -1057,7 +1128,9 @@ def self_check() -> tuple[int, str]:
                          ("Perf trajectory", "trend section"),
                          ("graph capture", "graph-capture analytics"),
                          ("statement heatmap", "statement heatmap"),
-                         ("depth layers", "depth-layer chart")):
+                         ("depth layers", "depth-layer chart"),
+                         ("replayed from cache", "summary-cache "
+                          "section")):
         if marker not in html_text:
             problems.append(f"{what} missing from fixture render")
     from repro.obs import schemas

@@ -47,6 +47,10 @@ CEX = 1
 #: per-statement source heatmap documents (:mod:`repro.obs.heatmap`)
 HEATMAP = 1
 
+#: content-addressed procedure/program summary records
+#: (:mod:`repro.analysis.summaries.store`)
+SUMMARY = 1
+
 
 def registry() -> dict:
     """``{subsystem: version}`` for every versioned document schema —
@@ -60,6 +64,7 @@ def registry() -> dict:
         "lint": LINT,
         "cex": CEX,
         "heatmap": HEATMAP,
+        "summary": SUMMARY,
     }
 
 
@@ -68,6 +73,7 @@ def check_registry() -> list[str]:
     emitting module (empty list = consistent).  ``repro report
     --self-check`` runs this so CI notices the moment a module grows
     a local version literal again."""
+    from repro.analysis.summaries import store as summary_store
     from repro.mc import cex
     from repro.obs import events, graph, heatmap, ledger, profile
     from repro.obs.export import BENCH_SCHEMA_VERSION
@@ -80,6 +86,7 @@ def check_registry() -> list[str]:
         "manifest": ledger.SCHEMA_VERSION,
         "cex": cex.SCHEMA_VERSION,
         "heatmap": heatmap.SCHEMA_VERSION,
+        "summary": summary_store.SCHEMA_VERSION,
     }
     problems = []
     reg = registry()

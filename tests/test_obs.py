@@ -475,7 +475,8 @@ def test_schema_registry_matches_live_constants():
 
     registry = schemas.registry()
     assert set(registry) == {"events", "bench", "graph", "profile",
-                             "manifest", "lint", "cex", "heatmap"}
+                             "manifest", "lint", "cex", "heatmap",
+                             "summary"}
     assert all(isinstance(v, int) and v >= 1
                for v in registry.values())
     # every emitter imports its constant from the registry, so the

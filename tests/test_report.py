@@ -120,6 +120,8 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
     (tmp_path / "BENCH_history.jsonl").write_text(
         "\n".join(json.dumps(e) for e in fx["BENCH_history"]))
     (tmp_path / "crossval.txt").write_text(fx["crossval.txt"])
+    (tmp_path / "summary_stats.json").write_text(
+        json.dumps(fx["summary_stats.json"]))
     (tmp_path / "junk.json").write_text("not json {")
     for manifest in fx["runs"]:
         run_dir = tmp_path / manifest["run_id"]
@@ -139,6 +141,8 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
     assert len(inputs.history) == 2
     assert len(inputs.bench_history) == 2
     assert [label for label, _ in inputs.tables] == ["crossval.txt"]
+    assert [label for label, _ in inputs.summaries] \
+        == ["summary_stats.json"]
     assert sorted(m["run_id"] for m in inputs.runs) == \
         sorted(m["run_id"] for m in fx["runs"])
 

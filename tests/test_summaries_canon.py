@@ -1,0 +1,209 @@
+"""Canonical procedure hashing and dependency digests
+(repro.analysis.summaries.canon): rename tolerance, the
+shared-variable near-collision guard, call-graph closures, and the
+invalidation rules the incremental engine relies on."""
+
+from __future__ import annotations
+
+from repro.analysis.inference import InferenceOptions
+from repro.analysis.summaries import canon
+from repro.synl.parser import parse_program
+from repro.synl.resolve import resolve
+
+
+def _program(text: str):
+    program = parse_program(text)
+    resolve(program)
+    return program
+
+
+def _proc(program, name: str):
+    return next(p for p in program.procs if p.name == name)
+
+
+def _hash(text: str, name: str) -> str:
+    return canon.proc_content_hash(_proc(_program(text), name))
+
+
+BASE = """
+global Sem;
+proc Down() {
+  loop {
+    local tmp = LL(Sem) in {
+      if (tmp > 0) {
+        if (SC(Sem, tmp - 1)) { return; }
+      }
+    }
+  }
+}
+"""
+
+RENAMED_LOCAL = BASE.replace("tmp", "current")
+
+
+# -- rename tolerance ----------------------------------------------------------
+
+def test_local_rename_keeps_hash():
+    assert _hash(BASE, "Down") == _hash(RENAMED_LOCAL, "Down")
+
+
+def test_param_rename_keeps_hash():
+    a = "global G;\nproc P(x) { G = x; }\n"
+    b = "global G;\nproc P(y) { G = y; }\n"
+    assert _hash(a, "P") == _hash(b, "P")
+
+
+def test_whitespace_and_position_keep_hash():
+    spaced = "\n\n" + BASE.replace("{\n", "{\n\n")
+    assert _hash(BASE, "Down") == _hash(spaced, "Down")
+
+
+# -- the near-collision guard (satellite: shared-variable identity) ------------
+
+def test_shared_variable_identity_changes_hash():
+    # Two procedures whose normalized ASTs differ ONLY in which shared
+    # variable they touch: every local binder canonicalizes to the
+    # same ordinal, so a hash that also normalized global names would
+    # collide these.
+    a = ("global A; global B;\n"
+         "proc P() { local t = LL(A) in "
+         "{ if (SC(A, t + 1)) { return; } } }\n")
+    b = ("global A; global B;\n"
+         "proc P() { local t = LL(B) in "
+         "{ if (SC(B, t + 1)) { return; } } }\n")
+    assert _hash(a, "P") != _hash(b, "P")
+
+
+def test_local_vs_global_same_name_changes_hash():
+    # A binder named like a global must not alias it: the VarKind tag
+    # is part of the canonical key.
+    a = "global X;\nproc P(v) { X = v; }\n"
+    b = "global X;\nproc P(X) { X = X; }\n"
+    assert _hash(a, "P") != _hash(b, "P")
+
+
+def test_field_identity_changes_hash():
+    a = ("class C { F; G; } global O;\n"
+         "proc P() { local t = O in { t.F = 1; } }\n")
+    b = ("class C { F; G; } global O;\n"
+         "proc P() { local t = O in { t.G = 1; } }\n")
+    assert _hash(a, "P") != _hash(b, "P")
+
+
+def test_body_edit_changes_hash():
+    assert _hash(BASE, "Down") != _hash(
+        BASE.replace("tmp - 1", "tmp - 2"), "Down")
+
+
+# -- call graph ----------------------------------------------------------------
+
+CALLS = """
+global G; global H;
+proc Leaf() { G = 1; }
+proc Mid() { Leaf(); }
+proc Top() { Mid(); }
+proc Solo() { H = 2; }
+"""
+
+
+def test_call_graph_and_closure():
+    program = _program(CALLS)
+    graph = canon.call_graph(program)
+    assert graph["Top"] == {"Mid"}
+    assert graph["Mid"] == {"Leaf"}
+    assert graph["Solo"] == set()
+    assert canon.callee_closure(graph, "Top") == {"Mid", "Leaf"}
+    assert canon.callee_closure(graph, "Solo") == set()
+
+
+def test_effective_hash_folds_in_callees():
+    edited = CALLS.replace("G = 1", "G = 3")
+    eff_a = canon.effective_hashes(_program(CALLS))
+    eff_b = canon.effective_hashes(_program(edited))
+    # Editing Leaf flips Leaf, Mid and Top; Solo is untouched.
+    assert eff_a["Leaf"] != eff_b["Leaf"]
+    assert eff_a["Mid"] != eff_b["Mid"]
+    assert eff_a["Top"] != eff_b["Top"]
+    assert eff_a["Solo"] == eff_b["Solo"]
+
+
+# -- dependency digests (the invalidation rules) -------------------------------
+
+def _keys(text: str) -> dict:
+    return canon.dependency_digests(_program(text),
+                                    InferenceOptions(), text)
+
+
+def test_callee_edit_invalidates_callers_not_siblings():
+    a = _keys(CALLS)
+    b = _keys(CALLS.replace("G = 1", "G = 3"))
+    assert a["Leaf"] != b["Leaf"]
+    assert a["Mid"] != b["Mid"]
+    assert a["Top"] != b["Top"]
+    # Solo touches only H — no call edge, disjoint footprint.
+    assert a["Solo"] == b["Solo"]
+
+
+def test_interference_overlap_invalidates_without_calls():
+    shared = ("global G;\n"
+              "proc W() { G = 1; }\n"
+              "proc R() { local t = G in { return t; } }\n")
+    a = _keys(shared)
+    b = _keys(shared.replace("G = 1", "G = 2"))
+    # No call edge W->R, but both touch G: the whole-program
+    # classification can see W from R, so R must be invalidated too.
+    assert a["W"] != b["W"]
+    assert a["R"] != b["R"]
+
+
+def test_declaration_edit_invalidates_everyone():
+    a = _keys(CALLS)
+    b = _keys(CALLS.replace("global G;", "global versioned G;"))
+    assert all(a[name] != b[name] for name in a)
+
+
+def test_suppression_edit_invalidates_only_affected_proc():
+    base = ("global Sem;\n"
+            "proc Down() {\n"
+            "  local t = Sem in { Sem = t - 1; }\n"
+            "}\n"
+            "proc Up() {\n"
+            "  local t = Sem in { Sem = t + 1; }\n"
+            "}\n")
+    suppressed = base.replace(
+        "  local t = Sem in { Sem = t - 1; }",
+        "  // lint: ignore[race.unlocked]\n"
+        "  local t = Sem in { Sem = t - 1; }")
+    a = _keys(base)
+    b = _keys(suppressed)
+    assert a["Down"] != b["Down"]
+    assert a["Up"] == b["Up"]
+
+
+def test_suppression_slice_is_offset_relative():
+    text = ("global G;\n"
+            "proc P() {\n"
+            "  G = 1; // lint: ignore[race.unlocked]\n"
+            "}\n")
+    shifted = "\n\n\n" + text
+    slice_a = canon.suppression_slice(
+        text, _proc(_program(text), "P"))
+    slice_b = canon.suppression_slice(
+        shifted, _proc(_program(shifted), "P"))
+    assert slice_a and slice_a == slice_b
+
+
+def test_options_change_keys():
+    program = _program(CALLS)
+    a = canon.dependency_digests(program, InferenceOptions(), CALLS)
+    b = canon.dependency_digests(
+        program, InferenceOptions(enable_lint=False), CALLS)
+    assert all(a[name] != b[name] for name in a)
+
+
+def test_program_key_tracks_source_text():
+    options = InferenceOptions()
+    assert canon.program_key(CALLS, options) \
+        != canon.program_key(CALLS + "\n", options)
+    assert canon.program_key(CALLS, options) \
+        == canon.program_key(CALLS, InferenceOptions())

@@ -1,0 +1,255 @@
+"""The incremental engine (repro.analysis.summaries.engine): replay
+fidelity, invalidation cascades end to end, drift detection, the
+verify canary, and the warm-cache canary."""
+
+from __future__ import annotations
+
+import json
+
+from repro import corpus
+from repro.analysis.inference import InferenceOptions
+from repro.analysis.summaries import (
+    SummaryStore,
+    analyze_with_summaries,
+    verify_store,
+    warm_canary,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+
+
+def _store(tmp_path):
+    return SummaryStore(tmp_path / "summaries")
+
+
+def _strip(doc: dict) -> dict:
+    return {k: v for k, v in doc.items()
+            if k not in ("run_meta", "cached", "trace", "profile")}
+
+
+CALLS = """
+global G; global H;
+proc Leaf() { G = 1; }
+proc Top() { Leaf(); }
+proc Solo() { H = 2; }
+"""
+
+
+# -- hit / miss / replay -------------------------------------------------------
+
+def test_cold_miss_then_full_hit(tmp_path):
+    store = _store(tmp_path)
+    r1, i1 = analyze_with_summaries(corpus.CAS_COUNTER, store=store)
+    assert not i1["cached"]
+    assert i1["misses"] == ["Get", "Inc"]
+    r2, i2 = analyze_with_summaries(corpus.CAS_COUNTER, store=store)
+    assert i2["cached"]
+    assert i2["hits"] == ["Get", "Inc"]
+    assert not i2["misses"] and not i2["drift"]
+    assert getattr(r2, "cached", False)
+
+
+def test_replay_is_byte_identical_modulo_volatile(tmp_path):
+    store = _store(tmp_path)
+    fresh, _ = analyze_with_summaries(corpus.ABA_STACK, store=store)
+    cached, info = analyze_with_summaries(corpus.ABA_STACK,
+                                          store=store)
+    assert info["cached"]
+    a = json.dumps(_strip(fresh.to_dict()), sort_keys=True)
+    b = json.dumps(_strip(cached.to_dict()), sort_keys=True)
+    assert a == b
+    # cached doc advertises itself and keeps provenance chains
+    doc = cached.to_dict()
+    assert doc["cached"] is True
+    assert "run_meta" in doc
+    lines = doc["procedures"][0]["variants"][0]["lines"]
+    assert any(line.get("provenance") for line in lines)
+    bare = cached.to_dict(include_provenance=False)
+    bare_lines = bare["procedures"][0]["variants"][0]["lines"]
+    assert all("provenance" not in line for line in bare_lines)
+
+
+def test_cached_result_mirrors_analysis_result(tmp_path):
+    store = _store(tmp_path)
+    fresh, _ = analyze_with_summaries(corpus.ABA_STACK, store=store)
+    cached, _ = analyze_with_summaries(corpus.ABA_STACK, store=store)
+    assert cached.all_atomic == fresh.all_atomic
+    assert cached.atomic_procedures() == fresh.atomic_procedures()
+    assert [cached.is_atomic(n) for n in cached.verdicts] \
+        == [fresh.is_atomic(n) for n in fresh.verdicts]
+    assert cached.diagnostics == list(fresh.diagnostics)
+    assert cached.figure() and cached.figure(explain=True)
+    assert [f.render() for f in cached.lint.findings] \
+        == [f.render() for f in fresh.lint.findings]
+
+
+def test_metrics_and_profiler_attribution(tmp_path):
+    store = _store(tmp_path)
+    registry = MetricsRegistry()
+    profiler = Profiler()
+    analyze_with_summaries(corpus.CAS_COUNTER, store=store,
+                           metrics=registry, profiler=profiler)
+    snap = registry.snapshot()
+    assert snap["summary.procs.miss"] == 2
+    assert snap["summary.programs.miss"] == 1
+    counters = profiler.counters()
+    assert counters["summary.hash"]["work"] == 2
+    assert "summary.emit" in counters
+    analyze_with_summaries(corpus.CAS_COUNTER, store=store,
+                           metrics=registry, profiler=profiler)
+    snap = registry.snapshot()
+    assert snap["summary.procs.hit"] == 2
+    assert snap["summary.programs.hit"] == 1
+    assert "summary.replay" in profiler.counters()
+
+
+def test_summary_events_emitted(tmp_path):
+    from repro.obs.events import EventStream
+
+    store = _store(tmp_path)
+    events = EventStream()
+    analyze_with_summaries(corpus.CAS_COUNTER, store=store,
+                           events=events, label="cas")
+    analyze_with_summaries(corpus.CAS_COUNTER, store=store,
+                           events=events, label="cas")
+    kinds = [e["kind"] for e in events.snapshot()]
+    assert "summary.resolve" in kinds
+    assert "summary.emit" in kinds
+    assert "summary.replay" in kinds
+
+
+# -- invalidation cascades (satellite) -----------------------------------------
+
+def test_callee_edit_invalidates_callers_but_not_siblings(tmp_path):
+    store = _store(tmp_path)
+    analyze_with_summaries(CALLS, store=store)
+    edited = CALLS.replace("G = 1", "G = 3")
+    _, info = analyze_with_summaries(edited, store=store)
+    assert sorted(info["misses"]) == ["Leaf", "Top"]
+    assert info["hits"] == ["Solo"]
+    # stale records for known names count as invalidations
+    assert sorted(info["invalidated"]) == ["Leaf", "Top"]
+    assert not info["drift"]
+
+
+def test_lint_suppression_edit_invalidates_only_that_proc(tmp_path):
+    base = ("global Sem;\n"
+            "proc Down() {\n"
+            "  local t = Sem in { Sem = t - 1; }\n"
+            "}\n"
+            "proc Observe() {\n"
+            "  local t = Sem in { return t; }\n"
+            "}\n")
+    suppressed = base.replace(
+        "  local t = Sem in { Sem = t - 1; }",
+        "  // lint: ignore[race.unlocked]\n"
+        "  local t = Sem in { Sem = t - 1; }")
+    store = _store(tmp_path)
+    _, cold = analyze_with_summaries(base, store=store)
+    assert not cold["cached"]
+    _, info = analyze_with_summaries(suppressed, store=store)
+    assert info["misses"] == ["Down"]
+    assert info["hits"] == ["Observe"]
+    assert info["invalidated"] == ["Down"]
+    # the suppression landed in Down's lint-bearing slice
+    down_key = info["proc_keys"]["Down"]
+    record = store.get("proc", down_key)
+    rules = {f["rule"] for f in record["slice"]["lint"]}
+    assert "race.unlocked" not in rules
+
+
+def test_local_rename_is_a_full_proc_hit(tmp_path):
+    store = _store(tmp_path)
+    analyze_with_summaries(CALLS, store=store)
+    renamed = CALLS.replace("Leaf()", "Leaf( )")  # text-only change
+    _, info = analyze_with_summaries(renamed, store=store)
+    # program record misses (source text changed) but every proc
+    # summary replays, so the recompute doubles as a drift check
+    assert not info["cached"]
+    assert sorted(info["hits"]) == ["Leaf", "Solo", "Top"]
+    assert not info["drift"]
+
+
+# -- drift detection (the soundness alarm) -------------------------------------
+
+def _tamper_proc(store, info, name):
+    key = info["proc_keys"][name]
+    record = store.get("proc", key)
+    sl = record["slice"]
+    sl["atomic"] = not sl["atomic"]
+    if sl["variants"]:
+        sl["variants"][0]["body_atomicity"] = "nonatomic"
+    store.put("proc", key, name,
+              {k: v for k, v in record.items()
+               if k not in ("v", "kind", "key", "name")})
+
+
+def test_tampered_summary_is_reported_as_drift(tmp_path):
+    store = _store(tmp_path)
+    _, cold = analyze_with_summaries(corpus.CAS_COUNTER, store=store,
+                                     label="cas")
+    _tamper_proc(store, cold, "Inc")
+    # drop the program record so the engine recomputes and compares
+    for path in store.iter_paths("program"):
+        path.unlink()
+    _, info = analyze_with_summaries(corpus.CAS_COUNTER, store=store,
+                                     label="cas")
+    assert [d["proc"] for d in info["drift"]] == ["Inc"]
+    diff = info["drift"][0]["diff"]
+    assert not diff["empty"]
+    assert any(entry["name"] == "Inc"
+               for entry in diff["procedures"])
+
+
+def test_verify_store_catches_tampered_program_doc(tmp_path):
+    store = _store(tmp_path)
+    analyze_with_summaries(corpus.CAS_COUNTER, store=store,
+                           label="cas")
+    report = verify_store(store)
+    assert report == {"checked": 1, "mismatches": []}
+    record = next(iter(store.records("program")))
+    record["doc"]["all_atomic"] = not record["doc"]["all_atomic"]
+    store.put("program", record["key"], record["name"],
+              {k: v for k, v in record.items()
+               if k not in ("v", "kind", "key", "name")})
+    report = verify_store(store)
+    assert report["checked"] == 1
+    assert len(report["mismatches"]) == 1
+    assert not report["mismatches"][0]["diff"]["empty"]
+
+
+# -- options and corpus --------------------------------------------------------
+
+def test_options_partition_the_cache(tmp_path):
+    store = _store(tmp_path)
+    analyze_with_summaries(corpus.CAS_COUNTER, store=store)
+    _, info = analyze_with_summaries(
+        corpus.CAS_COUNTER, InferenceOptions(enable_lint=False),
+        store=store)
+    assert not info["cached"]
+    assert len(info["misses"]) == 2
+
+
+def test_warm_canary_full_corpus(tmp_path):
+    report = warm_canary(tmp_path / "canary")
+    assert report["ok"], report
+    assert report["programs"] >= 19
+    assert not report["not_cached"]
+    assert not report["mismatched"]
+    assert report["stats"]["programs"] == report["programs"]
+
+
+def test_warm_speedup_by_work_counters(tmp_path):
+    from repro.analysis.summaries import analyze_corpus
+
+    store = _store(tmp_path)
+
+    def work(profiler):
+        return sum(entry["calls"] + entry["work"]
+                   for entry in profiler.counters().values())
+
+    cold = Profiler()
+    analyze_corpus(store, profiler=cold)
+    warm = Profiler()
+    analyze_corpus(store, profiler=warm)
+    assert work(cold) >= 5 * work(warm)

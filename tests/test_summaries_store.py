@@ -1,0 +1,86 @@
+"""Content-addressed summary store (repro.analysis.summaries.store):
+round-trips, the schema-version refusal guard, gc, and stats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.summaries.store import SCHEMA_VERSION, SummaryStore
+from repro.obs import schemas
+
+
+def test_schema_version_registered():
+    assert SCHEMA_VERSION == schemas.SUMMARY
+    assert schemas.registry()["summary"] == SCHEMA_VERSION
+    assert not schemas.check_registry()
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    store.put("proc", "a" * 16, "Down", {"slice": {"atomic": True}})
+    record = store.get("proc", "a" * 16)
+    assert record["v"] == SCHEMA_VERSION
+    assert record["kind"] == "proc"
+    assert record["name"] == "Down"
+    assert record["slice"] == {"atomic": True}
+    assert store.get("proc", "b" * 16) is None
+    assert store.get("program", "a" * 16) is None
+
+
+def test_refuses_schema_version_mismatch(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    path = store.put("proc", "c" * 16, "Up", {"slice": {}})
+    stale = json.loads(path.read_text())
+    stale["v"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(stale))
+    assert store.get("proc", "c" * 16) is None
+    assert store.stats()["schema_refused"] == 1
+
+
+def test_refuses_corrupt_record(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    path = store.put("program", "d" * 16, "prog", {"doc": {}})
+    path.write_text("{not json")
+    assert store.get("program", "d" * 16) is None
+    assert store.stats()["corrupt"] >= 1
+
+
+def test_key_prefix_collision_checks_full_key(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    store.put("proc", "e" * 12 + "1111", "P", {"slice": {}})
+    # same 12-char file prefix, different full key -> miss
+    assert store.get("proc", "e" * 12 + "2222") is None
+
+
+def test_known_proc_names_and_entries(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    store.put("proc", "f" * 16, "Down", {"slice": {}})
+    store.put("proc", "0" * 16, "Up", {"slice": {}})
+    store.put("program", "1" * 16, "prog", {"doc": {}})
+    assert store.known_proc_names() == {"Down", "Up"}
+    kinds = sorted(e["kind"] for e in store.entries())
+    assert kinds == ["proc", "proc", "program"]
+
+
+def test_gc_keeps_most_recent(tmp_path):
+    import os
+
+    store = SummaryStore(tmp_path / "store")
+    for i in range(5):
+        path = store.put("proc", f"{i}{'a' * 15}", f"P{i}",
+                         {"slice": {}})
+        os.utime(path, (1000 + i, 1000 + i))
+    removed = store.gc(keep=2)
+    assert len(removed) == 3
+    names = {e["name"] for e in store.entries("proc")}
+    assert names == {"P3", "P4"}
+
+
+def test_stats_shape(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    store.put("proc", "a" * 16, "P", {"slice": {}})
+    stats = store.stats()
+    assert stats["kind"] == "summary-stats"
+    assert stats["procs"] == 1
+    assert stats["programs"] == 0
+    assert stats["bytes"] > 0
