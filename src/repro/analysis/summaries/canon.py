@@ -16,7 +16,9 @@ The incremental engine needs two keys per procedure:
   ``versioned`` flags, thread-locals, consts, classes, ``init`` /
   ``threadinit``), the analysis options, the lint suppressions inside
   the procedure's source span, and the *interference set*: the other
-  procedures whose shared-region footprint overlaps this one's.  The
+  procedures whose shared-region footprint (again with the callee
+  closure folded in — inlining makes a caller touch everything its
+  callees touch) overlaps this one's.  The
   classification steps are whole-program (stability of a mover is
   judged against every other access in the program), so a procedure's
   verdict may change when an interfering procedure changes even if no
@@ -172,8 +174,10 @@ def decl_digest(program: A.Program) -> str:
 
 
 def options_digest(options) -> str:
+    # repr, not bool(): coercion would collapse distinct non-bool
+    # option values (e.g. a future int threshold) into one digest
     return digest(("options", tuple(sorted(
-        (k, bool(v)) for k, v in vars(options).items()))))
+        (k, repr(v)) for k, v in vars(options).items()))))
 
 
 def suppression_slice(source_text: str | None,
@@ -199,16 +203,40 @@ def suppression_slice(source_text: str | None,
 
 # -- per-procedure dependency digests ------------------------------------------
 
-def effective_hashes(program: A.Program) -> dict[str, str]:
+def effective_hashes(program: A.Program,
+                     graph: dict[str, set[str]] | None = None,
+                     ) -> dict[str, str]:
     """Per-procedure hash folding in the transitive callee closure:
     ``H(own content, sorted closure content hashes)``.  A callee edit
     flips every (transitive) caller's effective hash."""
-    graph = call_graph(program)
+    if graph is None:
+        graph = call_graph(program)
     own = {p.name: proc_content_hash(p) for p in program.procs}
     effective: dict[str, str] = {}
     for proc in program.procs:
         closure = sorted(own[c] for c in callee_closure(graph, proc.name))
         effective[proc.name] = _sha((own[proc.name], tuple(closure)))
+    return effective
+
+
+def effective_footprints(program: A.Program,
+                         graph: dict[str, set[str]] | None = None,
+                         ) -> dict[str, frozenset[tuple[str, str]]]:
+    """Per-procedure shared footprint with the transitive callee
+    closure folded in.  Calls are inlined before analysis, so a caller
+    inherits every shared region its callees touch — interference must
+    be judged on this effective footprint, not the pre-inline body
+    alone (a procedure that reaches global ``g`` only through a callee
+    still interferes with every other procedure touching ``g``)."""
+    if graph is None:
+        graph = call_graph(program)
+    own = {p.name: shared_footprint(p) for p in program.procs}
+    effective: dict[str, frozenset[tuple[str, str]]] = {}
+    for proc in program.procs:
+        regions = set(own[proc.name])
+        for callee in callee_closure(graph, proc.name):
+            regions |= own.get(callee, frozenset())
+        effective[proc.name] = frozenset(regions)
     return effective
 
 
@@ -222,12 +250,14 @@ def dependency_digests(program: A.Program, options,
     procedure name, its effective content hash (callee closure folded
     in), the declaration digest, the options digest, its
     lint-suppression slice, and the sorted effective hashes of every
-    *other* procedure whose shared footprint overlaps its own."""
+    *other* procedure whose effective shared footprint (callee closure
+    folded in on both sides) overlaps its own."""
     if schema_version is None:
         from repro.analysis.summaries.store import SCHEMA_VERSION
         schema_version = SCHEMA_VERSION
-    effective = effective_hashes(program)
-    footprints = {p.name: shared_footprint(p) for p in program.procs}
+    graph = call_graph(program)
+    effective = effective_hashes(program, graph)
+    footprints = effective_footprints(program, graph)
     decls = decl_digest(program)
     opts = options_digest(options)
     keys: dict[str, str] = {}

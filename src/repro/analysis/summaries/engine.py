@@ -82,23 +82,43 @@ def compare_doc(doc: dict) -> dict:
 
 
 def proc_slices(doc: dict) -> dict[str, dict]:
-    """Per-procedure summary slices of an analysis doc.  Variant line
-    labels are re-lettered to a per-procedure alphabet so the slice
-    does not depend on where the procedure sits in the program-wide
-    prefix sequence; lint findings are attributed by their ``proc``
-    field (minus source positions — the procedure key is
-    position-independent, so its slice must be too)."""
-    positional = ("line", "col", "end_line", "end_col")
+    """Per-procedure summary slices of an analysis doc.
+
+    The slice must be invariant under exactly the edits the proc key
+    (:func:`repro.analysis.summaries.canon.dependency_digests`) is
+    invariant under — otherwise a legitimate hit diffs against the
+    fresh recompute and raises a false drift alarm.  The key
+    canonicalizes local/param names away, so every name-bearing field
+    is projected out: variant line ``text`` and provenance ``detail``
+    (pretty-printed, with actual local names), and lint ``message`` /
+    ``fix`` / ``region`` strings (rendered via ``pretty_target`` /
+    ``region_label``, which can name locals).  What remains is the
+    verdict substance: line labels (re-lettered to a per-procedure
+    alphabet so the slice does not depend on where the procedure sits
+    in the program-wide prefix sequence), atomicity letters, the
+    provenance chain's rule/theorem/mover structure, and the lint
+    rule/severity set.  Source positions are dropped for the same
+    reason — the key is position-independent, so the slice must be
+    too."""
+    lint_kept = ("rule", "severity", "proc")
     lint_findings = [
-        {k: v for k, v in f.items() if k not in positional}
+        {k: f.get(k) for k in lint_kept}
         for f in (doc.get("lint") or {}).get("findings", [])]
     slices: dict[str, dict] = {}
     for entry in doc.get("procedures", []):
         variants = []
         for index, variant in enumerate(entry.get("variants", [])):
             variant = dict(variant)
-            variant["lines"] = canon.reletter_variant(
-                variant.get("lines", []), index)
+            lines = []
+            for line in canon.reletter_variant(
+                    variant.get("lines", []), index):
+                line = {k: v for k, v in line.items() if k != "text"}
+                if "provenance" in line:
+                    line["provenance"] = [
+                        {k: v for k, v in j.items() if k != "detail"}
+                        for j in line["provenance"]]
+                lines.append(line)
+            variant["lines"] = lines
             variants.append(variant)
         slices[entry["name"]] = {
             "atomic": bool(entry.get("atomic")),

@@ -1,11 +1,12 @@
 """Content-addressed, schema-versioned summary store.
 
 Layout (reusing the ledger's sha256 artifact naming — files are
-``{key[:12]}-{name}.json`` with the full key recorded inside):
+``{key}-{name}.json``, the *full* key so distinct keys can never
+share a filename):
 
     <root>/
-      procs/     <key12>-<proc-name>.json      per-procedure summaries
-      programs/  <key12>-<label>.json          whole-program records
+      procs/     <key>-<proc-name>.json      per-procedure summaries
+      programs/  <key>-<label>.json          whole-program records
 
 Every record carries ``v`` (the ``summary`` entry of
 :func:`repro.obs.schemas.registry`); :meth:`SummaryStore.get` refuses
@@ -17,7 +18,9 @@ only cause cache misses, never wrong verdicts.
 from __future__ import annotations
 
 import json
+import os
 import re
+import tempfile
 from pathlib import Path
 
 from repro.obs import schemas
@@ -46,7 +49,7 @@ class SummaryStore:
         return self.root / f"{kind}s"
 
     def _path(self, kind: str, key: str, name: str) -> Path:
-        return self._dir(kind) / f"{key[:12]}-{_safe_name(name)}.json"
+        return self._dir(kind) / f"{key}-{_safe_name(name)}.json"
 
     # -- record I/O -----------------------------------------------------------
     def put(self, kind: str, key: str, name: str, record: dict) -> Path:
@@ -54,17 +57,27 @@ class SummaryStore:
                "name": name, **record}
         path = self._path(kind, key, name)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n",
-                       encoding="utf-8")
-        tmp.replace(path)
+        # unique tmp name: concurrent put()s of the same record must
+        # not scribble over each other's half-written file
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=path.name + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     def get(self, kind: str, key: str) -> dict | None:
         directory = self._dir(kind)
         if not directory.is_dir():
             return None
-        for path in sorted(directory.glob(f"{key[:12]}-*.json")):
+        for path in sorted(directory.glob(f"{key}-*.json")):
             record = self._load(path)
             if record is None:
                 continue
@@ -109,10 +122,10 @@ class SummaryStore:
         out = []
         for path in self.iter_paths(kind):
             stat = path.stat()
-            key12, _, name = path.stem.partition("-")
+            key, _, name = path.stem.partition("-")
             out.append({
                 "kind": path.parent.name.rstrip("s"),
-                "key": key12,
+                "key": key,
                 "name": name,
                 "bytes": stat.st_size,
                 "mtime": stat.st_mtime,

@@ -49,7 +49,9 @@ HEATMAP = 1
 
 #: content-addressed procedure/program summary records
 #: (:mod:`repro.analysis.summaries.store`)
-SUMMARY = 1
+#: v2: name-insensitive proc slices (no pretty-printed text / lint
+#: messages), full-key filenames, callee-closure interference
+SUMMARY = 2
 
 
 def registry() -> dict:

@@ -156,6 +156,35 @@ def test_interference_overlap_invalidates_without_calls():
     assert a["R"] != b["R"]
 
 
+def test_interference_reaches_through_callees():
+    # A touches G only via its callee B; C touches G with no call
+    # edge to either.  Inlining hands B's accesses to A, so editing C
+    # must invalidate A (and B) — interference is judged on the
+    # effective footprint, not the pre-inline body.  D is disjoint.
+    text = ("global G; global H;\n"
+            "proc A() { B(); }\n"
+            "proc B() { G = 1; }\n"
+            "proc C() { G = 2; }\n"
+            "proc D() { H = 3; }\n")
+    a = _keys(text)
+    b = _keys(text.replace("G = 2", "G = 9"))
+    assert a["C"] != b["C"]
+    assert a["B"] != b["B"]
+    assert a["A"] != b["A"]
+    assert a["D"] == b["D"]
+
+
+def test_effective_footprints_fold_in_callees():
+    program = _program("global G;\n"
+                       "proc A() { B(); }\n"
+                       "proc B() { G = 1; }\n")
+    own = canon.shared_footprint(_proc(program, "A"))
+    assert ("global", "G") not in own
+    effective = canon.effective_footprints(program)
+    assert ("global", "G") in effective["A"]
+    assert effective["A"] == effective["B"]
+
+
 def test_declaration_edit_invalidates_everyone():
     a = _keys(CALLS)
     b = _keys(CALLS.replace("global G;", "global versioned G;"))
@@ -199,6 +228,18 @@ def test_options_change_keys():
     b = canon.dependency_digests(
         program, InferenceOptions(enable_lint=False), CALLS)
     assert all(a[name] != b[name] for name in a)
+
+
+def test_options_digest_distinguishes_non_bool_values():
+    # bool() coercion would collapse e.g. a future int threshold of 1
+    # and 2 into the same digest — the key must track raw values
+    from types import SimpleNamespace
+
+    a = canon.options_digest(SimpleNamespace(threshold=1))
+    b = canon.options_digest(SimpleNamespace(threshold=2))
+    c = canon.options_digest(SimpleNamespace(threshold=True))
+    assert a != b
+    assert a != c
 
 
 def test_program_key_tracks_source_text():

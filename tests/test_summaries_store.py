@@ -48,8 +48,30 @@ def test_refuses_corrupt_record(tmp_path):
 def test_key_prefix_collision_checks_full_key(tmp_path):
     store = SummaryStore(tmp_path / "store")
     store.put("proc", "e" * 12 + "1111", "P", {"slice": {}})
-    # same 12-char file prefix, different full key -> miss
+    # same 12-char prefix, different full key -> miss, not a false hit
     assert store.get("proc", "e" * 12 + "2222") is None
+
+
+def test_prefix_sharing_records_do_not_evict_each_other(tmp_path):
+    # Filenames carry the FULL key: two records whose keys share a
+    # long prefix (and the same name) must coexist — put() of one must
+    # not overwrite the other
+    store = SummaryStore(tmp_path / "store")
+    key_a = "e" * 12 + "1111"
+    key_b = "e" * 12 + "2222"
+    store.put("proc", key_a, "P", {"slice": {"atomic": True}})
+    store.put("proc", key_b, "P", {"slice": {"atomic": False}})
+    assert store.get("proc", key_a)["slice"] == {"atomic": True}
+    assert store.get("proc", key_b)["slice"] == {"atomic": False}
+    assert store.stats()["procs"] == 2
+
+
+def test_put_leaves_no_tmp_litter(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    store.put("proc", "a" * 16, "P", {"slice": {}})
+    leftovers = [p for p in (tmp_path / "store" / "procs").iterdir()
+                 if p.suffix != ".json"]
+    assert leftovers == []
 
 
 def test_known_proc_names_and_entries(tmp_path):
