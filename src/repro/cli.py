@@ -14,7 +14,9 @@
     python -m repro top EVENTS.jsonl     # live dashboard over an events file
     python -m repro bench run            # statistical benchmark matrix
     python -m repro bench trend          # perf trajectory sparklines
+    python -m repro bench trend --changepoints   # step detection
     python -m repro bench compare A B    # noise-aware bench diff
+    python -m repro perf diff A B        # attributed perf forensics
     python -m repro experiments NAME     # regenerate a table/figure
     python -m repro runs list            # persistent run ledger
     python -m repro runs diff -2 -1      # cross-run classification drift
@@ -874,16 +876,25 @@ def cmd_bench(args) -> int:
 
     if args.bench_cmd == "trend":
         history = bench.load_history(args.history)
+        window = history[-args.last:] if args.last else history
+        steps = None
+        if args.changepoints:
+            from repro.obs import changepoint
+            steps = changepoint.detect_history(window,
+                                               metric=args.metric)
         if args.json:
-            print(json.dumps({
-                "v": 1, "runs": len(history),
-                "metric": args.metric,
-                "series": bench.trend_series(
-                    history[-args.last:] if args.last else history,
-                    args.metric)}, indent=2))
+            doc = {"v": 1, "runs": len(history),
+                   "metric": args.metric,
+                   "series": bench.trend_series(window, args.metric)}
+            if steps is not None:
+                doc["changepoints"] = steps
+            print(json.dumps(doc, indent=2))
             return 0
         print(bench.render_trend(history, metric=args.metric,
                                  last=args.last))
+        if steps is not None:
+            from repro.obs import changepoint
+            print(changepoint.render_steps(steps, args.metric))
         return 0
 
     # compare
@@ -899,6 +910,38 @@ def cmd_bench(args) -> int:
         print(json.dumps(report, indent=2))
     else:
         print(bench.render_compare(report))
+    return 1 if report["drift"] else 0
+
+
+def cmd_perf(args) -> int:
+    """Perf regression forensics (docs/OBSERVABILITY.md).  ``diff``
+    resolves two profile-bearing operands — ledger run tokens exactly
+    like ``runs diff`` (id/prefix/'last'/-N), BENCH/profile/analysis/
+    mc JSON files, ``--profile-out`` folded files, or directories of
+    ``BENCH_*.json`` — and prints the ranked work-counter attribution
+    table.  Exit 0 when no attributed drift (identical seeded runs
+    diff empty by construction), 1 on drift, 2 on a usage error."""
+    from repro.obs import perfdiff
+
+    threshold = args.threshold if args.threshold is not None \
+        else perfdiff.DEFAULT_THRESHOLD
+    try:
+        side_a = perfdiff.resolve_side(args.a, root=args.root)
+        side_b = perfdiff.resolve_side(args.b, root=args.root)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = perfdiff.attribute(side_a, side_b, threshold=threshold)
+    if args.out:
+        # written regardless of the exit code — CI uploads the
+        # attribution artifact from failing and passing runs alike
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(perfdiff.render_attribution(report))
     return 1 if report["drift"] else 0
 
 
@@ -1268,6 +1311,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: wall_s)")
     q.add_argument("--last", type=int, default=None, metavar="N",
                    help="only the most recent N runs")
+    q.add_argument("--changepoints", action="store_true",
+                   help="run the e-divisive-style step detector over "
+                        "every (case, metric) series and annotate "
+                        "detected level shifts with the nearest git "
+                        "rev from the env fingerprint")
     q.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON document "
                         "instead of text")
@@ -1290,6 +1338,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a machine-readable JSON document "
                         "instead of text")
     q.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("perf",
+                       help="perf regression forensics: differential "
+                            "profiling with ranked attribution "
+                            "(docs/OBSERVABILITY.md)")
+    perf_sub = p.add_subparsers(dest="perf_cmd", required=True)
+    q = perf_sub.add_parser(
+        "diff", help="ranked work-counter attribution between two "
+                     "profile-bearing runs (exit 1 on attributed "
+                     "drift, 0 when identical seeded runs diff empty)")
+    q.add_argument("a", help="older side: ledger run (id/prefix/"
+                             "'last'/-N), a BENCH/profile/analysis/mc "
+                             "JSON file, a --profile-out folded file, "
+                             "or a directory of BENCH_*.json")
+    q.add_argument("b", help="newer side (same forms)")
+    q.add_argument("--threshold", type=float, default=None,
+                   metavar="FRAC",
+                   help="relative attributed-work growth a region "
+                        "must exceed to gate (default: 0.25, the "
+                        "watchdog's wall_s threshold)")
+    q.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the attribution document as JSON "
+                        "(written on drift and no-drift alike — the "
+                        "CI artifact)")
+    q.add_argument("--root", default=None, metavar="DIR",
+                   help="ledger directory for run operands (default: "
+                        "$REPRO_LEDGER_DIR or .repro/runs)")
+    q.add_argument("--json", action="store_true",
+                   help="emit the attribution document instead of "
+                        "the table")
+    q.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("graph",
                        help="state-graph capture analytics: stats, "

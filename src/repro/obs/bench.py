@@ -14,6 +14,9 @@ from one sample per commit.  This module makes every perf number a
   summarized as ``{repeats, min, max, mean, median, iqr}``.  The
   emitted record's ``wall_s`` IS the median, so every downstream
   consumer (watchdog, report, compare) gates on the low-noise number;
+  one *extra* profiled pass after the repeats stamps deterministic
+  ``counters`` into the record (:func:`case_counters`) — the substrate
+  ``repro perf diff`` attributes regressions with;
 * :func:`run_matrix` — executes the matrix and splits the records
   into v2 ``BENCH_analysis.json`` / ``BENCH_mc.json`` documents
   (``{v, at, env, repeats, records}``) stamped with an environment
@@ -49,6 +52,7 @@ from typing import Callable, Optional, Union
 
 from repro.obs.export import (BENCH_SCHEMA_VERSION, bench_record,
                               validate_bench_file, write_bench)
+from repro.obs.profile import NULL_PROFILER, Profiler
 
 DEFAULT_REPEATS = 5
 DEFAULT_WARMUP = 1
@@ -157,19 +161,24 @@ def resolve_repeats(flag: Optional[int] = None) -> int:
 class BenchCase:
     """One matrix entry.  ``run()`` executes the workload once and
     returns ``(wall_s, fields)`` where ``fields`` are the non-timing
-    record columns (states, transitions, mem_peak_mb, …)."""
+    record columns (states, transitions, mem_peak_mb, …).  Matrix
+    runners additionally accept a ``profiler`` keyword (default
+    disabled): :func:`run_case` uses it for one dedicated profiled
+    pass *after* the timed repeats, so records carry deterministic
+    ``counters`` for ``repro perf diff`` without profiling overhead
+    ever touching a timed sample."""
 
     name: str            # record name, e.g. "mc/nfq_prime/por"
     kind: str            # 'analysis' | 'mc' — selects the output file
-    run: Callable[[], tuple]
+    run: Callable[..., tuple]
 
 
 def _analysis_case(name: str, source: str) -> BenchCase:
     from repro.analysis import analyze_program
 
-    def run() -> tuple:
+    def run(profiler=NULL_PROFILER) -> tuple:
         start = time.perf_counter()
-        result = analyze_program(source)
+        result = analyze_program(source, profiler=profiler)
         wall = time.perf_counter() - start
         assert result.verdicts
         return wall, {}
@@ -198,13 +207,13 @@ def _corpus_cache_cases() -> list[BenchCase]:
         SummaryStore,
         analyze_with_summaries,
     )
-    from repro.obs.profile import Profiler
 
     targets = [(f"corpus/{name.lower()}", getattr(corpus, name))
                for name in _CACHE_CORPUS]
 
-    def pass_over(store: SummaryStore) -> tuple:
-        profiler = Profiler()
+    def pass_over(store: SummaryStore, profiler=None) -> tuple:
+        profiler = profiler if profiler is not None \
+            and profiler.enabled else Profiler()
         start = time.perf_counter()
         for label, source in targets:
             result, _ = analyze_with_summaries(
@@ -215,10 +224,10 @@ def _corpus_cache_cases() -> list[BenchCase]:
                    for entry in profiler.counters().values())
         return wall, {"work_units": work}
 
-    def run_cold() -> tuple:
+    def run_cold(profiler=None) -> tuple:
         tmp = tempfile.mkdtemp(prefix="repro-bench-cold-")
         try:
-            return pass_over(SummaryStore(tmp))
+            return pass_over(SummaryStore(tmp), profiler)
         finally:
             shutil.rmtree(tmp, ignore_errors=True)
 
@@ -226,11 +235,11 @@ def _corpus_cache_cases() -> list[BenchCase]:
     warm_store = SummaryStore(warm_dir)
     populated = []
 
-    def run_warm() -> tuple:
+    def run_warm(profiler=None) -> tuple:
         if not populated:
             pass_over(warm_store)       # populate, untimed
             populated.append(True)
-        return pass_over(warm_store)
+        return pass_over(warm_store, profiler)
 
     return [BenchCase("analysis/corpus-cold", "analysis", run_cold),
             BenchCase("analysis/corpus-warm", "analysis", run_warm)]
@@ -242,10 +251,10 @@ def _mc_case(name: str, source: str, specs_fn: Callable, mode: str,
     from repro.interp import Interp
     from repro.mc import Explorer
 
-    def run() -> tuple:
+    def run(profiler=NULL_PROFILER) -> tuple:
         interp = Interp(source)
         result = Explorer(interp, specs_fn(), mode=mode,
-                          commutes=commutes,
+                          commutes=commutes, profiler=profiler,
                           max_states=max_states).run()
         fields = {
             "states": result.states,
@@ -303,6 +312,26 @@ def default_matrix(quick: bool = False) -> list[BenchCase]:
     return cases
 
 
+def case_counters(case: BenchCase) -> dict:
+    """One dedicated profiled pass: the deterministic ``{region:
+    {calls, work}}`` counters for ``repro perf diff`` attribution.
+    Runs *after* the timed repeats so profiling overhead never touches
+    a timed sample; counters need no repeats because identical runs
+    produce identical counts.  Cases whose runner predates the
+    ``profiler`` keyword simply yield no counters."""
+    import inspect
+
+    try:
+        params = inspect.signature(case.run).parameters
+    except (TypeError, ValueError):  # pragma: no cover — C callables
+        return {}
+    if "profiler" not in params:
+        return {}
+    profiler = Profiler()
+    case.run(profiler=profiler)
+    return profiler.counters()
+
+
 def run_case(case: BenchCase, repeats: int,
              warmup: int = DEFAULT_WARMUP) -> dict:
     """Warmup (discarded) + N timed repeats -> one median-of-repeats
@@ -327,6 +356,9 @@ def run_case(case: BenchCase, repeats: int,
     # bench schema ignores unknown keys, so plain records stay valid
     if "work_units" in fields:
         record["work_units"] = fields["work_units"]
+    counters = case_counters(case)
+    if counters:
+        record["counters"] = counters
     return record
 
 

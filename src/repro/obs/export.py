@@ -393,6 +393,10 @@ BENCH_RECORD_SCHEMA = {
         # canonical-hash dedup hit rate of the exploration (hits over
         # lookups; 0 for analysis records)
         "dedup_hit_rate": {"type": "number"},
+        # deterministic profiler counters ({region: {calls, work}})
+        # from the harness's dedicated profiled pass — the substrate
+        # repro perf diff attributes regressions with
+        "counters": {"type": "object"},
         # repeat statistics from the statistical bench harness
         # (repro bench run): when present, wall_s IS the median and
         # the regression watchdog gates on it with iqr as the noise
@@ -442,6 +446,44 @@ BENCH_RUN_SCHEMA = {
         "repeats": {"type": "integer"},
         "warmup": {"type": "integer"},
         "records": BENCH_FILE_SCHEMA,
+    },
+}
+
+
+#: one ranked row of a differential-profiling attribution table
+PERFDIFF_ROW_SCHEMA = {
+    "type": "object",
+    "required": ["name", "group", "units_a", "units_b", "delta",
+                 "delta_pct", "drift"],
+    "properties": {
+        "name": {"type": "string"},
+        "group": {"type": "string"},
+        "units_a": {"type": "integer"},
+        "units_b": {"type": "integer"},
+        "delta": {"type": "integer"},
+        "delta_pct": {"type": "number"},
+        "drift": {"type": "boolean"},
+        "wall_a_s": {"type": "number"},
+        "wall_b_s": {"type": "number"},
+    },
+}
+
+#: ``repro perf diff --json`` / ``PERFDIFF_attribution.json``: the
+#: attributed regression document (:mod:`repro.obs.perfdiff`)
+PERFDIFF_SCHEMA = {
+    "type": "object",
+    "required": ["v", "kind", "a", "b", "threshold", "drift", "rows"],
+    "properties": {
+        "v": {"type": "integer"},
+        "kind": {"enum": ["perfdiff"]},
+        "a": {"type": "string"},
+        "b": {"type": "string"},
+        "threshold": {"type": "number"},
+        "drift": {"type": "boolean"},
+        "drifted": {"type": "array", "items": {"type": "string"}},
+        "rows": {"type": "array", "items": PERFDIFF_ROW_SCHEMA},
+        "groups": {"type": "object"},
+        "paths": {"type": "array"},
     },
 }
 

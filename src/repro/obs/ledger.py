@@ -652,6 +652,38 @@ def resolve_run(root: Union[str, pathlib.Path], token: str) -> str:
                      f"{len(ids)} recorded run(s))")
 
 
+def load_artifact_docs(root: Union[str, pathlib.Path],
+                       run_id: str) -> dict[str, dict]:
+    """Load every readable JSON artifact of a run as ``{name: doc}``
+    — persisted content-addressed copies first, falling back to the
+    recorded ``source`` path for reference-only artifacts.  The crash
+    bundle (when present) joins under ``"crash.json"``.  Unreadable or
+    non-JSON artifacts are skipped silently: callers (``repro perf
+    diff``) degrade to whichever documents survive."""
+    manifest = load_manifest(root, run_id)
+    run_dir = pathlib.Path(root) / run_id
+    docs: dict[str, dict] = {}
+    for entry in manifest.get("artifacts", []):
+        candidates = []
+        if entry.get("path"):
+            candidates.append(run_dir / entry["path"])
+        if entry.get("source"):
+            candidates.append(pathlib.Path(entry["source"]))
+        for path in candidates:
+            try:
+                docs[entry["name"]] = json.loads(path.read_text())
+                break
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+    crash = run_dir / "crash.json"
+    if crash.is_file():
+        try:
+            docs["crash.json"] = json.loads(crash.read_text())
+        except (OSError, json.JSONDecodeError):
+            pass
+    return docs
+
+
 def gc(root: Union[str, pathlib.Path],
        keep: int = DEFAULT_KEEP) -> list[str]:
     """Delete all but the ``keep`` most recent run directories.

@@ -64,6 +64,100 @@ class _NullRegion:
 _NULL_REGION = _NullRegion()
 
 
+# -- folded-path escaping ------------------------------------------------------
+#
+# The collapsed-stack format is line-oriented: frames joined with ";",
+# then a space and the sample count.  A region name containing ";" or
+# whitespace would silently corrupt the file (extra frames, shifted
+# counts), so frames are escaped at path-build time and every consumer
+# (``parse_folded_lines`` / ``split_path``) round-trips them back.
+
+_ESCAPES = {"\\": "\\\\", ";": "\\;", " ": "\\s",
+            "\t": "\\t", "\n": "\\n"}
+_UNESCAPES = {"\\": "\\", ";": ";", "s": " ", "t": "\t", "n": "\n"}
+_ESC_CACHE: dict[str, str] = {}
+
+
+def escape_frame(name: str) -> str:
+    """Escape one stack frame for the folded format (``\\\\``, ``\\;``,
+    ``\\s``, ``\\t``, ``\\n``).  Cached: region names form a small
+    fixed vocabulary, so the hot path is one dict hit."""
+    cached = _ESC_CACHE.get(name)
+    if cached is None:
+        if len(_ESC_CACHE) > 4096:  # pragma: no cover — runaway guard
+            _ESC_CACHE.clear()
+        if any(c in name for c in "\\; \t\n"):
+            cached = "".join(_ESCAPES.get(c, c) for c in name)
+        else:
+            cached = name
+        _ESC_CACHE[name] = cached
+    return cached
+
+
+def unescape_frame(frame: str) -> str:
+    """Inverse of :func:`escape_frame` for a single frame."""
+    if "\\" not in frame:
+        return frame
+    out: list[str] = []
+    i = 0
+    while i < len(frame):
+        ch = frame[i]
+        if ch == "\\" and i + 1 < len(frame):
+            out.append(_UNESCAPES.get(frame[i + 1], frame[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def split_path(path: str) -> list[str]:
+    """Split an escaped folded path on unescaped ``;`` into raw
+    (unescaped) frame names.  A regex lookbehind would misread
+    ``\\\\;`` (escaped backslash before a real separator), so this is
+    a manual scan."""
+    frames: list[str] = []
+    cur: list[str] = []
+    i = 0
+    while i < len(path):
+        ch = path[i]
+        if ch == "\\" and i + 1 < len(path):
+            cur.append(ch)
+            cur.append(path[i + 1])
+            i += 2
+        elif ch == ";":
+            frames.append(unescape_frame("".join(cur)))
+            cur = []
+            i += 1
+        else:
+            cur.append(ch)
+            i += 1
+    frames.append(unescape_frame("".join(cur)))
+    return frames
+
+
+def parse_folded_lines(lines) -> dict[str, int]:
+    """Parse folded-format lines back into ``{path: usecs}`` (paths
+    kept escaped, exactly as written — feed them to
+    :func:`split_path` for raw frames).  Escaped frames contain no
+    literal whitespace, so the count is everything after the last
+    space.  Blank and malformed lines are skipped."""
+    out: dict[str, int] = {}
+    for line in lines:
+        line = line.strip("\n")
+        if not line.strip():
+            continue
+        path, sep, count = line.rpartition(" ")
+        if not sep or not path:
+            continue
+        try:
+            usecs = int(count)
+        except ValueError:
+            continue
+        out[path] = out.get(path, 0) + usecs
+    return out
+
+
 class _Region:
     __slots__ = ("profiler", "name", "start")
 
@@ -135,8 +229,12 @@ class Profiler:
         entry[1] += work
         entry[2] += wall_s
         if wall_s > 0:
-            path = ";".join(self._stack) + ";" + name \
-                if self._stack else name
+            if self._stack:
+                path = ";".join(
+                    escape_frame(f) for f in self._stack) \
+                    + ";" + escape_frame(name)
+            else:
+                path = escape_frame(name)
             self._folded[path] = self._folded.get(path, 0.0) + wall_s
 
     # -- reporting ---------------------------------------------------------

@@ -37,6 +37,15 @@ v2 wrapped bench
 files (``{v, env, records}``) are accepted interchangeably with the
 legacy bare arrays.
 
+When a gate fails, the watchdog auto-writes a ranked
+``PERFDIFF_attribution.json`` next to the fresh files — a
+differential-profiling diff of the baseline's deterministic work
+counters against the fresh run's (:mod:`repro.obs.perfdiff`) — so a
+red CI run says *where the work went*, not just that it drifted.
+Verdict lines name the baseline each comparison used
+(``[vs benchmarks/baselines/BENCH_mc.json]`` or ``[vs
+ledger:<run_id>]``).
+
 Every check appends one JSON line to an append-only history file
 (``benchmarks/out/REGRESS_history.jsonl`` by default), giving CI a
 perf trajectory that survives baseline refreshes.  When the run
@@ -110,6 +119,10 @@ class Finding:
     message: str
     baseline: Optional[float] = None
     fresh: Optional[float] = None
+    #: which baseline the verdict compared against (file path or
+    #: ``ledger:<run_id>``) — a multi-file gate failure must say which
+    #: BENCH_*.json tripped it
+    source: Optional[str] = None
 
     def to_dict(self) -> dict:
         out: dict = {"file": self.file, "name": self.name,
@@ -119,11 +132,14 @@ class Finding:
             out["baseline"] = self.baseline
         if self.fresh is not None:
             out["fresh"] = self.fresh
+        if self.source is not None:
+            out["source"] = self.source
         return out
 
     def render(self) -> str:
         flag = "REGRESSION" if self.severity == "regression" else "note"
-        return f"[{flag}] {self.file} {self.name}: {self.message}"
+        src = f" [vs {self.source}]" if self.source else ""
+        return f"[{flag}] {self.file} {self.name}: {self.message}{src}"
 
 
 def _pct(new: float, old: float) -> float:
@@ -132,8 +148,11 @@ def _pct(new: float, old: float) -> float:
 
 def compare_records(fresh: list[dict], baseline: list[dict],
                     thresholds: Optional[dict] = None,
-                    file: str = "") -> list[Finding]:
-    """Compare two record lists (matched by ``name``)."""
+                    file: str = "",
+                    source: Optional[str] = None) -> list[Finding]:
+    """Compare two record lists (matched by ``name``).  ``source``
+    names where the baseline records came from; it is stamped onto
+    every finding so verdict lines identify their baseline."""
     limits = dict(DEFAULT_THRESHOLDS, **(thresholds or {}))
     by_name = {r["name"]: r for r in baseline}
     findings: list[Finding] = []
@@ -152,6 +171,9 @@ def compare_records(fresh: list[dict], baseline: list[dict],
         findings.append(Finding(
             file, name, "presence", "regression",
             "baseline record missing from the fresh run"))
+    if source:
+        for finding in findings:
+            finding.source = source
     return findings
 
 
@@ -256,11 +278,14 @@ def _compare_one(file: str, name: str, fresh: dict, base: dict,
     return out
 
 
-def baselines_from_ledger(root: Union[None, str, pathlib.Path] = None
+def baselines_from_ledger(root: Union[None, str, pathlib.Path] = None,
+                          sources: Optional[dict] = None
                           ) -> dict[str, list]:
     """Baseline records from the run ledger: for each ``BENCH_*``
     file, the copy recorded by the most recent ledgered run (schema-
-    validated; unreadable artifacts are skipped)."""
+    validated; unreadable artifacts are skipped).  When ``sources`` is
+    a dict it is filled with ``{name: "ledger:<run_id>"}`` so verdict
+    lines can name the winning run."""
     from repro.obs import ledger
     from repro.obs.export import (BENCH_FILE_SCHEMA, BENCH_RUN_SCHEMA,
                                   bench_records, validate)
@@ -281,6 +306,9 @@ def baselines_from_ledger(root: Union[None, str, pathlib.Path] = None
                 else BENCH_FILE_SCHEMA
             if not validate(doc, schema):
                 out[artifact["name"]] = bench_records(doc)  # newest wins
+                if sources is not None:
+                    sources[artifact["name"]] = \
+                        f"ledger:{manifest['run_id']}"
     return out
 
 
@@ -330,7 +358,8 @@ def _timing_as_note(finding: Finding, mismatch: str) -> Finding:
         finding.file, finding.name, finding.metric, "note",
         finding.message + f" [env mismatch: {mismatch} — timing "
         f"informational, refresh baselines from this environment]",
-        baseline=finding.baseline, fresh=finding.fresh)
+        baseline=finding.baseline, fresh=finding.fresh,
+        source=finding.source)
 
 
 def check_dir(out_dir: Union[str, pathlib.Path],
@@ -343,11 +372,13 @@ def check_dir(out_dir: Union[str, pathlib.Path],
     present file is malformed or has no baseline."""
     out_dir = pathlib.Path(out_dir)
     from_ledger: Optional[dict] = None
+    ledger_sources: dict = {}
     if str(baseline_dir) == "ledger":
-        from_ledger = baselines_from_ledger()
+        from_ledger = baselines_from_ledger(sources=ledger_sources)
     baseline_dir = pathlib.Path(baseline_dir)
     findings: list[Finding] = []
     compared: list[str] = []
+    baseline_sources: dict[str, str] = {}
     env_mismatch: Optional[str] = None
     for filename in BENCH_FILES:
         fresh_path = out_dir / filename
@@ -360,6 +391,7 @@ def check_dir(out_dir: Union[str, pathlib.Path],
                 raise ValueError(
                     f"{fresh_path} has no ledgered baseline — no "
                     f"recorded run carries a {filename} artifact")
+            source = ledger_sources.get(filename, "ledger")
         else:
             baseline_path = baseline_dir / filename
             if not baseline_path.exists():
@@ -368,21 +400,24 @@ def check_dir(out_dir: Union[str, pathlib.Path],
                     f"run with --update to record one")
             baseline = validate_bench_file(baseline_path)
             base_env = _file_env(baseline_path)
+            source = str(baseline_path)
         fresh = validate_bench_file(fresh_path)
         mismatch = _env_mismatch(_file_env(fresh_path), base_env)
         file_findings = compare_records(fresh, baseline, thresholds,
-                                        file=filename)
+                                        file=filename, source=source)
         if mismatch:
             env_mismatch = mismatch
             file_findings = [_timing_as_note(f, mismatch)
                              for f in file_findings]
         findings.extend(file_findings)
         compared.append(filename)
+        baseline_sources[filename] = source
     if not compared:
         raise ValueError(f"no {' / '.join(BENCH_FILES)} under {out_dir}")
     regressions = [f for f in findings if f.severity == "regression"]
     report = {
         "compared": compared,
+        "baseline_sources": baseline_sources,
         "status": "regression" if regressions else "ok",
         "regressions": len(regressions),
         "notes": len(findings) - len(regressions),
@@ -428,6 +463,42 @@ def append_history(path: Union[str, pathlib.Path],
     }
     with path.open("a") as handle:
         handle.write(json.dumps(entry) + "\n")
+    return path
+
+
+#: filename of the attribution artifact a failed gate auto-emits
+ATTRIBUTION_FILE = "PERFDIFF_attribution.json"
+
+
+def write_attribution(out_dir: Union[str, pathlib.Path],
+                      baseline_dir: Union[str, pathlib.Path]
+                      ) -> Optional[pathlib.Path]:
+    """On a failed gate, answer *where the work went*: diff the
+    baseline's deterministic profile counters against the fresh run's
+    and write the ranked attribution document
+    (:mod:`repro.obs.perfdiff`) next to the fresh bench files.
+    Best-effort — records predating the counters block simply yield
+    no artifact (``None``)."""
+    from repro.obs import bench, ledger, perfdiff
+
+    out_dir = pathlib.Path(out_dir)
+    try:
+        base_set = bench.resolve_side(str(baseline_dir))
+        fresh_set = bench.resolve_side(str(out_dir))
+    except ValueError:
+        return None
+    base = perfdiff.side_from_records(
+        f"baseline:{baseline_dir}",
+        [r for records in base_set.values() for r in records])
+    fresh = perfdiff.side_from_records(
+        f"fresh:{out_dir}",
+        [r for records in fresh_set.values() for r in records])
+    report = perfdiff.attribute(base, fresh)
+    if not report["rows"]:
+        return None
+    path = out_dir / ATTRIBUTION_FILE
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    ledger.add_artifact(ATTRIBUTION_FILE, report)
     return path
 
 
@@ -499,17 +570,29 @@ def main(argv: Optional[list[str]] = None) -> int:
             history = pathlib.Path(args.check) / DEFAULT_HISTORY
         append_history(history, report)
         _mirror_history_to_ledger(report)
+    attribution: Optional[pathlib.Path] = None
+    if report["status"] == "regression":
+        attribution = write_attribution(args.check, args.baselines)
+        if attribution is not None:
+            report["attribution"] = str(attribution)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
         for finding in report["findings"]:
             flag = ("REGRESSION" if finding["severity"] == "regression"
                     else "note")
+            src = f" [vs {finding['source']}]" \
+                if finding.get("source") else ""
             print(f"[{flag}] {finding['file']} {finding['name']}: "
-                  f"{finding['message']}")
+                  f"{finding['message']}{src}")
         print(f"{report['status']}: {report['regressions']} "
               f"regression(s), {report['notes']} note(s) across "
-              f"{', '.join(report['compared'])}")
+              f"{', '.join(report['compared'])} (baselines: "
+              + ", ".join(f"{k} vs {v}" for k, v in sorted(
+                  report.get("baseline_sources", {}).items())) + ")")
+        if attribution is not None:
+            print(f"attribution written: {attribution} "
+                  f"(repro perf diff — where the work went)")
     return 1 if report["status"] == "regression" else 0
 
 

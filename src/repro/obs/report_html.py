@@ -31,7 +31,12 @@ Sections (each ``<section id="sec-NAME">``, see :data:`SECTIONS`):
   charts over the append-only ``BENCH_history.jsonl`` written by
   ``repro bench run`` (a placeholder, never dropped, when absent);
 * ``runs``      — the persistent run ledger: one row per recorded
-  invocation (pass the ledger root, e.g. ``.repro/runs``).
+  invocation (pass the ledger root, e.g. ``.repro/runs``);
+* ``forensics`` — perf-regression forensics: differential-profiling
+  attribution documents (``repro perf diff --json`` or the
+  ``PERFDIFF_attribution.json`` the watchdog auto-writes on a gate
+  failure) with per-region delta bars, plus changepoint-annotated
+  trajectory charts over the bench history.
 
 Profiler documents carrying a collapsed-stack ``folded`` view
 additionally render an inline SVG flame chart in ``hotspots``.  Bench
@@ -60,7 +65,7 @@ REPORT_VERSION = 1
 #: required section ids; check_html() fails on any that is missing
 SECTIONS = ("overview", "trace", "metrics", "hotspots", "coverage",
             "statespace", "lint", "summary", "crossval", "bench",
-            "trend", "runs")
+            "trend", "runs", "forensics")
 
 
 # -- input collection ----------------------------------------------------------
@@ -83,6 +88,7 @@ class ReportInputs:
     runs: list[dict] = field(default_factory=list)     # ledger manifests
     graphs: list[tuple] = field(default_factory=list)  # graph captures
     summaries: list[tuple] = field(default_factory=list)  # cache stats
+    perfdiffs: list[tuple] = field(default_factory=list)  # attributions
 
 
 def classify(label: str, doc) -> Optional[str]:
@@ -103,6 +109,8 @@ def classify(label: str, doc) -> Optional[str]:
         return "manifest"
     if doc.get("kind") == "summary-stats":
         return "summary"
+    if doc.get("kind") == "perfdiff":
+        return "perfdiff"
     if "procedures" in doc and "all_atomic" in doc:
         return "analysis"
     if "mode" in doc and "states" in doc and "transitions" in doc:
@@ -195,6 +203,8 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             inputs.events.append((label, doc))
         elif kind == "summary":
             inputs.summaries.append((label, doc))
+        elif kind == "perfdiff":
+            inputs.perfdiffs.append((label, doc))
     if baseline_dir is not None:
         from repro.obs.export import bench_records
         base = pathlib.Path(baseline_dir)
@@ -413,6 +423,12 @@ def _overview(inputs: ReportInputs) -> str:
                      f"edge(s), "
                      f"{summary.get('pruned', len(doc['pruned']))} "
                      f"pruned"])
+    for label, doc in inputs.perfdiffs:
+        drifted = doc.get("drifted") or []
+        rows.append(["perfdiff", label,
+                     f"{len(doc.get('rows', []))} region(s), "
+                     + (f"DRIFT: {', '.join(drifted)}" if drifted
+                        else "no attributed drift")])
     for label, _text in inputs.tables:
         rows.append(["table", label, "preformatted"])
     if inputs.runs:
@@ -868,6 +884,133 @@ def _runs(inputs: ReportInputs) -> str:
     return "".join(parts)
 
 
+def _svg_line_marked(points: list[tuple], marks: list[int],
+                     width: int = 460, height: int = 120,
+                     color: str = "#2e7d32",
+                     mark_color: str = "#c62828",
+                     title: str = "") -> str:
+    """Polyline chart with dashed vertical rules at ``marks`` (x
+    values) — the changepoint-annotated trajectory."""
+    if not points:
+        return "<p class='empty'>(no data)</p>"
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    x0, x1 = min(xs), max(xs)
+    y1 = max(ys) or 1.0
+    pad = 4
+    span_x = (x1 - x0) or 1.0
+    plot_w, plot_h = width - pad * 2, height - pad * 2
+
+    def px(x: float) -> float:
+        return pad + plot_w * (x - x0) / span_x
+
+    def py(y: float) -> float:
+        return pad + plot_h * (1 - y / y1)
+
+    coords = " ".join(f"{px(x):.1f},{py(y):.1f}"
+                      for x, y in zip(xs, ys))
+    parts = [f"<svg viewBox='0 0 {width} {height}' class='chart' "
+             f"role='img' aria-label='{_esc(title)}'>"
+             f"<polyline points='{coords}' fill='none' "
+             f"stroke='{color}' stroke-width='1.5'/>"]
+    for mark in marks:
+        mx = px(float(mark))
+        parts.append(
+            f"<line x1='{mx:.1f}' y1='{pad}' x2='{mx:.1f}' "
+            f"y2='{height - pad}' stroke='{mark_color}' "
+            f"stroke-width='1' stroke-dasharray='3,2'>"
+            f"<title>step at entry {mark}</title></line>")
+    parts.append(f"<title>{_esc(title)} (max {y1:g})</title></svg>")
+    return "".join(parts)
+
+
+def _forensics(inputs: ReportInputs) -> str:
+    """Perf forensics: ranked differential-profiling attribution
+    tables + per-region delta bars from perfdiff documents, and a
+    changepoint scan over the bench trajectory with annotated
+    charts."""
+    parts = []
+    for label, doc in inputs.perfdiffs:
+        drifted = doc.get("drifted") or []
+        verdict = (f"DRIFT: {', '.join(drifted)}" if drifted
+                   else "no attributed drift")
+        parts.append(
+            f"<h3>{_esc(label)} &mdash; {_esc(doc.get('a', '?'))} "
+            f"&rarr; {_esc(doc.get('b', '?'))} ({_esc(verdict)})</h3>"
+            f"<p>drift above "
+            f"+{doc.get('threshold', 0) * 100:.0f}% attributed work "
+            f"(deterministic calls+work counters; speedups never "
+            f"flag)</p>")
+        rows = doc.get("rows") or []
+        if rows:
+            parts.append(_table(
+                ["region", "group", "units A", "units B", "Δ units",
+                 "Δ %", "drift"],
+                [[r["name"], r["group"], r["units_a"], r["units_b"],
+                  f"{r['delta']:+d}", f"{r['delta_pct']:+.1f}%",
+                  "DRIFT" if r.get("drift") else ""]
+                 for r in rows[:25]], "mono"))
+            bars = [(f"{r['name']} {r['delta_pct']:+.1f}%",
+                     abs(r["delta"]))
+                    for r in rows[:12] if r["delta"]]
+            if bars:
+                parts.append(
+                    "<h4>per-region work delta (|Δ units|)</h4>"
+                    + _svg_hbars(bars,
+                                 title=f"work deltas — {label}"))
+        paths = doc.get("paths") or []
+        if paths:
+            parts.append(
+                "<h4>collapsed-stack wall deltas (informational)"
+                "</h4>"
+                + _table(["path", "A (ms)", "B (ms)", "Δ (ms)"],
+                         [[p["path"],
+                           f"{p['wall_a_s'] * 1000:.2f}",
+                           f"{p['wall_b_s'] * 1000:.2f}",
+                           f"{p['delta_s'] * 1000:+.2f}"]
+                          for p in paths[:10]], "mono"))
+    if inputs.bench_history:
+        from repro.obs import changepoint
+        steps = changepoint.detect_history(inputs.bench_history,
+                                           metric="wall_s")
+        parts.append("<h3>changepoint scan (wall_s trajectory)</h3>")
+        if steps:
+            parts.append(_table(
+                ["case", "entry", "before", "after", "Δ %", "git"],
+                [[s["name"], s["entry"], f"{s['before_mean']:g}",
+                  f"{s['after_mean']:g}", f"{s['delta_pct']:+.1f}%",
+                  (s.get("git_rev") or "?")[:10]] for s in steps],
+                "mono"))
+            series: dict[str, list[tuple]] = {}
+            for i, entry in enumerate(inputs.bench_history):
+                for name, metrics in (entry.get("metrics")
+                                      or {}).items():
+                    if metrics.get("wall_s") is not None:
+                        series.setdefault(name, []).append(
+                            (i, metrics["wall_s"] * 1000))
+            for name in sorted({s["name"] for s in steps})[:6]:
+                marks = [s["entry"] for s in steps
+                         if s["name"] == name]
+                parts.append(
+                    f"<h4>{_esc(name)} — wall ms with step "
+                    f"marker(s)</h4>"
+                    + _svg_line_marked(
+                        series.get(name, []), marks,
+                        title=f"changepoint trajectory — {name}"))
+        else:
+            parts.append("<p>no changepoints detected — the "
+                         "trajectory is step-free at the current "
+                         "thresholds</p>")
+    if not parts:
+        return _placeholder(
+            "perf forensics", "run repro perf diff A B --json (or "
+            "let a failing repro bench regress gate auto-write "
+            "PERFDIFF_attribution.json into the check directory), "
+            "then pass the document; repro bench trend "
+            "--changepoints scans the trajectory from the CLI")
+    return "".join(parts)
+
+
 # -- document assembly ---------------------------------------------------------
 
 _STYLE = """
@@ -907,6 +1050,7 @@ def render_report(inputs: ReportInputs,
         "bench": ("Bench vs baseline", _bench(inputs)),
         "trend": ("Perf trajectory", _trend(inputs)),
         "runs": ("Run ledger", _runs(inputs)),
+        "forensics": ("Perf forensics", _forensics(inputs)),
     }
     nav = "".join(f"<a href='#sec-{name}'>{_esc(label)}</a>"
                   for name, (label, _) in sections.items())
@@ -1042,19 +1186,50 @@ SELF_CHECK_FIXTURE = {
          "compared": ["BENCH_mc.json"]},
         {"at": 2.0, "status": "regression", "regressions": 1,
          "notes": 1, "compared": ["BENCH_mc.json"]}],
+    # eight runs with a step injected at entry 4 (wall_s jumps
+    # ~+48%): the forensics changepoint scan must flag exactly it
     "BENCH_history": [
-        {"at": 1.0, "repeats": 5,
-         "env": {"git_rev": "0123456789abcdef", "python": "3.11.0",
+        {"at": float(i + 1), "repeats": 5,
+         "env": {"git_rev": rev, "python": "3.11.0",
                  "platform": "fixture-os", "cpu_count": 4},
-         "metrics": {"mc/fixture/por": {"wall_s": 0.011,
-                                        "states_per_s": 5800.0,
-                                        "iqr": 0.001}}},
-        {"at": 2.0, "repeats": 5,
-         "env": {"git_rev": "123456789abcdef0", "python": "3.11.0",
-                 "platform": "fixture-os", "cpu_count": 4},
-         "metrics": {"mc/fixture/por": {"wall_s": 0.01,
-                                        "states_per_s": 6400.0,
-                                        "iqr": 0.0008}}}],
+         "metrics": {"mc/fixture/por": {"wall_s": wall,
+                                        "states_per_s":
+                                            round(64 / wall, 1),
+                                        "iqr": 0.0003}}}
+        for i, (rev, wall) in enumerate([
+            ("0123456789abcdef", 0.0100),
+            ("123456789abcdef0", 0.0103),
+            ("23456789abcdef01", 0.0099),
+            ("3456789abcdef012", 0.0102),
+            ("456789abcdef0123", 0.0150),
+            ("56789abcdef01234", 0.0153),
+            ("6789abcdef012345", 0.0149),
+            ("789abcdef0123456", 0.0152)])],
+    "PERFDIFF_attribution.json": {
+        "v": 1, "kind": "perfdiff",
+        "a": "baseline:benchmarks/baselines",
+        "b": "fresh:benchmarks/out",
+        "threshold": 0.25, "drift": True,
+        "drifted": ["mc.successors"],
+        "rows": [
+            {"name": "mc.successors", "group": "explorer",
+             "units_a": 12000, "units_b": 17000, "delta": 5000,
+             "delta_pct": 41.7, "drift": True,
+             "wall_a_s": 0.004, "wall_b_s": 0.0061},
+            {"name": "mc.dedup", "group": "explorer",
+             "units_a": 6400, "units_b": 6210, "delta": -190,
+             "delta_pct": -3.0, "drift": False},
+            {"name": "analysis.classify", "group": "analysis-pass",
+             "units_a": 900, "units_b": 905, "delta": 5,
+             "delta_pct": 0.6, "drift": False}],
+        "groups": {
+            "explorer": {"units_a": 18400, "units_b": 23210,
+                         "delta": 4810, "delta_pct": 26.1},
+            "analysis-pass": {"units_a": 900, "units_b": 905,
+                              "delta": 5, "delta_pct": 0.6}},
+        "paths": [
+            {"path": "mc.run;mc.successors", "wall_a_s": 0.004,
+             "wall_b_s": 0.0061, "delta_s": 0.0021}]},
     "summary_stats.json": {
         "v": 1, "kind": "summary-stats", "canary": True, "ok": True,
         "programs": 2,
@@ -1110,7 +1285,9 @@ def fixture_inputs() -> ReportInputs:
         tables=[("crossval.txt", fx["crossval.txt"])],
         runs=[dict(m) for m in fx["runs"]],
         summaries=[("summary_stats.json",
-                    dict(fx["summary_stats.json"]))])
+                    dict(fx["summary_stats.json"]))],
+        perfdiffs=[("PERFDIFF_attribution.json",
+                    dict(fx["PERFDIFF_attribution.json"]))])
 
 
 def self_check() -> tuple[int, str]:
@@ -1130,7 +1307,12 @@ def self_check() -> tuple[int, str]:
                          ("statement heatmap", "statement heatmap"),
                          ("depth layers", "depth-layer chart"),
                          ("replayed from cache", "summary-cache "
-                          "section")):
+                          "section"),
+                         ("attributed work", "perfdiff attribution "
+                          "table"),
+                         ("changepoint", "changepoint scan"),
+                         ("step marker", "changepoint-annotated "
+                          "trajectory chart")):
         if marker not in html_text:
             problems.append(f"{what} missing from fixture render")
     from repro.obs import schemas

@@ -53,6 +53,11 @@ HEATMAP = 1
 #: messages), full-key filenames, callee-closure interference
 SUMMARY = 2
 
+#: differential-profiling attribution documents
+#: (:mod:`repro.obs.perfdiff` — ``repro perf diff --json`` and the
+#: ``PERFDIFF_attribution.json`` artifact the watchdog auto-emits)
+PERFDIFF = 1
+
 
 def registry() -> dict:
     """``{subsystem: version}`` for every versioned document schema —
@@ -67,6 +72,7 @@ def registry() -> dict:
         "cex": CEX,
         "heatmap": HEATMAP,
         "summary": SUMMARY,
+        "perfdiff": PERFDIFF,
     }
 
 
@@ -77,7 +83,7 @@ def check_registry() -> list[str]:
     a local version literal again."""
     from repro.analysis.summaries import store as summary_store
     from repro.mc import cex
-    from repro.obs import events, graph, heatmap, ledger, profile
+    from repro.obs import events, graph, heatmap, ledger, perfdiff, profile
     from repro.obs.export import BENCH_SCHEMA_VERSION
 
     live = {
@@ -89,6 +95,7 @@ def check_registry() -> list[str]:
         "cex": cex.SCHEMA_VERSION,
         "heatmap": heatmap.SCHEMA_VERSION,
         "summary": summary_store.SCHEMA_VERSION,
+        "perfdiff": perfdiff.SCHEMA_VERSION,
     }
     problems = []
     reg = registry()

@@ -350,3 +350,27 @@ def test_ewma_reset_mid_run_recovers():
     for i in range(3, 30):
         rate.update(10 + (i - 2) * 100, now=float(i))  # now 100/s
     assert abs(rate.rate - 100.0) < 1.0
+
+
+# -- deterministic counters on bench records ---------------------------------------
+
+def test_run_case_stamps_deterministic_counters():
+    from repro.obs.bench import default_matrix
+
+    case = next(c for c in default_matrix(quick=True)
+                if c.name.startswith("analysis/"))
+    first = run_case(case, repeats=1, warmup=0)
+    second = run_case(case, repeats=1, warmup=0)
+    assert first["counters"], "profiled pass must stamp counters"
+    # counters are calls+work only -- identical across repeat runs
+    assert first["counters"] == second["counters"]
+    names = set(first["counters"])
+    assert any(n.startswith("analysis.") for n in names)
+
+
+def test_case_counters_empty_for_profiler_blind_runner():
+    from repro.obs.bench import case_counters
+
+    case = BenchCase(name="x/blind", kind="mc",
+                     run=lambda: (1, 0, {}))
+    assert case_counters(case) == {}

@@ -1,0 +1,121 @@
+"""Step detection over the perf trajectory: an injected level shift
+must be flagged at the right entry, while IQR-level jitter, flat
+(deterministic-counter) series, and short series stay silent — the
+detector's whole value is a zero false-positive rate on noise."""
+
+from __future__ import annotations
+
+from repro.obs.changepoint import (MIN_SEG, detect_history,
+                                   detect_steps, render_steps,
+                                   robust_scale)
+
+#: a realistic jittery level around 10ms (diffs have nonzero MAD)
+_BASE = [0.0100, 0.0103, 0.0099, 0.0102, 0.0101, 0.0098]
+#: same jitter pattern one regime up (~+50%)
+_UP = [0.0150, 0.0153, 0.0149, 0.0152, 0.0151, 0.0148]
+
+
+# -- detect_steps ------------------------------------------------------------------
+
+def test_injected_step_is_flagged_at_the_right_index():
+    (step,) = detect_steps(_BASE + _UP)
+    assert step["index"] == len(_BASE)      # first point of new regime
+    assert step["delta"] > 0
+    assert 40 < step["delta_pct"] < 60
+    assert step["before_mean"] < step["after_mean"]
+
+
+def test_downward_step_is_flagged_too():
+    (step,) = detect_steps(_UP + _BASE)
+    assert step["index"] == len(_UP)
+    assert step["delta"] < 0
+    assert step["delta_pct"] < -25
+
+
+def test_noise_only_series_is_silent():
+    # jitter at the same amplitude as the series' own IQR
+    assert detect_steps(_BASE + _BASE) == []
+
+
+def test_flat_series_is_silent():
+    # deterministic counters repeat exactly: scale falls back to an
+    # epsilon, but a zero mean shift must never flag
+    assert detect_steps([5.0] * 12) == []
+
+
+def test_short_series_is_silent():
+    # fewer than 2 * MIN_SEG points cannot host a split
+    values = _BASE[:MIN_SEG] + _UP[:MIN_SEG - 1]
+    assert detect_steps(values) == []
+
+
+def test_noise_floor_suppresses_sub_floor_steps():
+    low = [1.000, 1.001, 0.999, 1.000, 1.001, 0.999]
+    high = [1.2 + v - 1.0 for v in low]       # +0.2 absolute shift
+    assert detect_steps(low + high) != []
+    assert detect_steps(low + high, noise_floor=0.5) == []
+
+
+def test_two_steps_both_found():
+    series = _BASE + _UP + [v * 2 for v in _UP]
+    steps = detect_steps(series)
+    assert [s["index"] for s in steps] == [len(_BASE),
+                                           len(_BASE) + len(_UP)]
+
+
+def test_robust_scale_ignores_a_single_step():
+    # the step contributes one outlier difference; the MAD of diffs
+    # must reflect the jitter, not the jump
+    scale = robust_scale(_BASE + _UP)
+    assert 0 < scale < 0.002
+
+
+# -- detect_history ----------------------------------------------------------------
+
+def _history(walls, iqr=0.0003, name="mc/case/por"):
+    return [{"at": float(i + 1), "repeats": 5,
+             "env": {"git_rev": f"{i:x}" * 16, "python": "3.11",
+                     "platform": "linux", "cpu_count": 1},
+             "metrics": {name: {"wall_s": w,
+                                "states_per_s": 64 / w,
+                                "iqr": iqr}}}
+            for i, w in enumerate(walls)]
+
+
+def test_history_step_annotated_with_git_rev():
+    (step,) = detect_history(_history(_BASE + _UP))
+    assert step["name"] == "mc/case/por"
+    assert step["metric"] == "wall_s"
+    assert step["entry"] == len(_BASE)
+    assert step["at"] == float(len(_BASE) + 1)
+    # the rev of the entry where the new regime starts
+    assert step["git_rev"] == f"{len(_BASE):x}" * 16
+
+
+def test_history_recorded_iqr_is_the_noise_floor():
+    # a shift smaller than the recorded repeat IQR must not flag
+    walls = _BASE + [v + 0.002 for v in _BASE]
+    assert detect_history(_history(walls, iqr=0.004)) == []
+    assert detect_history(_history(walls, iqr=0.0001)) != []
+
+
+def test_history_missing_metric_entries_are_skipped():
+    history = _history(_BASE + _UP)
+    history.insert(3, {"at": 3.5, "env": {}, "metrics": {}})
+    (step,) = detect_history(history)
+    assert step["name"] == "mc/case/por"
+
+
+# -- render_steps ------------------------------------------------------------------
+
+def test_render_steps_names_case_entry_and_rev():
+    steps = detect_history(_history(_BASE + _UP))
+    text = render_steps(steps, "wall_s")
+    assert "[STEP] mc/case/por wall_s:" in text
+    assert f"at entry {len(_BASE)}" in text
+    assert "git 666666666666" in text
+
+
+def test_render_steps_empty_is_a_quiet_one_liner():
+    assert render_steps([], "wall_s") == \
+        "no changepoints detected (wall_s)"

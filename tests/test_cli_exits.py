@@ -236,3 +236,77 @@ def test_bench_quick_json_stdout_stays_parseable(
     doc = json.loads(captured.out)       # heartbeats went to stderr
     assert doc["files"] and doc["entry"]["metrics"]
     assert "[bench]" not in captured.out
+
+
+# -- perf diff: 0 identical / 1 attributed drift / 2 bad operand -------------------
+
+def _bench_side(tmp_path, name, work):
+    from repro.obs.export import bench_record, write_bench
+
+    rec = bench_record("mc/x", 0.1, states=10, transitions=20)
+    rec["counters"] = {"mc.successors": {"calls": 0, "work": work}}
+    write_bench(tmp_path / name / "BENCH_mc.json", [rec])
+    return str(tmp_path / name)
+
+
+def test_perf_diff_identical_exits_0(ledger_root, tmp_path, capsys):
+    a = _bench_side(tmp_path, "a", 1000)
+    b = _bench_side(tmp_path, "b", 1000)
+    assert main(["perf", "diff", a, b]) == 0
+    assert "no attributed drift" in capsys.readouterr().out
+
+
+def test_perf_diff_drift_exits_1(ledger_root, tmp_path, capsys):
+    a = _bench_side(tmp_path, "a", 1000)
+    b = _bench_side(tmp_path, "b", 1600)
+    assert main(["perf", "diff", a, b]) == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+
+def test_perf_diff_bad_operand_exits_2(ledger_root, tmp_path, capsys):
+    a = _bench_side(tmp_path, "a", 1000)
+    code = main(["perf", "diff", a, str(tmp_path / "missing")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_perf_diff_out_written_even_on_drift(ledger_root, tmp_path,
+                                             capsys):
+    import json
+
+    a = _bench_side(tmp_path, "a", 1000)
+    b = _bench_side(tmp_path, "b", 1600)
+    out = tmp_path / "deep" / "attribution.json"
+    assert main(["perf", "diff", a, b, "--json",
+                 "--out", str(out)]) == 1
+    doc = json.loads(out.read_text())
+    assert doc["drifted"] == ["mc.successors"]
+    # stdout stays machine-parseable JSON too
+    assert json.loads(capsys.readouterr().out)["drift"] is True
+
+
+def test_perf_diff_is_not_ledgered(ledger_root, tmp_path, capsys):
+    # query commands (runs/graph/perf) must not pollute the ledger
+    a = _bench_side(tmp_path, "a", 1000)
+    assert main(["perf", "diff", a, a]) == 0
+    assert ledger.list_runs(ledger_root) == []
+
+
+def test_bench_trend_changepoints_stays_informational(
+        ledger_root, tmp_path, capsys):
+    import json
+
+    walls = [0.0100, 0.0103, 0.0099, 0.0102,
+             0.0150, 0.0153, 0.0149, 0.0152]
+    history = tmp_path / "BENCH_history.jsonl"
+    history.write_text("\n".join(json.dumps(
+        {"at": float(i + 1),
+         "env": {"git_rev": "abc", "python": "3", "platform": "x",
+                 "cpu_count": 1},
+         "metrics": {"mc/x": {"wall_s": w, "iqr": 0.0003}}})
+        for i, w in enumerate(walls)) + "\n")
+    # a detected step is reported but never gates: exit stays 0
+    code = main(["bench", "trend", "--history", str(history),
+                 "--changepoints"])
+    assert code == 0
+    assert "[STEP] mc/x wall_s:" in capsys.readouterr().out

@@ -363,3 +363,57 @@ def test_to_dict_carries_folded_and_validates():
     assert validate(doc, PROFILE_SCHEMA) == []
     empty = Profiler().to_dict()
     assert "folded" not in empty
+
+
+# -- folded-path escaping ----------------------------------------------------------
+
+def test_escape_frame_round_trips_special_chars():
+    from repro.obs.profile import (escape_frame, split_path,
+                                   unescape_frame)
+
+    for name in ("plain", "has space", "semi;colon", "tab\there",
+                 "new\nline", "back\\slash", "mix ;\t\n end",
+                 "theorem 5.3; weak interference"):
+        escaped = escape_frame(name)
+        # no literal whitespace (the folded format is two-column) and
+        # no unescaped separator (frames must survive the join)
+        assert " " not in escaped
+        assert "\n" not in escaped and "\t" not in escaped
+        assert unescape_frame(escaped) == name
+        assert split_path(escaped) == [name]
+
+
+def test_split_path_honours_escaped_separators():
+    from repro.obs.profile import escape_frame, split_path
+
+    frames = ["outer scope", "mid;frame", "leaf\\end"]
+    path = ";".join(escape_frame(f) for f in frames)
+    assert split_path(path) == frames
+
+
+def test_folded_lines_survive_hostile_region_names(tmp_path):
+    from repro.obs.profile import parse_folded_lines, split_path
+
+    prof = Profiler()
+    with prof.region("theorem 5.3; reduction"):
+        with prof.region("site visit\tpass"):
+            time.sleep(0.001)
+    lines = prof.folded_lines()
+    # the collapsed format stays two-column: escaped path + count
+    parsed = parse_folded_lines(lines)
+    assert len(parsed) == len(prof.folded())
+    paths = [split_path(p) for p in parsed]
+    assert ["theorem 5.3; reduction", "site visit\tpass"] in paths
+    # and the file round-trips through write_folded
+    target = tmp_path / "hostile.folded"
+    prof.write_folded(target)
+    reparsed = parse_folded_lines(target.read_text().splitlines())
+    assert reparsed == parsed
+
+
+def test_parse_folded_lines_skips_malformed():
+    from repro.obs.profile import parse_folded_lines
+
+    parsed = parse_folded_lines(
+        ["a;b 100", "", "no-count-column", "c notanumber", "d 5"])
+    assert parsed == {"a;b": 100, "d": 5}

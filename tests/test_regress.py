@@ -361,3 +361,59 @@ def test_env_mismatch_downgrades_timing_to_notes(tmp_path):
     # structural findings survive the downgrade
     (out / "BENCH_mc.json").write_text(json.dumps(v2([], cpu=2)))
     assert check_dir(out, baselines)["status"] == "regression"
+
+
+# -- verdict provenance + auto-attribution -----------------------------------------
+
+def _counter_rec(name, wall_s, work):
+    rec = _mc(name=name, wall_s=wall_s)
+    rec["counters"] = {"mc.successors": {"calls": 0, "work": work}}
+    return rec
+
+
+def test_findings_name_their_baseline_source(tmp_path, capsys):
+    base, fresh = tmp_path / "baselines", tmp_path / "out"
+    write_bench(base / "BENCH_mc.json", [_mc(wall_s=0.1, states=0)])
+    write_bench(fresh / "BENCH_mc.json", [_mc(wall_s=0.2, states=0)])
+    report = check_dir(fresh, base)
+    (finding,) = report["findings"]
+    assert finding["source"] == str(base / "BENCH_mc.json")
+    assert report["baseline_sources"]["BENCH_mc.json"] == \
+        str(base / "BENCH_mc.json")
+    # the rendered verdict line carries the provenance too
+    code = main(["--check", str(fresh), "--baselines", str(base)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert f"[vs {base / 'BENCH_mc.json'}]" in out
+
+
+def test_gate_failure_auto_writes_attribution(tmp_path, capsys):
+    from repro.obs.regress import ATTRIBUTION_FILE
+
+    base, fresh = tmp_path / "baselines", tmp_path / "out"
+    write_bench(base / "BENCH_mc.json",
+                [_counter_rec("mc/x", 0.1, 1000)])
+    write_bench(fresh / "BENCH_mc.json",
+                [_counter_rec("mc/x", 0.2, 1600)])
+    code = main(["--check", str(fresh), "--baselines", str(base)])
+    assert code == 1
+    artifact = fresh / ATTRIBUTION_FILE
+    assert artifact.is_file()
+    doc = json.loads(artifact.read_text())
+    assert doc["kind"] == "perfdiff"
+    assert doc["drifted"] == ["mc.successors"]
+    out = capsys.readouterr().out
+    assert "attribution written:" in out
+
+
+def test_passing_gate_writes_no_attribution(tmp_path, capsys):
+    from repro.obs.regress import ATTRIBUTION_FILE
+
+    base, fresh = tmp_path / "baselines", tmp_path / "out"
+    write_bench(base / "BENCH_mc.json",
+                [_counter_rec("mc/x", 0.1, 1000)])
+    write_bench(fresh / "BENCH_mc.json",
+                [_counter_rec("mc/x", 0.1, 1000)])
+    assert main(["--check", str(fresh),
+                 "--baselines", str(base)]) == 0
+    assert not (fresh / ATTRIBUTION_FILE).exists()

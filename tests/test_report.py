@@ -139,7 +139,7 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
     assert set(inputs.bench_fresh) == {"BENCH_mc.json"}
     assert set(inputs.bench_baseline) == {"BENCH_mc.json"}
     assert len(inputs.history) == 2
-    assert len(inputs.bench_history) == 2
+    assert len(inputs.bench_history) == 8
     assert [label for label, _ in inputs.tables] == ["crossval.txt"]
     assert [label for label, _ in inputs.summaries] \
         == ["summary_stats.json"]
@@ -197,7 +197,7 @@ def test_cli_report_no_inputs_errors(tmp_path, capsys, monkeypatch):
 def test_trend_section_renders_from_history():
     html_text = render_report(fixture_inputs())
     assert "Perf trajectory" in html_text
-    assert "2 bench run(s)" in html_text
+    assert "8 bench run(s)" in html_text
     # sparkline glyphs from repro.obs.bench make it into the table
     assert any(ch in html_text for ch in "▁▂▃▄▅▆▇█")
 
@@ -234,7 +234,7 @@ def test_collect_inputs_unwraps_v2_and_routes_history(tmp_path):
     inputs = collect_inputs([tmp_path])
     # v2 wrappers are unwrapped to bare record lists for the table
     assert inputs.bench_fresh["BENCH_mc.json"] == fx["BENCH_mc.json"]
-    assert len(inputs.bench_history) == 2
+    assert len(inputs.bench_history) == 8
     html_text = render_report(inputs)
     assert check_html(html_text) == []
     assert "Perf trajectory" in html_text and "bench run(s)" in html_text
@@ -289,3 +289,38 @@ def test_self_check_consults_schema_registry(monkeypatch):
     code, message = report_html.self_check()
     assert code == 1
     assert "schema registry" in message
+
+
+# -- perf forensics section --------------------------------------------------------
+
+def test_classify_perfdiff_document():
+    doc = dict(SELF_CHECK_FIXTURE["PERFDIFF_attribution.json"])
+    assert classify("anything.json", doc) == "perfdiff"
+
+
+def test_forensics_section_renders_attribution_and_steps():
+    html_text = render_report(fixture_inputs())
+    assert "id='sec-forensics'" in html_text
+    assert "DRIFT: mc.successors" in html_text
+    assert "attributed work" in html_text
+    # the fixture history carries an injected step: the changepoint
+    # scan must annotate it with the git rev of the new regime
+    assert "changepoint scan" in html_text
+    assert "456789abcd" in html_text
+    assert "step marker" in html_text
+
+
+def test_forensics_placeholder_when_absent():
+    html_text = render_report(ReportInputs())
+    assert "id='sec-forensics'" in html_text
+    assert "repro perf diff" in html_text
+
+
+def test_collect_inputs_buckets_perfdiff(tmp_path):
+    path = tmp_path / "PERFDIFF_attribution.json"
+    path.write_text(json.dumps(
+        SELF_CHECK_FIXTURE["PERFDIFF_attribution.json"]))
+    inputs = collect_inputs([tmp_path])
+    (label_doc,) = inputs.perfdiffs
+    assert label_doc[0] == "PERFDIFF_attribution.json"
+    assert label_doc[1]["drifted"] == ["mc.successors"]
