@@ -39,6 +39,7 @@ from repro.analysis.report import render_figure
 from repro.analysis.summaries import canon
 from repro.analysis.summaries.store import SummaryStore
 from repro.obs import ledger, rundiff
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import NULL_PROFILER
 from repro.synl.inline import inline_calls
 from repro.synl.parser import parse_program
@@ -238,14 +239,24 @@ def analyze_with_summaries(source: str,
                            store: SummaryStore,
                            label: str = "<program>",
                            tracer=None, metrics=None, profiler=None,
-                           events=None):
+                           events=None, known_names=None):
     """Analyze ``source`` through the summary cache.
 
     Returns ``(result, info)`` where ``result`` is either a fresh
     :class:`~repro.analysis.inference.AnalysisResult` or a
     :class:`CachedAnalysisResult`, and ``info`` describes the cache
     traffic: ``{"cached", "hits", "misses", "invalidated", "drift",
-    "program_key", "proc_keys"}``."""
+    "program_key", "proc_keys"}``.
+
+    ``known_names`` overrides the set of procedure names considered
+    *previously summarized* when classifying a miss as an
+    invalidation.  :func:`analyze_corpus` snapshots the store once and
+    passes that baseline to every target, so the invalidation counts
+    don't depend on which *other* corpus targets happened to write
+    colliding procedure names first — the property that keeps a
+    parallel (``--jobs``) corpus pass byte-identical to a sequential
+    one.  ``None`` (the default, used by single-program callers) reads
+    the store at call time."""
     options = options or InferenceOptions()
     prof = profiler or NULL_PROFILER
 
@@ -264,7 +275,10 @@ def analyze_with_summaries(source: str,
 
     hits = sorted(n for n, r in proc_records.items() if r is not None)
     misses = sorted(n for n in proc_keys if proc_records[n] is None)
-    known = store.known_proc_names() if misses else set()
+    if known_names is not None:
+        known = known_names
+    else:
+        known = store.known_proc_names() if misses else set()
     invalidated = sorted(n for n in misses if n in known)
     full_hit = program_record is not None and not misses
 
@@ -295,13 +309,21 @@ def analyze_with_summaries(source: str,
         return result, info
 
     # Miss path: one whole-program run (mirrors the CLI's load path —
-    # procedure calls are inlined before analysis).
+    # procedure calls are inlined before analysis).  The checker gets
+    # a registry of its own so the metrics embedded in (and stored
+    # with) the doc describe *this program only* — a shared registry
+    # would leak whatever ran before into the doc, making record
+    # bytes depend on analysis order.  The caller's registry still
+    # sees everything via the merge below.
     program = inline_calls(parse_program(source))
     resolve(program)
+    local_metrics = MetricsRegistry()
     result = AtomicityChecker(program, options, tracer=tracer,
-                              metrics=metrics,
+                              metrics=local_metrics,
                               profiler=profiler,
                               source_text=source).run()
+    if metrics is not None:
+        metrics.merge(local_metrics)
 
     with prof.region("summary.emit"):
         doc = result.to_dict(include_provenance=True)
@@ -389,36 +411,30 @@ def corpus_targets(examples_dir: str | Path | None = "examples/synl",
     return targets
 
 
-def analyze_corpus(store: SummaryStore,
-                   options: InferenceOptions | None = None,
-                   *,
-                   targets: list[tuple[str, str]] | None = None,
-                   profiler=None, events=None, metrics=None) -> dict:
-    """Analyze every target through one shared store.
-
-    Returns ``{"rows", "drift", "errors", "docs", "stats"}`` where each
-    row is ``{label, atomic, procs, hits, misses, invalidated, cached,
-    drift}`` and ``docs`` maps label to the stable (volatile-free)
-    analysis doc — the corpus canary compares these across passes."""
+def _analyze_one(store: SummaryStore,
+                 options: InferenceOptions | None,
+                 label: str, source: str, *,
+                 profiler=None, events=None, metrics=None,
+                 known_names=None) -> dict:
+    """One corpus target through the store; returns a self-contained
+    ``{"label", "row", "doc", "drift"}`` (or ``{"label", "error"}``)
+    cell — JSON-able, so a fleet worker can ship it back verbatim."""
     from repro.errors import ReproError
 
-    rows: list[dict] = []
-    drift: list[dict] = []
-    errors: list[dict] = []
-    docs: dict[str, dict] = {}
-    for target_label, source in (targets if targets is not None
-                                 else corpus_targets()):
-        try:
-            result, info = analyze_with_summaries(
-                source, options, store=store, label=target_label,
-                profiler=profiler, events=events, metrics=metrics)
-        except ReproError as exc:
-            errors.append({"label": target_label, "error": str(exc)})
-            continue
-        doc = result.to_dict(include_provenance=True)
-        docs[target_label] = stable_doc(doc)
-        rows.append({
-            "label": target_label,
+    try:
+        result, info = analyze_with_summaries(
+            source, options, store=store, label=label,
+            profiler=profiler, events=events, metrics=metrics,
+            known_names=known_names)
+    except ReproError as exc:
+        return {"label": label, "error": str(exc)}
+    doc = result.to_dict(include_provenance=True)
+    return {
+        "label": label,
+        "doc": stable_doc(doc),
+        "drift": info["drift"],
+        "row": {
+            "label": label,
             "atomic": bool(result.all_atomic),
             "procs": len(info["proc_keys"]),
             "hits": len(info["hits"]),
@@ -426,10 +442,98 @@ def analyze_corpus(store: SummaryStore,
             "invalidated": len(info["invalidated"]),
             "cached": info["cached"],
             "drift": len(info["drift"]),
-        })
-        drift.extend(info["drift"])
+        },
+    }
+
+
+def _assemble_corpus_report(cells: list[dict], stats: dict) -> dict:
+    """Fold per-target cells (already in target order) into the
+    corpus report shape — shared by the sequential and fleet paths so
+    their output is byte-identical."""
+    rows: list[dict] = []
+    drift: list[dict] = []
+    errors: list[dict] = []
+    docs: dict[str, dict] = {}
+    for cell in cells:
+        if "error" in cell:
+            errors.append({"label": cell["label"],
+                           "error": cell["error"]})
+            continue
+        docs[cell["label"]] = cell["doc"]
+        rows.append(cell["row"])
+        drift.extend(cell["drift"])
     return {"rows": rows, "drift": drift, "errors": errors,
-            "docs": docs, "stats": store.stats()}
+            "docs": docs, "stats": stats}
+
+
+def analyze_corpus(store: SummaryStore,
+                   options: InferenceOptions | None = None,
+                   *,
+                   targets: list[tuple[str, str]] | None = None,
+                   profiler=None, events=None, metrics=None,
+                   jobs: int = 1, spool=None) -> dict:
+    """Analyze every target through one shared store.
+
+    Returns ``{"rows", "drift", "errors", "docs", "stats"}`` where each
+    row is ``{label, atomic, procs, hits, misses, invalidated, cached,
+    drift}`` and ``docs`` maps label to the stable (volatile-free)
+    analysis doc — the corpus canary compares these across passes.
+
+    With ``jobs > 1`` (or an explicit ``spool`` directory) the targets
+    are fanned across forked worker processes via
+    :func:`repro.obs.fleet.run_fleet`: each worker opens the same
+    on-disk store (record writes are tmp-file + ``os.replace`` atomic,
+    so concurrent workers cannot tear each other's records) and spools
+    its own telemetry.  Per-target cells are reassembled in the
+    original target order, so the report — rows, docs, drift, errors —
+    is **byte-identical** to a sequential run; the merged fleet
+    telemetry rides along under ``"fleet"`` and the worker profilers
+    are folded into ``profiler`` when one was passed."""
+    resolved = list(targets if targets is not None
+                    else corpus_targets())
+    # Snapshot the invalidation baseline once: every target — on both
+    # paths — classifies misses against the store as it stood *before*
+    # this pass, so the counts don't depend on target order (or on
+    # which worker raced a colliding name in first).
+    known_names = frozenset(store.known_proc_names())
+    if jobs <= 1 and spool is None:
+        cells = [_analyze_one(store, options, label, source,
+                              profiler=profiler, events=events,
+                              metrics=metrics,
+                              known_names=known_names)
+                 for label, source in resolved]
+        return _assemble_corpus_report(cells, store.stats())
+
+    from repro.obs import fleet
+
+    store_root = store.root
+    opt_fields = dict(options.__dict__) if options is not None else None
+
+    def worker(item, spool_handle):
+        label, source = item
+        worker_store = SummaryStore(store_root)
+        worker_options = InferenceOptions(**opt_fields) \
+            if opt_fields is not None else None
+        cell = _analyze_one(worker_store, worker_options, label,
+                            source, profiler=spool_handle.profiler,
+                            events=spool_handle.events,
+                            metrics=spool_handle.metrics,
+                            known_names=known_names)
+        return cell
+
+    cells, merge = fleet.run_fleet(resolved, worker, jobs=jobs,
+                                   spool=spool, label="analyze-corpus")
+    report = _assemble_corpus_report(cells, store.stats())
+    report["fleet"] = merge.doc
+    if profiler is not None:
+        profiler.merge(merge.profiler)
+    if metrics is not None:
+        metrics.merge(merge.metrics)
+    if events is not None:
+        events.emit("fleet.merge", workers=len(merge.doc["workers"]),
+                    events=merge.doc["events"],
+                    wall_s=merge.doc["wall_s"])
+    return report
 
 
 # -- soundness canaries --------------------------------------------------------

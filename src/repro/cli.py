@@ -12,6 +12,9 @@
     python -m repro graph stats G.jsonl  # state-graph capture analytics
     python -m repro graph diff A B       # structural drift between runs
     python -m repro top EVENTS.jsonl     # live dashboard over an events file
+    python -m repro top SPOOL_DIR        # fleet dashboard over worker spools
+    python -m repro analyze --corpus --jobs 4      # parallel corpus pass
+    python -m repro experiments section63 --jobs 4 # parallel variant grid
     python -m repro bench run            # statistical benchmark matrix
     python -m repro bench trend          # perf trajectory sparklines
     python -m repro bench trend --changepoints   # step detection
@@ -200,6 +203,19 @@ def _write_obs_outputs(args, tracer, events, profiler=None) -> None:
         ledger.ref_artifact(args.profile_out)
 
 
+def _note_fleet(doc: dict, spool=None) -> None:
+    """Record a fleet merge in the run ledger: the merge-summary
+    document as a note + artifact, and each worker's spool files as
+    content-addressed sub-artifacts."""
+    ledger.note("fleet", doc)
+    ledger.add_artifact("fleet.json", doc)
+    if spool is not None:
+        for wdir in sorted(pathlib.Path(spool).glob("worker-*")):
+            for name in ("worker.json", "events.jsonl"):
+                if (wdir / name).exists():
+                    ledger.ref_artifact(wdir / name)
+
+
 def _emit_obs(cfg: ObsConfig, tracer: Tracer, metrics: dict) -> None:
     if cfg.metrics and metrics:
         print("\n-- metrics --")
@@ -339,6 +355,7 @@ def _cmd_analyze_corpus(args) -> int:
     analyze; atomicity verdicts do not affect the exit code (most
     corpus programs are intentionally non-atomic)."""
     from repro.analysis.summaries import engine as summaries
+    from repro.obs import fleet
     from repro.obs.export import run_meta
 
     cfg, tracer = _obs_setup(args)
@@ -346,9 +363,14 @@ def _cmd_analyze_corpus(args) -> int:
     events = _events_for(args)
     store = _summary_store_for(args) or summaries.resolve_store(
         None, True)
+    jobs = fleet.resolve_jobs(getattr(args, "jobs", None))
+    spool = fleet.default_spool_root() if jobs > 1 else None
     with _sampling(sampler):
         report = summaries.analyze_corpus(store, profiler=profiler,
-                                          events=events)
+                                          events=events, jobs=jobs,
+                                          spool=spool)
+    if "fleet" in report:
+        _note_fleet(report["fleet"], spool)
     _write_obs_outputs(args, tracer, events, profiler)
     if args.json:
         doc = {"programs": report["rows"],
@@ -356,6 +378,8 @@ def _cmd_analyze_corpus(args) -> int:
                "drift": report["drift"],
                "stats": report["stats"],
                "run_meta": run_meta()}
+        if "fleet" in report:
+            doc["fleet"] = report["fleet"]
         ledger.add_artifact("corpus-analysis.json", doc)
         print(json.dumps(doc, indent=2))
     else:
@@ -375,6 +399,11 @@ def _cmd_analyze_corpus(args) -> int:
         print(f"store {stats['root']}: {stats['procs']} proc / "
               f"{stats['programs']} program record(s), "
               f"{stats['bytes']} bytes")
+        if "fleet" in report:
+            fdoc = report["fleet"]
+            print(f"fleet: {fdoc['jobs']} worker(s), "
+                  f"{fdoc['items']} target(s), straggler "
+                  f"{fdoc['straggler']} ({fdoc['wall_s']:.2f}s)")
         _emit_profile(cfg, profiler, sampler)
     if report["drift"]:
         _print_summary_drift(report["drift"])
@@ -1002,7 +1031,14 @@ def cmd_top(args) -> int:
 
 
 def cmd_experiments(args) -> int:
+    """Regenerate a table/figure of the paper, through the obs/ledger
+    substrate: the run lands in the ledger with a deterministic
+    ``experiments`` note (``repro runs diff`` compares the per-mode
+    verdicts, never timings), ``--json`` emits a machine-readable
+    document, and ``section63 --jobs N`` fans the none/por/atomic/both
+    variant grid across fleet worker processes."""
     from repro import experiments
+    from repro.obs import fleet
 
     module = getattr(experiments, args.name, None)
     if module is None or not hasattr(module, "main"):
@@ -1010,7 +1046,47 @@ def cmd_experiments(args) -> int:
         print(f"unknown experiment {args.name!r}; one of: {names}",
               file=sys.stderr)
         return 2
-    print(module.main())
+    cfg, tracer = _obs_setup(args)
+    profiler, sampler = _profiler_for(cfg)
+    events = _events_for(args)
+    note: dict = {"name": args.name}
+    doc: dict = {"name": args.name}
+    jobs = fleet.resolve_jobs(args.jobs)
+    if args.name == "section63":
+        from repro.experiments import section63
+
+        n_threads = args.threads if args.threads is not None else 3
+        kwargs = {"n_threads": n_threads, "jobs": jobs}
+        if args.max_states is not None:
+            kwargs["max_states"] = args.max_states
+        if jobs > 1:
+            kwargs["spool"] = fleet.default_spool_root()
+        with _sampling(sampler):
+            result = section63.run(**kwargs)
+        text = section63.render(result, n_threads)
+        note["verdicts"] = result.verdicts()
+        note["matches_paper"] = result.matches_paper
+        doc.update(note)
+        if result.fleet is not None:
+            doc["fleet"] = result.fleet
+            _note_fleet(result.fleet, kwargs.get("spool"))
+    else:
+        if jobs > 1:
+            print(f"note: --jobs applies to the section63 variant "
+                  f"grid; running {args.name!r} in-process",
+                  file=sys.stderr)
+        with _sampling(sampler):
+            text = module.main()
+    ledger.note("experiments", note)
+    ledger.add_artifact("experiment.json",
+                        {"name": args.name, "text": text, **note})
+    _write_obs_outputs(args, tracer, events, profiler)
+    if args.json:
+        doc["text"] = text
+        print(json.dumps(doc, indent=2))
+    else:
+        print(text)
+        _emit_profile(cfg, profiler, sampler)
     return 0
 
 
@@ -1172,6 +1248,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "through one shared store; exit 1 when any "
                         "cached verdict disagrees with a fresh "
                         "recompute")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="with --corpus: fan targets across N forked "
+                        "worker processes, each spooling per-worker "
+                        "telemetry merged back into one run (also: "
+                        "REPRO_JOBS); output is byte-identical to a "
+                        "sequential pass")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("blocks", parents=[obs],
@@ -1407,11 +1489,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("top",
                        help="live dashboard over a running "
-                            "exploration's --events-out JSONL "
+                            "exploration's --events-out JSONL, or a "
+                            "fleet spool directory "
                             "(docs/OBSERVABILITY.md)")
-    p.add_argument("events_file", metavar="EVENTS_JSONL",
+    p.add_argument("events_file", metavar="EVENTS_JSONL_OR_SPOOL",
                    help="the file a running 'repro mc --events-out' "
-                        "is streaming to")
+                        "is streaming to, or a --jobs run's spool "
+                        "directory (one row per worker plus "
+                        "aggregate throughput)")
     p.add_argument("--interval", type=float, default=None,
                    metavar="SECONDS",
                    help="refresh period (default: 1.0)")
@@ -1425,11 +1510,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the final dashboard state as JSON")
     p.set_defaults(fn=cmd_top)
 
-    p = sub.add_parser("experiments",
+    p = sub.add_parser("experiments", parents=[obs],
                        help="regenerate a table/figure of the paper")
     p.add_argument("name", help="figure3, figure4, figure567, table2, "
                                 "section63, section64, ablations, or "
                                 "crossval")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="section63: fan the none/por/atomic/both "
+                        "variant grid across N forked worker "
+                        "processes (also: REPRO_JOBS); per-mode "
+                        "verdicts are identical to a sequential run")
+    p.add_argument("--threads", type=int, default=None, metavar="N",
+                   help="section63: driver threads (default: 3)")
+    p.add_argument("--max-states", type=int, default=None,
+                   metavar="N",
+                   help="section63: per-mode state cap (default: "
+                        "2000000)")
     p.set_defaults(fn=cmd_experiments)
 
     ledger_common = argparse.ArgumentParser(add_help=False)

@@ -42,6 +42,19 @@ def commutes(a: tuple, b: tuple) -> bool:
 @dataclass
 class Section63Result:
     results: dict[str, MCResult] = field(default_factory=dict)
+    #: merged fleet telemetry doc when the grid ran with ``jobs > 1``
+    fleet: dict | None = None
+
+    def verdicts(self) -> dict[str, dict]:
+        """Deterministic per-mode verdict map — what the ledger notes
+        and what ``repro runs diff`` compares across runs.  No wall
+        times: a parallel grid must diff empty against a sequential
+        one."""
+        return {mode: {"states": r.states,
+                       "transitions": r.transitions,
+                       "violation": r.violation,
+                       "capped": r.capped}
+                for mode, r in sorted(self.results.items())}
 
     @property
     def matches_paper(self) -> bool:
@@ -54,24 +67,75 @@ class Section63Result:
                 and none / por < none / atomic)
 
 
-def run(n_threads: int = 3, max_states: int = 2_000_000,
-        modes: tuple = ("none", "por", "atomic", "both")
-        ) -> Section63Result:
+def _run_one(mode: str, n_threads: int, max_states: int,
+             events=None, profiler=None) -> MCResult:
     interp = Interp(GH_PROGRAM1)
     specs = [ThreadSpec.of(("Apply", g + 1)) for g in range(n_threads)]
+    explorer = Explorer(
+        interp, specs,
+        mode={"none": "full"}.get(mode, mode),
+        commutes=commutes if mode == "both" else None,
+        max_states=max_states, events=events, profiler=profiler)
+    return explorer.run()
+
+
+#: MCResult fields a fleet worker ships back to the parent — the
+#: deterministic verdict of one grid cell plus its wall time.  The
+#: state *sets* (quiescent/final) stay in the worker; the grid only
+#: compares counts.
+_CELL_FIELDS = ("states", "transitions", "elapsed", "violation",
+                "trace", "capped", "deadline_hit")
+
+
+def run(n_threads: int = 3, max_states: int = 2_000_000,
+        modes: tuple = ("none", "por", "atomic", "both"),
+        jobs: int = 1, spool=None) -> Section63Result:
+    """Run the §6.3 variant grid, one MC exploration per mode.
+
+    With ``jobs > 1`` the modes are fanned across forked fleet workers
+    (:mod:`repro.obs.fleet`); each cell is an independent state-space
+    exploration, so the per-mode verdicts are identical to a
+    sequential run — only the wall clock changes."""
+    from repro.obs import ledger
+
     out = Section63Result()
-    for mode in modes:
-        explorer = Explorer(
-            interp, specs,
-            mode={"none": "full"}.get(mode, mode),
-            commutes=commutes if mode == "both" else None,
-            max_states=max_states)
-        out.results[mode] = explorer.run()
+    if jobs <= 1 and spool is None:
+        # mute the recorder so each cell's Explorer doesn't note_mc
+        # into the run — the grid's record is the aggregated
+        # 'experiments' note, and a --jobs grid (workers never see the
+        # recorder) must produce the same manifest
+        with ledger.muted():
+            for mode in modes:
+                out.results[mode] = _run_one(mode, n_threads,
+                                             max_states)
+        return out
+
+    from repro.obs import fleet
+
+    def worker(mode, spool_handle):
+        result = _run_one(mode, n_threads, max_states,
+                          events=spool_handle.events,
+                          profiler=spool_handle.profiler)
+        return {"mode": mode,
+                **{f: getattr(result, f) for f in _CELL_FIELDS}}
+
+    cells, merge = fleet.run_fleet(list(modes), worker, jobs=jobs,
+                                   spool=spool, label="section63")
+    for cell in cells:
+        mode = cell.pop("mode")
+        out.results[mode] = MCResult(
+            mode={"none": "full"}.get(mode, mode), **cell)
+    out.fleet = merge.doc
     return out
 
 
-def main(n_threads: int = 3, max_states: int = 2_000_000) -> str:
-    result = run(n_threads, max_states)
+def main(n_threads: int = 3, max_states: int = 2_000_000,
+         jobs: int = 1, spool=None) -> str:
+    result = run(n_threads, max_states, jobs=jobs, spool=spool)
+    return render(result, n_threads)
+
+
+def render(result: Section63Result, n_threads: int = 3) -> str:
     table = Table(
         "Section 6.3: reachable states, GH large objects "
         f"({n_threads} threads, one group each; SPIN -> our checker)",

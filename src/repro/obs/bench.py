@@ -245,6 +245,60 @@ def _corpus_cache_cases() -> list[BenchCase]:
             BenchCase("analysis/corpus-warm", "analysis", run_warm)]
 
 
+def _corpus_jobs_cases() -> list[BenchCase]:
+    """``analysis/corpus-jobs1`` vs ``analysis/corpus-jobs4``: the same
+    cold-store corpus pass run sequentially and fanned across four
+    forked workers (:func:`repro.obs.fleet.run_fleet`).  The jobs1
+    case gates sequential-path overhead like any other; the jobs4 case
+    gates the parallel path's fixed cost (fork + spool + merge), and
+    the recorded jobs1/jobs4 wall ratio is the fleet speedup — ~1x on
+    a single-core host, approaching ``min(4, cores)`` elsewhere, which
+    is why the watchdog gates each case against its *own* baseline
+    rather than the pair against each other.  ``work_units`` is
+    identical across the pair by construction (same targets, same
+    passes, merged worker profilers), so work-counter attribution
+    stays meaningful across the jobs axis."""
+    import shutil
+    import tempfile
+
+    from repro import corpus
+    from repro.analysis.summaries import SummaryStore
+    from repro.analysis.summaries.engine import analyze_corpus
+
+    targets = [(f"corpus/{name.lower()}", getattr(corpus, name))
+               for name in _CACHE_CORPUS]
+
+    def jobs_runner(jobs: int):
+        def run(profiler=None) -> tuple:
+            profiler = profiler if profiler is not None \
+                and profiler.enabled else Profiler()
+            store_dir = tempfile.mkdtemp(
+                prefix=f"repro-bench-jobs{jobs}-")
+            spool_dir = tempfile.mkdtemp(
+                prefix="repro-bench-spool-") if jobs > 1 else None
+            try:
+                start = time.perf_counter()
+                report = analyze_corpus(
+                    SummaryStore(store_dir), targets=targets,
+                    profiler=profiler, jobs=jobs, spool=spool_dir)
+                wall = time.perf_counter() - start
+                assert not report["errors"]
+            finally:
+                shutil.rmtree(store_dir, ignore_errors=True)
+                if spool_dir is not None:
+                    shutil.rmtree(spool_dir, ignore_errors=True)
+            work = sum(int(entry["calls"] + entry["work"])
+                       for entry in profiler.counters().values())
+            return wall, {"work_units": work}
+
+        return run
+
+    return [BenchCase("analysis/corpus-jobs1", "analysis",
+                      jobs_runner(1)),
+            BenchCase("analysis/corpus-jobs4", "analysis",
+                      jobs_runner(4))]
+
+
 def _mc_case(name: str, source: str, specs_fn: Callable, mode: str,
              max_states: int = 200_000,
              commutes: Optional[Callable] = None) -> BenchCase:
@@ -299,6 +353,7 @@ def default_matrix(quick: bool = False) -> list[BenchCase]:
         _analysis_case("treiber", corpus.TREIBER_STACK),
     ]
     cases.extend(_corpus_cache_cases())
+    cases.extend(_corpus_jobs_cases())
     for mode in ("full", "por", "atomic"):
         cases.append(_mc_case(f"nfq_prime/{mode}", corpus.NFQ_PRIME,
                               nfq_specs, mode))

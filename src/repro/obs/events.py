@@ -21,11 +21,16 @@ memory, and optionally mirrors *every* event to a JSONL sink before it
 can be evicted.  Call sites hold an ``Optional[EventStream]`` and guard
 with ``if stream is not None`` — disabled instrumentation costs one
 attribute check.
+Every record is additionally stamped with the emitting process id
+(``pid``), and — when the stream was created by a fleet worker — the
+worker label (``worker``), so events from N merged worker spools stay
+attributable and land on per-process Chrome-trace lanes.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 import weakref
@@ -60,6 +65,17 @@ KINDS = {
     "explorer.progress": ("states", "transitions", "depth", "frontier",
                           "elapsed_s", "dedup_hit_rate", "mem_mb",
                           "final"),
+    # summary-cache traffic (analysis/summaries/engine.py)
+    "summary.resolve": ("label", "hits", "misses", "invalidated",
+                        "cached"),
+    "summary.replay": ("label", "procs"),
+    "summary.emit": ("label", "procs", "drift"),
+    # fleet worker heartbeat (obs.fleet.WorkerSpool): progress + rss +
+    # throughput per worker process; `repro top SPOOL_DIR` tails these
+    "fleet.heartbeat": ("done", "total", "rss_mb", "rate",
+                        "elapsed_s", "final"),
+    # fleet merge summary (obs.fleet.merge_spools)
+    "fleet.merge": ("workers", "events", "wall_s"),
 }
 
 #: JSON-schema (export.validate subset) for one event
@@ -71,6 +87,8 @@ EVENT_SCHEMA = {
         "seq": {"type": "integer"},
         "t": {"type": "number"},
         "kind": {"type": "string", "enum": sorted(KINDS)},
+        "pid": {"type": "integer"},
+        "worker": {"type": "string"},
     },
 }
 
@@ -82,10 +100,16 @@ class EventStream:
     always-complete JSONL sink."""
 
     def __init__(self, capacity: int = 4096,
-                 sink: Union[None, str, pathlib.Path, IO] = None):
+                 sink: Union[None, str, pathlib.Path, IO] = None,
+                 worker: Optional[str] = None):
         self._ring: deque = deque(maxlen=capacity)
         self._seq = 0
         self._emitted = 0
+        # cached once: streams are constructed post-fork, so the pid
+        # stamped on every record is the emitting process, and the
+        # stamp costs no syscall per event
+        self._pid = os.getpid()
+        self._worker = worker
         self._fh: Optional[IO] = None
         self._owns_fh = False
         if sink is not None:
@@ -101,7 +125,10 @@ class EventStream:
     # -- emission ----------------------------------------------------------
     def emit(self, kind: str, **fields) -> dict:
         event = {"v": SCHEMA_VERSION, "seq": self._seq,
-                 "t": time.perf_counter(), "kind": kind}
+                 "t": time.perf_counter(), "kind": kind,
+                 "pid": self._pid}
+        if self._worker is not None:
+            event["worker"] = self._worker
         event.update(fields)
         self._seq += 1
         self._emitted += 1

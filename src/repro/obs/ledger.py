@@ -99,6 +99,8 @@ MANIFEST_SCHEMA = {
         "lint": {"type": "object"},
         "mc": {"type": "object"},
         "run": {"type": "object"},
+        "experiments": {"type": "object"},
+        "fleet": {"type": "object"},
         "artifacts": {"type": "array", "items": ARTIFACT_SCHEMA},
         "crash": {"type": ["object", "null"]},
     },
@@ -390,6 +392,22 @@ def stop(recorder: Optional[RunRecorder]) -> None:
     global _CURRENT
     if recorder is not None and _CURRENT is recorder:
         _CURRENT = None
+
+
+@contextlib.contextmanager
+def muted():
+    """Temporarily detach the active recorder so globally-hooked notes
+    (``note_mc`` from ``Explorer._finish``, …) don't land in the run.
+    The experiments variant grid runs its cells under this: the grid's
+    drift-diffable record is the aggregated ``experiments`` note, and
+    a parallel (``--jobs``) grid — whose forked workers never see the
+    recorder — must produce the same manifest as a sequential one."""
+    global _CURRENT
+    saved, _CURRENT = _CURRENT, None
+    try:
+        yield
+    finally:
+        _CURRENT = saved
 
 
 @contextlib.contextmanager

@@ -18,6 +18,18 @@ and flush them into the registry once at the end — the registry is the
 counters/gauges as numbers, histograms as
 ``{count, total, min, max, mean, p50, p95, p99}`` sub-dicts.
 
+Every instrument (and the registry) also supports cross-process
+**merge**: ``state()`` serializes the raw internal state (including
+the sparse histogram buckets ``to_dict()`` throws away),
+``from_state()`` reconstructs it in another process, and ``merge()``
+folds one instrument into another.  Merge is associative, commutative,
+and identity-preserving by construction — counters and histogram
+buckets add, min/max combine, and gauges take the **max of set
+values** (every gauge in this codebase is a peak: ``mem_peak_mb``,
+``depth_max``), with a never-``set()`` gauge acting as the identity.
+This is the contract the fleet aggregator (:mod:`repro.obs.fleet`)
+relies on to merge N worker spools into one registry in any order.
+
 Percentiles use fixed log-spaced buckets (4 per power of two, so the
 upper-bound estimate is within ~19% of the true value) rather than
 kept samples: memory stays O(1) per histogram no matter how many
@@ -63,23 +75,59 @@ class Counter:
     def value(self) -> Union[int, float]:
         return self._value
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in: values add."""
+        with self._lock:
+            self._value += other.value
+
+    def state(self) -> dict:
+        return {"value": self._value}
+
+    @classmethod
+    def from_state(cls, doc: dict) -> "Counter":
+        inst = cls()
+        inst._value = doc.get("value", 0)
+        return inst
+
 
 class Gauge:
     """Last-write-wins scalar."""
 
-    __slots__ = ("_value", "_lock")
+    __slots__ = ("_value", "_set", "_lock")
 
     def __init__(self) -> None:
         self._value: Union[int, float] = 0
+        self._set = False
         self._lock = threading.Lock()
 
     def set(self, value: Union[int, float]) -> None:
         with self._lock:
             self._value = value
+            self._set = True
 
     @property
     def value(self) -> Union[int, float]:
         return self._value
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: max of *set* values (gauges here are
+        peaks — ``mem_peak_mb`` and friends); a never-set gauge is the
+        merge identity, so merge order never matters."""
+        with self._lock:
+            if other._set:
+                if not self._set or other._value > self._value:
+                    self._value = other._value
+                self._set = True
+
+    def state(self) -> dict:
+        return {"value": self._value, "set": self._set}
+
+    @classmethod
+    def from_state(cls, doc: dict) -> "Gauge":
+        inst = cls()
+        inst._value = doc.get("value", 0)
+        inst._set = bool(doc.get("set", doc.get("value", 0) != 0))
+        return inst
 
 
 class Histogram:
@@ -145,6 +193,43 @@ class Histogram:
                 "p50": rounded(self.percentile(0.50)),
                 "p95": rounded(self.percentile(0.95)),
                 "p99": rounded(self.percentile(0.99))}
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in: counts/totals add, min/max
+        combine, sparse buckets add per index — so percentile
+        estimates over the merged histogram are exactly what a single
+        histogram fed both observation streams would report."""
+        with self._lock:
+            self.count += other.count
+            self.total += other.total
+            if other.min is not None and (self.min is None
+                                          or other.min < self.min):
+                self.min = other.min
+            if other.max is not None and (self.max is None
+                                          or other.max > self.max):
+                self.max = other.max
+            for index, n in other._buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+
+    def state(self) -> dict:
+        """Raw internal state for cross-process transport — unlike
+        :meth:`to_dict` this keeps the sparse buckets, so a histogram
+        round-tripped through JSON still merges losslessly."""
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max,
+                "buckets": {str(i): n
+                            for i, n in sorted(self._buckets.items())}}
+
+    @classmethod
+    def from_state(cls, doc: dict) -> "Histogram":
+        inst = cls()
+        inst.count = doc.get("count", 0)
+        inst.total = doc.get("total", 0.0)
+        inst.min = doc.get("min")
+        inst.max = doc.get("max")
+        inst._buckets = {int(i): n
+                         for i, n in (doc.get("buckets") or {}).items()}
+        return inst
 
 
 class EwmaRate:
@@ -244,6 +329,51 @@ class MetricsRegistry:
         counts (the lock-free hot-path pattern) into real counters."""
         for name, n in counts.items():
             self.counter(name).inc(n)
+
+    # -- cross-process merge -------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: instruments merge per kind, names
+        union.  Associative, commutative (up to gauge ties), and a
+        fresh registry is the identity — so N worker registries merge
+        to the same result in any order."""
+        with other._lock:
+            counters = dict(other._counters)
+            gauges = dict(other._gauges)
+            histograms = dict(other._histograms)
+        for name, c in counters.items():
+            self.counter(name).merge(c)
+        for name, g in gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in histograms.items():
+            self.histogram(name).merge(h)
+
+    def state(self) -> dict:
+        """JSON-ready raw state (see :meth:`Histogram.state`) for
+        worker spools: ``{"counters": ..., "gauges": ...,
+        "histograms": ...}``, keys sorted."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.state()
+                         for n, c in sorted(counters.items())},
+            "gauges": {n: g.state()
+                       for n, g in sorted(gauges.items())},
+            "histograms": {n: h.state()
+                           for n, h in sorted(histograms.items())},
+        }
+
+    @classmethod
+    def from_state(cls, doc: dict) -> "MetricsRegistry":
+        inst = cls()
+        for name, sub in (doc.get("counters") or {}).items():
+            inst._counters[name] = Counter.from_state(sub)
+        for name, sub in (doc.get("gauges") or {}).items():
+            inst._gauges[name] = Gauge.from_state(sub)
+        for name, sub in (doc.get("histograms") or {}).items():
+            inst._histograms[name] = Histogram.from_state(sub)
+        return inst
 
     def snapshot(self) -> dict:
         """Flat JSON-ready view, keys sorted for stable output."""

@@ -336,6 +336,26 @@ class Profiler:
         for path, wall in other._folded.items():
             self._folded[path] = self._folded.get(path, 0.0) + wall
 
+    def state(self) -> dict:
+        """Raw JSON-ready state for cross-process transport: the full
+        ``(calls, work, wall_s)`` triples plus the collapsed-stack
+        accumulator — unlike :meth:`counters` (which drops wall) and
+        :meth:`to_dict` (which ranks and rounds), a profiler
+        round-tripped through :meth:`from_state` merges losslessly."""
+        return {"entries": {name: [e[0], e[1], e[2]]
+                            for name, e in sorted(self._entries.items())},
+                "folded": {path: wall
+                           for path, wall in sorted(self._folded.items())}}
+
+    @classmethod
+    def from_state(cls, doc: dict) -> "Profiler":
+        inst = cls()
+        inst._entries = {name: [e[0], e[1], float(e[2])]
+                         for name, e in (doc.get("entries") or {}).items()}
+        inst._folded = {path: float(wall)
+                        for path, wall in (doc.get("folded") or {}).items()}
+        return inst
+
 
 #: shared disabled profiler — the default for instrumented call sites.
 NULL_PROFILER = Profiler(enabled=False)

@@ -65,7 +65,7 @@ REPORT_VERSION = 1
 #: required section ids; check_html() fails on any that is missing
 SECTIONS = ("overview", "trace", "metrics", "hotspots", "coverage",
             "statespace", "lint", "summary", "crossval", "bench",
-            "trend", "runs", "forensics")
+            "trend", "runs", "fleet", "forensics")
 
 
 # -- input collection ----------------------------------------------------------
@@ -89,6 +89,7 @@ class ReportInputs:
     graphs: list[tuple] = field(default_factory=list)  # graph captures
     summaries: list[tuple] = field(default_factory=list)  # cache stats
     perfdiffs: list[tuple] = field(default_factory=list)  # attributions
+    fleets: list[tuple] = field(default_factory=list)  # merge summaries
 
 
 def classify(label: str, doc) -> Optional[str]:
@@ -111,6 +112,8 @@ def classify(label: str, doc) -> Optional[str]:
         return "summary"
     if doc.get("kind") == "perfdiff":
         return "perfdiff"
+    if doc.get("kind") == "fleet":
+        return "fleet"
     if "procedures" in doc and "all_atomic" in doc:
         return "analysis"
     if "mode" in doc and "states" in doc and "transitions" in doc:
@@ -154,6 +157,12 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             files.extend(sorted(
                 p / "manifest.json" for p in path.iterdir()
                 if (p / "manifest.json").is_file()))
+            # a --jobs run's merge summary is stored as a hashed
+            # artifact beside its manifest — surface it in the report
+            files.extend(sorted(
+                f for p in path.iterdir()
+                for f in sorted((p / "artifacts").glob("*-fleet.json"))
+                if f.is_file()))
         elif path.exists():
             files.append(path)
     for path in files:
@@ -205,6 +214,8 @@ def collect_inputs(paths: list[Union[str, pathlib.Path]],
             inputs.summaries.append((label, doc))
         elif kind == "perfdiff":
             inputs.perfdiffs.append((label, doc))
+        elif kind == "fleet":
+            inputs.fleets.append((label, doc))
     if baseline_dir is not None:
         from repro.obs.export import bench_records
         base = pathlib.Path(baseline_dir)
@@ -1011,6 +1022,48 @@ def _forensics(inputs: ReportInputs) -> str:
     return "".join(parts)
 
 
+def _fleet(inputs: ReportInputs) -> str:
+    """Fleet telemetry: per-worker lanes from merged ``--jobs``
+    spools — the worker table with straggler attribution, per-worker
+    wall bars, and the merge summary."""
+    parts = []
+    for label, doc in inputs.fleets:
+        straggler = doc.get("straggler")
+        title = (f"{label} &mdash; {doc.get('jobs', '?')} worker(s), "
+                 f"{doc.get('items', 0)} item(s)")
+        if doc.get("label"):
+            title += f", {_esc(doc['label'])}"
+        parts.append(f"<h3>{title}</h3>")
+        rows = []
+        for w in doc.get("workers", []):
+            name = w.get("worker", "?")
+            rows.append([
+                name + (" *" if name == straggler else ""),
+                w.get("pid", "?"), w.get("items", 0),
+                w.get("events", 0),
+                f"{w.get('wall_s', 0.0):.3f}",
+                f"{w.get('rss_mb', 0.0):.1f}"])
+        parts.append(_table(
+            ["worker", "pid", "items", "events", "wall s", "rss MB"],
+            rows, "mono"))
+        parts.append(
+            f"<p>merged {doc.get('events', 0)} event(s) across "
+            f"{len(doc.get('workers', []))} spool(s); straggler "
+            f"{_esc(str(straggler))} (*) bounds the fleet wall clock "
+            f"at {doc.get('wall_s', 0.0):.3f}s</p>")
+        bars = [(w.get("worker", "?"), w.get("wall_s", 0.0))
+                for w in doc.get("workers", [])]
+        if any(v for _, v in bars):
+            parts.append(_svg_hbars(
+                bars, title=f"per-worker wall — {label}"))
+    if not parts:
+        return _placeholder(
+            "fleet telemetry", "run repro analyze --corpus --jobs N "
+            "(or repro experiments section63 --jobs N) and pass the "
+            "run's fleet.json merge summary")
+    return "".join(parts)
+
+
 # -- document assembly ---------------------------------------------------------
 
 _STYLE = """
@@ -1050,6 +1103,7 @@ def render_report(inputs: ReportInputs,
         "bench": ("Bench vs baseline", _bench(inputs)),
         "trend": ("Perf trajectory", _trend(inputs)),
         "runs": ("Run ledger", _runs(inputs)),
+        "fleet": ("Fleet", _fleet(inputs)),
         "forensics": ("Perf forensics", _forensics(inputs)),
     }
     nav = "".join(f"<a href='#sec-{name}'>{_esc(label)}</a>"
@@ -1244,6 +1298,15 @@ SELF_CHECK_FIXTURE = {
                   "root": ".repro/summaries", "procs": 4,
                   "programs": 2, "bytes": 20480,
                   "schema_refused": 0, "corrupt": 0}},
+    "fleet.json": {
+        "v": 1, "kind": "fleet", "jobs": 2, "label": "analyze-corpus",
+        "items": 22, "events": 70, "wall_s": 0.31,
+        "straggler": "worker-01",
+        "workers": [
+            {"worker": "worker-00", "pid": 4242, "items": 11,
+             "events": 34, "wall_s": 0.27, "rss_mb": 21.0},
+            {"worker": "worker-01", "pid": 4243, "items": 11,
+             "events": 36, "wall_s": 0.31, "rss_mb": 20.5}]},
     "crossval.txt": ("Lint/MC cross-validation (fixture)\n\n"
                      "program   | lint errors | violation\n"
                      "----------+-------------+----------\n"
@@ -1287,7 +1350,8 @@ def fixture_inputs() -> ReportInputs:
         summaries=[("summary_stats.json",
                     dict(fx["summary_stats.json"]))],
         perfdiffs=[("PERFDIFF_attribution.json",
-                    dict(fx["PERFDIFF_attribution.json"]))])
+                    dict(fx["PERFDIFF_attribution.json"]))],
+        fleets=[("fleet.json", dict(fx["fleet.json"]))])
 
 
 def self_check() -> tuple[int, str]:
@@ -1310,6 +1374,7 @@ def self_check() -> tuple[int, str]:
                           "section"),
                          ("attributed work", "perfdiff attribution "
                           "table"),
+                         ("straggler", "fleet merge summary"),
                          ("changepoint", "changepoint scan"),
                          ("step marker", "changepoint-annotated "
                           "trajectory chart")):

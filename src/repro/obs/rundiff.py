@@ -16,6 +16,7 @@ The document shape (``--json``)::
      "theorems":       [{"block", "gained", "lost"}, ...],
      "lint":           [{"target", "rule", "a", "b"}, ...],
      "execution":      [{"source", "field", "a", "b"}, ...],
+     "experiments":    [{"mode", "field", "a", "b"}, ...],
      "outcome": {...} | null, "exit_code": {...} | null,
      "info": {"wall_s": {"a", "b"}, "bench": [...]}}
 
@@ -88,6 +89,34 @@ def _execution_drift(a: dict, b: dict) -> list[dict]:
     return out
 
 
+#: experiment verdict fields that count as drift (never timings: a
+#: parallel --jobs grid must diff empty against a sequential one)
+_EXPERIMENT_FIELDS = ("states", "transitions", "violation", "capped")
+
+
+def _experiments_drift(a: dict, b: dict) -> list[dict]:
+    """Per-mode verdict deltas over the manifests' ``experiments``
+    notes (``{"name", "verdicts": {mode: {states, ...}}}``).  Only
+    compared when both runs recorded the *same* experiment — a grid
+    run diffed against an unrelated run is not drift."""
+    if not a or not b or a.get("name") != b.get("name"):
+        return []
+    out = []
+    if a.get("matches_paper") != b.get("matches_paper"):
+        out.append({"mode": "(grid)", "field": "matches_paper",
+                    "a": a.get("matches_paper"),
+                    "b": b.get("matches_paper")})
+    va, vb = a.get("verdicts") or {}, b.get("verdicts") or {}
+    for mode in sorted(set(va) | set(vb)):
+        ea, eb = va.get(mode) or {}, vb.get(mode) or {}
+        for field in _EXPERIMENT_FIELDS:
+            fa, fb = ea.get(field), eb.get(field)
+            if fa != fb:
+                out.append({"mode": mode, "field": field,
+                            "a": fa, "b": fb})
+    return out
+
+
 def _bench_info(a: dict, b: dict) -> list[dict]:
     """Informational wall-time deltas between bench artifacts both
     runs recorded (matched by record name)."""
@@ -134,6 +163,8 @@ def diff_manifests(a: dict, b: dict) -> dict:
                                   if d not in downs_b]})
     lint = _lint_drift(a.get("lint") or {}, b.get("lint") or {})
     execution = _execution_drift(a, b)
+    experiments = _experiments_drift(a.get("experiments") or {},
+                                     b.get("experiments") or {})
     outcome: Optional[dict] = None
     if a.get("outcome") != b.get("outcome"):
         outcome = {"a": a.get("outcome"), "b": b.get("outcome")}
@@ -141,7 +172,7 @@ def diff_manifests(a: dict, b: dict) -> dict:
     if a.get("exit_code") != b.get("exit_code"):
         exit_code = {"a": a.get("exit_code"), "b": b.get("exit_code")}
     empty = not (classification or procedures or theorems or lint
-                 or execution or outcome or exit_code)
+                 or execution or experiments or outcome or exit_code)
     return {
         "v": DIFF_VERSION,
         "a": a.get("run_id"),
@@ -152,6 +183,7 @@ def diff_manifests(a: dict, b: dict) -> dict:
         "theorems": theorems,
         "lint": lint,
         "execution": execution,
+        "experiments": experiments,
         "outcome": outcome,
         "exit_code": exit_code,
         "info": {
@@ -181,6 +213,9 @@ def _rows(diff: dict) -> list[tuple[str, str]]:
     for entry in diff["execution"]:
         rows.append((entry["source"], f"{entry['field']}: "
                      f"{entry['a']} -> {entry['b']}"))
+    for entry in diff.get("experiments", []):
+        rows.append(("experiment", f"{entry['mode']}.{entry['field']}:"
+                     f" {entry['a']} -> {entry['b']}"))
     if diff["outcome"]:
         rows.append(("outcome", f"{diff['outcome']['a']} -> "
                      f"{diff['outcome']['b']}"))

@@ -58,6 +58,11 @@ SUMMARY = 2
 #: ``PERFDIFF_attribution.json`` artifact the watchdog auto-emits)
 PERFDIFF = 1
 
+#: fleet merge-summary documents and worker spool layout
+#: (:mod:`repro.obs.fleet` — per-worker telemetry spools and the
+#: cross-process aggregator behind ``--jobs``)
+FLEET = 1
+
 
 def registry() -> dict:
     """``{subsystem: version}`` for every versioned document schema —
@@ -73,6 +78,7 @@ def registry() -> dict:
         "heatmap": HEATMAP,
         "summary": SUMMARY,
         "perfdiff": PERFDIFF,
+        "fleet": FLEET,
     }
 
 
@@ -83,7 +89,8 @@ def check_registry() -> list[str]:
     a local version literal again."""
     from repro.analysis.summaries import store as summary_store
     from repro.mc import cex
-    from repro.obs import events, graph, heatmap, ledger, perfdiff, profile
+    from repro.obs import (events, fleet, graph, heatmap, ledger,
+                           perfdiff, profile)
     from repro.obs.export import BENCH_SCHEMA_VERSION
 
     live = {
@@ -96,6 +103,7 @@ def check_registry() -> list[str]:
         "heatmap": heatmap.SCHEMA_VERSION,
         "summary": summary_store.SCHEMA_VERSION,
         "perfdiff": perfdiff.SCHEMA_VERSION,
+        "fleet": fleet.SCHEMA_VERSION,
     }
     problems = []
     reg = registry()

@@ -19,6 +19,15 @@ Rendering degrades gracefully: an ANSI in-place dashboard when stdout
 is a TTY, one summary line per new heartbeat otherwise (CI-safe), and
 ``--once`` renders a single frame from the current file contents and
 exits — the no-TTY smoke-test mode.
+
+**Fleet mode**: point ``repro top`` at a *spool directory* (the
+per-run layout :mod:`repro.obs.fleet` writes — ``worker-*/
+events.jsonl`` per worker process) and it tails every worker's stream
+at once, re-globbing each poll so late-starting workers appear as they
+spool up.  The frame shows one row per worker (status, progress,
+throughput, peak RSS from the ``fleet.heartbeat`` beats) plus an
+aggregate line; the loop ends when every observed worker has emitted
+its ``final`` beat.
 """
 
 from __future__ import annotations
@@ -73,6 +82,22 @@ class TopState:
             self.beats += 1
             self.ewma_rate = self.rate.update(
                 event.get("states", 0),
+                event.get("elapsed_s", event.get("t", 0.0)))
+            if self.ewma_rate > self.peak_rate:
+                self.peak_rate = self.ewma_rate
+            if self.status == "waiting":
+                self.status = "running"
+            if event.get("final"):
+                self.status = "done" if self.status == "running" \
+                    else self.status
+            return True
+        if kind == "fleet.heartbeat":
+            # worker-process progress beat: same shape of fold as
+            # explorer.progress, with done/total instead of states
+            self.progress = event
+            self.beats += 1
+            self.ewma_rate = self.rate.update(
+                event.get("done", 0),
                 event.get("elapsed_s", event.get("t", 0.0)))
             if self.ewma_rate > self.peak_rate:
                 self.peak_rate = self.ewma_rate
@@ -208,6 +233,151 @@ class _Tail:
             self._fh = None
 
 
+class FleetTail:
+    """Tails every ``worker-*/events.jsonl`` under a spool directory,
+    one :class:`_Tail` + :class:`TopState` per worker.  The directory
+    is re-globbed on every poll, so workers that spool up late (or
+    whose file appears mid-run) are picked up without a restart."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.tails: dict[str, _Tail] = {}
+        self.states: dict[str, TopState] = {}
+
+    def poll(self) -> bool:
+        """Feed all fresh events; True when any frame-worthy event
+        arrived on any worker."""
+        import glob as _glob
+
+        fresh = False
+        pattern = os.path.join(self.root, "worker-*", "events.jsonl")
+        for ev_file in sorted(_glob.glob(pattern)):
+            worker = os.path.basename(os.path.dirname(ev_file))
+            if worker not in self.tails:
+                self.tails[worker] = _Tail(ev_file)
+                self.states[worker] = TopState()
+                fresh = True
+            state = self.states[worker]
+            for event in self.tails[worker].poll():
+                fresh = state.feed(event) or fresh
+        return fresh
+
+    @property
+    def events(self) -> int:
+        return sum(s.events for s in self.states.values())
+
+    def finished(self) -> bool:
+        """Every observed worker reached a terminal status (and at
+        least one worker was observed)."""
+        if not self.states:
+            return False
+        return all(s.status.startswith(("done", "VIOLATION", "CAPPED",
+                                        "DEADLINE"))
+                   for s in self.states.values())
+
+    def aggregate(self) -> dict:
+        done = sum(s.progress.get("done", s.progress.get("states", 0))
+                   for s in self.states.values())
+        rate = sum(s.ewma_rate for s in self.states.values())
+        rss = sum(s.progress.get("rss_mb", s.progress.get("mem_mb", 0.0))
+                  for s in self.states.values())
+        return {"workers": len(self.states), "done": done,
+                "rate": round(rate, 1), "rss_mb": round(rss, 1),
+                "events": self.events}
+
+    def to_dict(self) -> dict:
+        return {"workers": {name: state.to_dict()
+                            for name, state in sorted(self.states.items())},
+                "aggregate": self.aggregate()}
+
+    def close(self) -> None:
+        for tail in self.tails.values():
+            tail.close()
+
+
+def render_fleet_frame(fleet: FleetTail, path: str) -> list[str]:
+    """The fleet dashboard frame: one row per worker + an aggregate."""
+    lines = [f"repro top — fleet {path}",
+             f"{'worker':<12} {'status':<10} {'done':>8} {'total':>8} "
+             f"{'rate/s':>9} {'rss MB':>7} {'elapsed':>8}"]
+    for name in sorted(fleet.states):
+        state = fleet.states[name]
+        p = state.progress
+        total = p.get("total")
+        lines.append(
+            f"{name:<12} {state.status[:10]:<10} "
+            f"{p.get('done', p.get('states', 0)):>8,} "
+            f"{total if total is not None else '?':>8} "
+            f"{(state.ewma_rate or p.get('rate', 0.0)):>9,.1f} "
+            f"{p.get('rss_mb', p.get('mem_mb', 0.0)):>7.1f} "
+            f"{p.get('elapsed_s', 0.0):>7.1f}s")
+    agg = fleet.aggregate()
+    lines.append(
+        f"{'TOTAL':<12} {'':<10} {agg['done']:>8,} {'':>8} "
+        f"{agg['rate']:>9,.1f} {agg['rss_mb']:>7.1f} "
+        f"{agg['events']:>7} ev")
+    return lines
+
+
+def render_fleet_line(fleet: FleetTail) -> str:
+    """One-line fleet summary (line-mode / non-TTY fallback)."""
+    agg = fleet.aggregate()
+    running = sum(1 for s in fleet.states.values()
+                  if not s.status.startswith(("done", "VIOLATION",
+                                              "CAPPED", "DEADLINE")))
+    return (f"[top] fleet workers={agg['workers']} running={running} "
+            f"done={agg['done']} rate={agg['rate']:,.1f}/s "
+            f"rss={agg['rss_mb']:.1f}MB events={agg['events']}")
+
+
+def _run_top_fleet(path: str, *, interval: float,
+                   duration: Optional[float], once: bool,
+                   as_json: bool, out: IO,
+                   is_tty: bool) -> int:
+    fleet = FleetTail(path)
+    deadline = time.monotonic() + (duration if duration is not None
+                                   else DEFAULT_DURATION)
+    painted = 0
+
+    def paint() -> None:
+        nonlocal painted
+        lines = render_fleet_frame(fleet, path)
+        if is_tty and painted:
+            out.write(f"\x1b[{painted}F\x1b[J")
+        out.write("\n".join(lines) + "\n")
+        out.flush()
+        painted = len(lines)
+
+    try:
+        if once:
+            fleet.poll()
+            if as_json:
+                out.write(json.dumps(fleet.to_dict(), indent=2) + "\n")
+            else:
+                out.write("\n".join(render_fleet_frame(fleet, path))
+                          + "\n")
+            return 0 if fleet.events else 2
+        while time.monotonic() < deadline:
+            if fleet.poll():
+                if is_tty:
+                    paint()
+                else:
+                    out.write(render_fleet_line(fleet) + "\n")
+                    out.flush()
+            if fleet.finished():
+                break
+            time.sleep(interval)
+        if as_json:
+            out.write(json.dumps(fleet.to_dict(), indent=2) + "\n")
+        elif is_tty:
+            paint()
+        else:
+            out.write(render_fleet_line(fleet) + "\n")
+        return 0 if fleet.events else 2
+    finally:
+        fleet.close()
+
+
 def run_top(path: str, *, interval: float = DEFAULT_INTERVAL,
             duration: Optional[float] = None, once: bool = False,
             as_json: bool = False, out: Optional[IO] = None,
@@ -219,10 +389,19 @@ def run_top(path: str, *, interval: float = DEFAULT_INTERVAL,
     ``duration`` bounds the attach time in seconds (default
     :data:`DEFAULT_DURATION`); the loop also ends on a ``final``
     heartbeat or a terminal event.
+
+    When ``path`` is a *directory* it is treated as a fleet spool
+    (``worker-*/events.jsonl`` per worker — see
+    :mod:`repro.obs.fleet`): per-worker rows plus an aggregate line,
+    ending once every observed worker emitted its final heartbeat.
     """
     out = out or sys.stdout
     is_tty = force_tty if force_tty is not None \
         else getattr(out, "isatty", lambda: False)()
+    if os.path.isdir(path):
+        return _run_top_fleet(path, interval=interval,
+                              duration=duration, once=once,
+                              as_json=as_json, out=out, is_tty=is_tty)
     tail = _Tail(path)
     state = TopState()
     deadline = time.monotonic() + (duration if duration is not None

@@ -1,0 +1,363 @@
+"""The multi-process observability backplane (:mod:`repro.obs.fleet`):
+merge algebra (associative / commutative / identity), spool write-out
+and torn-line-tolerant read-back, the fork-based ``run_fleet`` fan-out
+with submission-order reassembly, and ``--jobs`` resolution."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs import fleet
+from repro.obs.events import read_jsonl
+from repro.obs.fleet import (
+    WorkerSpool,
+    merge_spools,
+    read_spool_events,
+    resolve_jobs,
+    run_fleet,
+    worker_name,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import Profiler
+
+
+# -- merge algebra -----------------------------------------------------------------
+#
+# Property-style over seeded random instrument populations: a fleet
+# merge must not depend on worker completion order (commutativity),
+# on the merge tree shape (associativity), or on empty workers being
+# present (identity).  All three are checked through the raw `state()`
+# transport shape — the exact bytes that cross the process boundary.
+
+def _random_registry(rng: random.Random) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for name in rng.sample(["a", "b", "c", "d", "e"],
+                           rng.randint(0, 5)):
+        reg.inc(f"count.{name}", rng.randint(1, 100))
+    for name in rng.sample(["x", "y", "z"], rng.randint(0, 3)):
+        reg.set(f"peak.{name}", rng.randint(0, 50))
+    for name in rng.sample(["h", "i"], rng.randint(0, 2)):
+        for _ in range(rng.randint(1, 20)):
+            reg.observe(f"hist.{name}", rng.uniform(0.001, 40.0))
+    return reg
+
+
+def _merged(*regs: MetricsRegistry) -> dict:
+    out = MetricsRegistry()
+    for reg in regs:
+        out.merge(reg)
+    return out.state()
+
+
+def _copy(reg: MetricsRegistry) -> MetricsRegistry:
+    return MetricsRegistry.from_state(reg.state())
+
+
+def test_counter_merge_adds_and_identity():
+    a, b, zero = Counter(), Counter(), Counter()
+    a.inc(3)
+    b.inc(4)
+    a.merge(b)
+    assert a.value == 7
+    a.merge(zero)
+    assert a.value == 7
+
+
+def test_gauge_merge_is_max_of_set_and_unset_is_identity():
+    lo, hi, unset = Gauge(), Gauge(), Gauge()
+    lo.set(2)
+    hi.set(9)
+    lo.merge(hi)
+    assert lo.value == 9
+    # unset gauge is the identity in either direction — including an
+    # unset gauge whose default 0 would otherwise beat a set negative
+    neg = Gauge()
+    neg.set(-3)
+    neg.merge(unset)
+    assert neg.value == -3 and neg._set
+    absorbed = Gauge()
+    absorbed.merge(neg)
+    assert absorbed.value == -3 and absorbed._set
+
+
+def test_histogram_merge_equals_single_stream():
+    rng = random.Random(7)
+    xs = [rng.uniform(0.01, 30.0) for _ in range(40)]
+    one = Histogram()
+    for x in xs:
+        one.observe(x)
+    left, right = Histogram(), Histogram()
+    for x in xs[:17]:
+        left.observe(x)
+    for x in xs[17:]:
+        right.observe(x)
+    left.merge(right)
+    merged, single = left.state(), one.state()
+    # total is a float sum: merge order may differ in the last ulp
+    assert merged.pop("total") == pytest.approx(single.pop("total"))
+    assert merged == single
+    assert left.percentile(0.5) == one.percentile(0.5)
+    assert left.percentile(0.95) == one.percentile(0.95)
+    assert (left.count, left.min, left.max) \
+        == (one.count, one.min, one.max)
+
+
+def test_registry_merge_commutative():
+    for seed in range(6):
+        rng = random.Random(seed)
+        a, b = _random_registry(rng), _random_registry(rng)
+        assert _merged(_copy(a), _copy(b)) \
+            == _merged(_copy(b), _copy(a)), f"seed {seed}"
+
+
+def test_registry_merge_associative():
+    for seed in range(6):
+        rng = random.Random(100 + seed)
+        a, b, c = (_random_registry(rng) for _ in range(3))
+        ab = _copy(a)
+        ab.merge(_copy(b))
+        ab.merge(_copy(c))                 # (a + b) + c
+        bc = _copy(b)
+        bc.merge(_copy(c))
+        a2 = _copy(a)
+        a2.merge(bc)                       # a + (b + c)
+        assert ab.state() == a2.state(), f"seed {seed}"
+
+
+def test_registry_merge_identity():
+    rng = random.Random(42)
+    a = _random_registry(rng)
+    assert _merged(_copy(a), MetricsRegistry()) == a.state()
+    assert _merged(MetricsRegistry(), _copy(a)) == a.state()
+
+
+def test_registry_state_roundtrip_merges_losslessly():
+    rng = random.Random(9)
+    a = _random_registry(rng)
+    via_json = MetricsRegistry.from_state(
+        json.loads(json.dumps(a.state())))
+    assert via_json.state() == a.state()
+    assert via_json.snapshot() == a.snapshot()
+
+
+def test_profiler_merge_associative_commutative_identity():
+    def prof(spec):
+        p = Profiler()
+        for name, work in spec:
+            with p.region(name):
+                p.add(name + ".inner", work)
+        return p
+
+    a = lambda: prof([("alpha", 3), ("beta", 1)])          # noqa: E731
+    b = lambda: prof([("beta", 2)])                        # noqa: E731
+    c = lambda: prof([("gamma", 5), ("alpha", 1)])         # noqa: E731
+
+    def counters(*profs):
+        out = Profiler()
+        for p in profs:
+            out.merge(p)
+        return out.counters()
+
+    assert counters(a(), b(), c()) == counters(c(), b(), a())
+    ab = a()
+    ab.merge(b())
+    ab.merge(c())
+    bc = b()
+    bc.merge(c())
+    a2 = a()
+    a2.merge(bc)
+    assert ab.counters() == a2.counters()
+    assert counters(a(), Profiler()) == counters(a())
+    via_json = Profiler.from_state(json.loads(json.dumps(a().state())))
+    assert via_json.counters() == a().counters()
+
+
+# -- resolve_jobs ------------------------------------------------------------------
+
+def test_resolve_jobs_flag_beats_env_beats_default():
+    assert resolve_jobs(3, env={"REPRO_JOBS": "8"}) == 3
+    assert resolve_jobs(None, env={"REPRO_JOBS": "8"}) == 8
+    assert resolve_jobs(None, env={}) == 1
+    assert resolve_jobs(None, env={"REPRO_JOBS": "junk"}) == 1
+    assert resolve_jobs(0, env={}) == 1          # clamp
+    assert resolve_jobs(None, env={"REPRO_JOBS": "-2"}) == 1
+
+
+def test_worker_name_is_zero_padded():
+    assert worker_name(0) == "worker-00"
+    assert worker_name(11) == "worker-11"
+
+
+# -- spool write / read ------------------------------------------------------------
+
+def test_worker_spool_writes_layout_and_stamps(tmp_path):
+    spool = WorkerSpool(tmp_path, 1)
+    spool.heartbeat(done=0, total=2)
+    spool.metrics.inc("fleet.test", 5)
+    with spool.profiler.region("fleet.region"):
+        pass
+    spool.heartbeat(done=2)
+    spool.finish(result={"ok": True, "values": [1, 2]})
+
+    wdir = tmp_path / "worker-01"
+    events = read_spool_events(wdir / "events.jsonl")
+    assert [e["kind"] for e in events] == ["fleet.heartbeat"] * 3
+    assert events[-1]["final"] is True
+    assert all(e["worker"] == "worker-01" for e in events)
+    assert all(e["pid"] == spool.pid for e in events)
+    # a spooled stream must satisfy the strict substrate reader too
+    assert len(read_jsonl(wdir / "events.jsonl")) == 3
+
+    meta = json.loads((wdir / "worker.json").read_text())
+    assert meta["worker"] == "worker-01" and meta["items"] == 2
+    metrics = MetricsRegistry.from_state(
+        json.loads((wdir / "metrics.json").read_text())["metrics"])
+    assert metrics.snapshot()["fleet.test"] == 5
+    profile = json.loads((wdir / "profile.json").read_text())["profile"]
+    assert "fleet.region" in profile["entries"]
+    assert json.loads((wdir / "result.json").read_text())["ok"] is True
+
+
+def test_read_spool_events_tolerates_torn_and_missing(tmp_path):
+    assert read_spool_events(tmp_path / "absent.jsonl") == []
+    path = tmp_path / "events.jsonl"
+    path.write_text('{"kind": "fleet.heartbeat", "done": 1}\n'
+                    '\n'
+                    '{"kind": "fleet.hear')       # torn mid-write
+    events = read_spool_events(path)
+    assert len(events) == 1 and events[0]["done"] == 1
+
+
+def test_merge_spools_rows_straggler_and_event_order(tmp_path):
+    for index, (n, wall) in enumerate([(2, 0.1), (3, 0.9)]):
+        spool = WorkerSpool(tmp_path, index)
+        for done in range(1, n + 1):
+            spool.heartbeat(done=done, total=n)
+        spool.metrics.inc("merged.count", n)
+        spool.finish(result={"ok": True, "values": list(range(n))})
+        # pin wall_s so the straggler pick is deterministic
+        meta_path = tmp_path / worker_name(index) / "worker.json"
+        meta = json.loads(meta_path.read_text())
+        meta["wall_s"] = wall
+        meta_path.write_text(json.dumps(meta))
+
+    merge = merge_spools(tmp_path, label="unit", jobs=2)
+    doc = merge.doc
+    assert doc["kind"] == "fleet" and doc["jobs"] == 2
+    assert doc["label"] == "unit"
+    assert doc["items"] == 5
+    assert doc["straggler"] == "worker-01"
+    assert doc["wall_s"] == 0.9
+    assert [r["worker"] for r in doc["workers"]] \
+        == ["worker-00", "worker-01"]
+    assert merge.metrics.snapshot()["merged.count"] == 5
+    # events ordered by (worker, seq): stable under completion order
+    keys = [(e["worker"], e["seq"]) for e in merge.events.snapshot()]
+    assert keys == sorted(keys)
+    assert merge.results[0]["values"] == [0, 1]
+
+
+# -- run_fleet ---------------------------------------------------------------------
+
+def _square(item, spool):
+    spool.metrics.inc("fleet.squares")
+    with spool.profiler.region("fleet.square"):
+        pass
+    spool.events.emit("fleet.heartbeat", done=item)
+    return item * item
+
+
+def test_run_fleet_reassembles_in_submission_order(tmp_path):
+    items = list(range(7))
+    values, merge = run_fleet(items, _square, jobs=3,
+                              spool=tmp_path, label="squares")
+    assert values == [i * i for i in items]
+    assert merge.doc["items"] == 7
+    assert merge.doc["jobs"] == 3
+    assert len(merge.doc["workers"]) == 3
+    assert merge.metrics.snapshot()["fleet.squares"] == 7
+    assert merge.profiler.counters()["fleet.square"]["calls"] == 7
+    # pid/worker stamped on every merged event; >1 distinct pid when
+    # the platform actually forked
+    events = merge.events.snapshot()
+    assert all("pid" in e and "worker" in e for e in events)
+    if fleet.can_fork():
+        assert len({e["pid"] for e in events}) == 3
+
+
+def test_run_fleet_matches_sequential_map(tmp_path):
+    items = ["a", "bb", "ccc"]
+
+    def measure(item, spool):
+        return len(item)
+
+    values, _ = run_fleet(items, measure, jobs=2,
+                          spool=tmp_path / "s1")
+    assert values == [len(i) for i in items]
+    solo, _ = run_fleet(items, measure, jobs=1,
+                        spool=tmp_path / "s2")
+    assert solo == values
+
+
+def test_run_fleet_clamps_jobs_to_items(tmp_path):
+    values, merge = run_fleet([5], _square, jobs=4, spool=tmp_path)
+    assert values == [25]
+    assert len(merge.doc["workers"]) == 1
+
+
+def test_run_fleet_rejects_bad_jobs(tmp_path):
+    with pytest.raises(ValueError):
+        run_fleet([1], _square, jobs=0, spool=tmp_path)
+
+
+def test_run_fleet_worker_failure_spools_traceback(tmp_path):
+    def boom(item, spool):
+        if item == 2:
+            raise RuntimeError("injected fleet failure")
+        return item
+
+    with pytest.raises(RuntimeError) as err:
+        run_fleet([0, 1, 2, 3], boom, jobs=2, spool=tmp_path)
+    message = str(err.value)
+    assert "injected fleet failure" in message
+    assert "worker-" in message
+    # the healthy worker's spool survived for post-mortem
+    merge = merge_spools(tmp_path)
+    assert any(r and r.get("ok") for r in merge.results)
+
+
+def test_run_fleet_exports_fleet_env_to_workers(tmp_path):
+    import os
+
+    def peek(item, spool):
+        return {"worker": os.environ.get(fleet.ENV_WORKER),
+                "spool": os.environ.get(fleet.ENV_SPOOL)}
+
+    values, _ = run_fleet([0, 1], peek, jobs=2, spool=tmp_path)
+    assert values[0]["worker"] == "worker-00"
+    assert values[1]["worker"] == "worker-01"
+    assert all(v["spool"] == str(tmp_path) for v in values)
+
+
+def test_default_spool_root_follows_ledger(tmp_path, monkeypatch):
+    from repro.obs import ledger
+
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / ".repro/runs"))
+    # without a live recorder: pid-scoped sibling directory
+    root = fleet.default_spool_root()
+    assert root.parent.name == "spool"
+    recorder = ledger.start([], "unit-test",
+                            root=tmp_path / ".repro/runs",
+                            persist=False, force=True)
+    try:
+        assert fleet.default_spool_root() == recorder.run_dir / "spool"
+    finally:
+        ledger.stop(recorder)

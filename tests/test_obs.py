@@ -476,7 +476,7 @@ def test_schema_registry_matches_live_constants():
     registry = schemas.registry()
     assert set(registry) == {"events", "bench", "graph", "profile",
                              "manifest", "lint", "cex", "heatmap",
-                             "summary", "perfdiff"}
+                             "summary", "perfdiff", "fleet"}
     assert all(isinstance(v, int) and v >= 1
                for v in registry.values())
     # every emitter imports its constant from the registry, so the

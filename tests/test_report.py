@@ -122,6 +122,7 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
     (tmp_path / "crossval.txt").write_text(fx["crossval.txt"])
     (tmp_path / "summary_stats.json").write_text(
         json.dumps(fx["summary_stats.json"]))
+    (tmp_path / "fleet.json").write_text(json.dumps(fx["fleet.json"]))
     (tmp_path / "junk.json").write_text("not json {")
     for manifest in fx["runs"]:
         run_dir = tmp_path / manifest["run_id"]
@@ -143,6 +144,7 @@ def test_collect_inputs_scans_and_buckets(tmp_path):
     assert [label for label, _ in inputs.tables] == ["crossval.txt"]
     assert [label for label, _ in inputs.summaries] \
         == ["summary_stats.json"]
+    assert [label for label, _ in inputs.fleets] == ["fleet.json"]
     assert sorted(m["run_id"] for m in inputs.runs) == \
         sorted(m["run_id"] for m in fx["runs"])
 

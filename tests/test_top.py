@@ -8,8 +8,9 @@ import json
 
 from repro import corpus
 from repro.cli import main
-from repro.obs.top import (TopState, _Tail, render_frame, render_line,
-                           run_top)
+from repro.obs.top import (FleetTail, TopState, _Tail, render_frame,
+                           render_fleet_frame, render_fleet_line,
+                           render_line, run_top)
 
 
 def _beat(seq, states, elapsed, **extra):
@@ -166,3 +167,119 @@ def test_cli_top_once_json_from_real_mc_run(tmp_path, capsys):
     doc = json.loads(capsys.readouterr().out)
     assert doc["beats"] >= 1              # the final heartbeat
     assert doc["progress"]["states"] > 0
+
+
+# -- fleet spool directories -------------------------------------------------------
+
+def _fleet_beat(seq, done, total, elapsed, **extra):
+    return {"v": 1, "seq": seq, "t": elapsed,
+            "kind": "fleet.heartbeat", "done": done, "total": total,
+            "rate": done / elapsed if elapsed else 0.0,
+            "rss_mb": 30.0, "elapsed_s": elapsed, **extra}
+
+
+def _spool_worker(root, index, beats):
+    wdir = root / f"worker-{index:02d}"
+    wdir.mkdir(parents=True, exist_ok=True)
+    path = wdir / "events.jsonl"
+    with open(path, "a") as fh:
+        for beat in beats:
+            fh.write(json.dumps({"worker": wdir.name,
+                                 "pid": 4240 + index, **beat}) + "\n")
+    return path
+
+
+def test_fleet_tail_folds_workers_and_survives_torn_line(tmp_path):
+    _spool_worker(tmp_path, 0, [_fleet_beat(0, 1, 4, 1.0)])
+    ev1 = _spool_worker(tmp_path, 1, [_fleet_beat(0, 2, 4, 1.0)])
+    with open(ev1, "a") as fh:            # writer mid-write on poll
+        fh.write('{"kind": "fleet.hear')
+    fleet = FleetTail(str(tmp_path))
+    assert fleet.poll() is True
+    assert sorted(fleet.states) == ["worker-00", "worker-01"]
+    assert fleet.events == 2              # torn line not counted
+    assert fleet.aggregate()["done"] == 3
+    with open(ev1, "a") as fh:            # line completes next poll
+        fh.write('tbeat", "done": 3, "seq": 1, "elapsed_s": 2.0}\n')
+    assert fleet.poll() is True
+    assert fleet.aggregate()["done"] == 4
+    fleet.close()
+
+
+def test_fleet_tail_reglobs_late_workers(tmp_path):
+    _spool_worker(tmp_path, 0, [_fleet_beat(0, 1, 2, 1.0)])
+    fleet = FleetTail(str(tmp_path))
+    fleet.poll()
+    assert sorted(fleet.states) == ["worker-00"]
+    # a worker that spools up after the first poll is still picked up
+    _spool_worker(tmp_path, 1, [_fleet_beat(0, 1, 2, 1.5)])
+    assert fleet.poll() is True
+    assert sorted(fleet.states) == ["worker-00", "worker-01"]
+    fleet.close()
+
+
+def test_fleet_tail_finished_requires_all_final(tmp_path):
+    _spool_worker(tmp_path, 0, [_fleet_beat(0, 2, 2, 1.0, final=True)])
+    _spool_worker(tmp_path, 1, [_fleet_beat(0, 1, 2, 1.0)])
+    fleet = FleetTail(str(tmp_path))
+    fleet.poll()
+    assert fleet.finished() is False
+    _spool_worker(tmp_path, 1, [_fleet_beat(1, 2, 2, 2.0, final=True)])
+    fleet.poll()
+    assert fleet.finished() is True
+    frame = "\n".join(render_fleet_frame(fleet, str(tmp_path)))
+    assert "worker-00" in frame and "worker-01" in frame
+    assert "TOTAL" in frame
+    line = render_fleet_line(fleet)
+    assert "workers=2" in line and "running=0" in line
+    fleet.close()
+
+
+def test_run_top_on_spool_dir_once(tmp_path):
+    _spool_worker(tmp_path, 0, [_fleet_beat(0, 4, 4, 1.0, final=True)])
+    _spool_worker(tmp_path, 1, [_fleet_beat(0, 3, 4, 1.2, final=True)])
+    out = io.StringIO()
+    assert run_top(str(tmp_path), once=True, out=out) == 0
+    text = out.getvalue()
+    assert "fleet" in text and "worker-00" in text \
+        and "worker-01" in text and "TOTAL" in text
+
+
+def test_run_top_on_spool_dir_json(tmp_path):
+    _spool_worker(tmp_path, 0, [_fleet_beat(0, 4, 4, 1.0, final=True)])
+    out = io.StringIO()
+    assert run_top(str(tmp_path), once=True, as_json=True,
+                   out=out) == 0
+    doc = json.loads(out.getvalue())
+    assert doc["aggregate"]["workers"] == 1
+    assert doc["workers"]["worker-00"]["status"] == "done"
+
+
+def test_run_top_on_empty_spool_dir_exits_2(tmp_path):
+    out = io.StringIO()
+    assert run_top(str(tmp_path), once=True, out=out) == 2
+
+
+def test_run_top_fleet_line_mode_ends_when_all_final(tmp_path):
+    _spool_worker(tmp_path, 0, [_fleet_beat(0, 2, 2, 1.0, final=True)])
+    _spool_worker(tmp_path, 1, [_fleet_beat(0, 2, 2, 1.1, final=True)])
+    out = io.StringIO()
+    code = run_top(str(tmp_path), interval=0.01, duration=5.0,
+                   out=out, force_tty=False)
+    assert code == 0
+    assert "[top] fleet workers=2" in out.getvalue()
+
+
+def test_cli_top_on_live_fleet_spool(tmp_path, capsys):
+    from repro.obs.fleet import run_fleet
+
+    def work(item, spool):
+        return item + 1
+
+    run_fleet([1, 2, 3], work, jobs=2, spool=tmp_path / "spool")
+    assert main(["top", str(tmp_path / "spool"), "--once",
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["aggregate"]["workers"] == 2
+    assert all(w["status"] == "done"
+               for w in doc["workers"].values())
